@@ -1,0 +1,42 @@
+"""Shared helpers for the accuracy benchmarks (Figures 10-15, Table 4)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.estimators import make_estimator
+from repro.estimators.base import SparsityEstimator
+from repro.sparsest.runner import EstimateOutcome, run_use_case
+from repro.sparsest.usecases import get_use_case
+
+#: The estimator lineup of Figures 10/11 (legend order).
+FIGURE_LINEUP: Sequence[tuple[str, dict]] = (
+    ("meta_wc", {}),
+    ("meta_ac", {}),
+    ("sampling", {}),
+    ("mnc_basic", {}),
+    ("mnc", {}),
+    ("density_map", {}),
+    ("bitset", {}),
+    ("layered_graph", {}),
+)
+
+
+def lineup(names_with_kwargs: Iterable[tuple[str, dict]] = FIGURE_LINEUP) -> List[SparsityEstimator]:
+    """Instantiate a fresh estimator lineup."""
+    return [make_estimator(name, **kwargs) for name, kwargs in names_with_kwargs]
+
+
+def collect_outcomes(
+    case_ids: Sequence[str],
+    estimators: Sequence[SparsityEstimator],
+    scale: float,
+    seed: int = 0,
+) -> List[EstimateOutcome]:
+    """Run every estimator on every use case (skipping unsupported)."""
+    outcomes: List[EstimateOutcome] = []
+    for case_id in case_ids:
+        case = get_use_case(case_id)
+        for estimator in estimators:
+            outcomes.append(run_use_case(case, estimator, scale=scale, seed=seed))
+    return outcomes

@@ -1,0 +1,116 @@
+"""Ablations of the MNC design choices (DESIGN.md Section 3).
+
+Four variants isolate the contribution of the extension vectors and the
+Theorem 3.2 bounds across the single-operation use cases; a fifth
+comparison measures what probabilistic rounding buys on an ultra-sparse
+propagation chain (the Section 3.3 motivation).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.core.propagate import propagate_product
+from repro.core.sketch import MNCSketch
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.matrix.ops import matmul
+from repro.matrix.random import random_sparse
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.report import simple_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+CASE_IDS = ["B1.1", "B1.4", "B1.5", "B2.1", "B2.2", "B2.3", "B2.4"]
+VARIANTS = [
+    ("full", dict(use_extensions=True, use_bounds=True)),
+    ("no-extensions", dict(use_extensions=False, use_bounds=True)),
+    ("no-bounds", dict(use_extensions=True, use_bounds=False)),
+    ("basic", dict(use_extensions=False, use_bounds=False)),
+]
+
+
+@pytest.mark.parametrize("label,kwargs", VARIANTS)
+def test_variant_time(benchmark, scale, label, kwargs):
+    root = get_use_case("B2.3").build(scale=scale, seed=0)
+    estimator = make_estimator("mnc", **kwargs)
+    benchmark.pedantic(
+        lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = label
+
+
+def test_print_ablations(benchmark, scale):
+    def sweep():
+        rows = []
+        for case_id in CASE_IDS:
+            root = get_use_case(case_id).build(scale=scale, seed=0)
+            truth = true_nnz_of(root)
+            row = [case_id]
+            for _, kwargs in VARIANTS:
+                estimator = make_estimator("mnc", **kwargs)
+                row.append(relative_error(truth, estimate_root_nnz(root, estimator)))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = simple_table(
+        ["Case"] + [label for label, _ in VARIANTS], rows,
+        title=f"Ablation: MNC extension vectors and Theorem 3.2 bounds (scale={scale})",
+    )
+    write_result("ablation_mnc_variants", table)
+
+    errors = {row[0]: dict(zip([l for l, _ in VARIANTS], row[1:])) for row in rows}
+    # The bounds are what make B1.5 exact.
+    assert errors["B1.5"]["full"] == pytest.approx(1.0)
+    assert errors["B1.5"]["basic"] > 10
+    # No variant is ever better than "full" by more than noise.
+    for case_id in CASE_IDS:
+        for label, _ in VARIANTS[1:]:
+            assert errors[case_id]["full"] <= errors[case_id][label] * 1.05, (
+                case_id, label,
+            )
+
+
+def test_print_rounding_ablation(benchmark):
+    """Probabilistic vs deterministic rounding on an ultra-sparse chain."""
+
+    def run():
+        from repro.core.estimate import estimate_product_nnz
+
+        a = random_sparse(3000, 3000, 1e-4, seed=401)
+        b = random_sparse(3000, 3000, 1e-4, seed=402)
+        c = random_sparse(3000, 3000, 1e-4, seed=403)
+        truth = matmul(matmul(a, b), c).nnz
+        h = [MNCSketch.from_matrix(m) for m in (a, b, c)]
+        probabilistic = []
+        for seed in range(10):
+            h_ab = propagate_product(h[0], h[1], rng=np.random.default_rng(seed))
+            probabilistic.append(estimate_product_nnz(h_ab, h[2]))
+        # Deterministic baseline: floor the Eq-11 scaled row histogram. At
+        # this sparsity every scaled entry is a fraction below 1, so the
+        # floored intermediate collapses toward empty — the failure mode
+        # probabilistic rounding exists to prevent.
+        ab_estimate = estimate_product_nnz(h[0], h[1])
+        floor_hr = np.floor(h[0].hr * (ab_estimate / max(float(h[0].hr.sum()), 1.0)))
+        return truth, probabilistic, float(floor_hr.sum())
+
+    truth, probabilistic, floor_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_estimate = float(np.mean(probabilistic))
+    rows = [
+        ["true nnz of (AB)C", truth, ""],
+        ["probabilistic rounding (mean of 10)", mean_estimate,
+         relative_error(truth, mean_estimate)],
+        ["deterministic floor: sum(hr) after AB", floor_total,
+         "empty" if floor_total == 0 else ""],
+    ]
+    table = simple_table(
+        ["Quantity", "value", "rel.err"], rows,
+        title="Ablation: probabilistic rounding on an ultra-sparse chain (3K^2, s=1e-4)",
+    )
+    write_result("ablation_rounding", table)
+
+    # Deterministic flooring of per-row expectations ~0.x collapses the
+    # intermediate to (near) empty; probabilistic rounding stays unbiased.
+    assert floor_total < truth / 10
+    assert truth / 3 <= mean_estimate <= truth * 3

@@ -1,0 +1,94 @@
+"""Figure 8: construction and estimation runtime for varying common
+dimension at a fixed non-zero count.
+
+The paper fixes nnz = 1M per matrix and output dims 10K x 10K while the
+common dimension sweeps 1K..1M (sparsity 0.1..1e-4). Scaled to laptop
+size: output 1000 x 1000, nnz = 100K, common dimension 1K..100K.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.matrix.ops import matmul
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+from repro.sparsest.report import simple_table
+
+OUT = 1000
+SWEEP = [(1_000, 0.1), (10_000, 0.01), (100_000, 0.001)]
+ESTIMATORS = ["sampling", "mnc", "density_map", "bitset", "layered_graph"]
+
+
+def _pair(common):
+    sparsity = 100_000 / (OUT * common)
+    a = random_sparse(OUT, common, sparsity, seed=81)
+    b = random_sparse(common, OUT, sparsity, seed=82)
+    return a, b
+
+
+@pytest.mark.parametrize("common,sparsity", SWEEP)
+@pytest.mark.parametrize("name", ESTIMATORS)
+def test_total_estimation_time(benchmark, name, common, sparsity):
+    """Figure 8(a): total estimation time vs common dimension."""
+    a, b = _pair(common)
+    estimator = make_estimator(name)
+
+    def run():
+        sa, sb = estimator.build(a), estimator.build(b)
+        return estimator.estimate_nnz(Op.MATMUL, [sa, sb])
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["common_dimension"] = common
+    benchmark.extra_info["estimator"] = name
+
+
+def test_print_fig8_tables(benchmark):
+    """Render the Figure 8 panels as tables."""
+
+    def sweep():
+        rows_total, rows_construct, rows_estimate = [], [], []
+        for common, sparsity in SWEEP:
+            a, b = _pair(common)
+            start = time.perf_counter()
+            matmul(a, b)
+            mm_time = time.perf_counter() - start
+            label = f"{common}/{sparsity:g}"
+            total_row, construct_row, estimate_row = [label], [label], [label]
+            for name in ESTIMATORS:
+                estimator = make_estimator(name)
+                start = time.perf_counter()
+                sa, sb = estimator.build(a), estimator.build(b)
+                construct = time.perf_counter() - start
+                start = time.perf_counter()
+                estimator.estimate_nnz(Op.MATMUL, [sa, sb])
+                estimate = time.perf_counter() - start
+                total_row.append(construct + estimate)
+                construct_row.append(construct)
+                estimate_row.append(estimate)
+            total_row.append(mm_time)
+            rows_total.append(total_row)
+            rows_construct.append(construct_row)
+            rows_estimate.append(estimate_row)
+        return rows_total, rows_construct, rows_estimate
+
+    rows_total, rows_construct, rows_estimate = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    headers = ["dim/sparsity"] + [make_estimator(n).name for n in ESTIMATORS]
+    tables = [
+        simple_table(headers + ["MM (true)"], rows_total,
+                     title=f"Figure 8(a): total estimation time [s], output {OUT}x{OUT}, nnz=100K"),
+        simple_table(headers, rows_construct, title="Figure 8(b): construction time [s]"),
+        simple_table(headers, rows_estimate, title="Figure 8(c): estimation time [s]"),
+    ]
+    write_result("fig08_runtime_dims", "\n\n".join(tables))
+
+    # Paper shape: the bitset's cost explodes with the common dimension
+    # while MNC stays bounded by the (constant) non-zero count.
+    bitset_index = 1 + ESTIMATORS.index("bitset")
+    mnc_index = 1 + ESTIMATORS.index("mnc")
+    widest = rows_total[-1]
+    assert widest[mnc_index] < widest[bitset_index]

@@ -1,0 +1,66 @@
+"""Figure 10: accuracy on B1 Struct (structured synthetic products).
+
+Prints the relative errors of every estimator on B1.1-B1.5 and asserts the
+paper's qualitative outcome: MNC and Bitset exact everywhere; MNC Basic
+loses B1.5; metadata/sampling/density-map estimators show large errors on
+the structured cases.
+"""
+
+import pytest
+
+from accuracy import FIGURE_LINEUP, collect_outcomes, lineup
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.sparsest.report import outcomes_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+CASE_IDS = ["B1.1", "B1.2", "B1.3", "B1.4", "B1.5"]
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+@pytest.mark.parametrize("name", [n for n, _ in FIGURE_LINEUP])
+def test_estimation_time(benchmark, scale, name, case_id):
+    """Per-(estimator, case) estimation timing with accuracy in extra_info."""
+    case = get_use_case(case_id)
+    root = case.build(scale=scale, seed=0)
+    truth = true_nnz_of(root)
+    estimator = make_estimator(name)
+    try:
+        value = benchmark.pedantic(
+            lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+        )
+    except Exception:
+        pytest.skip(f"{name} not applicable to {case_id}")
+    from repro.sparsest.metrics import relative_error
+
+    benchmark.extra_info["relative_error"] = relative_error(truth, value)
+    benchmark.extra_info["use_case"] = case_id
+
+
+def test_print_fig10(benchmark, scale):
+    outcomes = benchmark.pedantic(
+        lambda: collect_outcomes(CASE_IDS, lineup(), scale), rounds=1, iterations=1
+    )
+    table = outcomes_table(
+        outcomes, title=f"Figure 10: relative errors on B1 Struct (scale={scale})"
+    )
+    write_result("fig10_accuracy_b1", table)
+
+    by_key = {(o.estimator, o.use_case): o for o in outcomes}
+    # MNC and Bitset exact on all five (paper: "only bitset and MNC yielded
+    # exact results for all B1 scenarios").
+    for case_id in CASE_IDS:
+        assert by_key[("MNC", case_id)].relative_error == pytest.approx(1.0)
+        assert by_key[("Bitset", case_id)].relative_error == pytest.approx(1.0)
+    # B1.5 is where the upper bound rescues full MNC but not MNC Basic.
+    assert by_key[("MNC Basic", "B1.5")].relative_error > 10
+    # MetaWC outperforms MetaAC only on B1.4 (dense output).
+    assert (
+        by_key[("MetaWC", "B1.4")].relative_error
+        < by_key[("MetaAC", "B1.4")].relative_error
+    )
+    # Density map struggles on the structured B1.4/B1.5 cases.
+    assert by_key[("DMap", "B1.4")].relative_error > 10
+    assert by_key[("DMap", "B1.5")].relative_error > 10

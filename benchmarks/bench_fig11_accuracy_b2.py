@@ -1,0 +1,62 @@
+"""Figure 11: accuracy on B2 Real (real-structure operations).
+
+B2.1-B2.4 are matrix products over the dataset stand-ins; B2.5 is the
+element-wise image mask (layered graph excluded, as in the paper).
+"""
+
+import pytest
+
+from accuracy import FIGURE_LINEUP, collect_outcomes, lineup
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.report import outcomes_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+CASE_IDS = ["B2.1", "B2.2", "B2.3", "B2.4", "B2.5"]
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+@pytest.mark.parametrize("name", [n for n, _ in FIGURE_LINEUP])
+def test_estimation_time(benchmark, scale, name, case_id):
+    case = get_use_case(case_id)
+    root = case.build(scale=scale, seed=0)
+    truth = true_nnz_of(root)
+    estimator = make_estimator(name)
+    try:
+        value = benchmark.pedantic(
+            lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+        )
+    except Exception:
+        pytest.skip(f"{name} not applicable to {case_id}")
+    benchmark.extra_info["relative_error"] = relative_error(truth, value)
+    benchmark.extra_info["use_case"] = case_id
+
+
+def test_print_fig11(benchmark, scale):
+    outcomes = benchmark.pedantic(
+        lambda: collect_outcomes(CASE_IDS, lineup(), scale), rounds=1, iterations=1
+    )
+    table = outcomes_table(
+        outcomes, title=f"Figure 11: relative errors on B2 Real (scale={scale})"
+    )
+    write_result("fig11_accuracy_b2", table)
+
+    by_key = {(o.estimator, o.use_case): o for o in outcomes}
+    # MNC exact on the NLP encode, the column projection, and the mask.
+    for case_id in ("B2.1", "B2.2", "B2.5"):
+        assert by_key[("MNC", case_id)].relative_error == pytest.approx(1.0)
+    # Small MNC errors on the two graph products (paper: 1.17 and 1.09).
+    assert by_key[("MNC", "B2.3")].relative_error < 1.6
+    assert by_key[("MNC", "B2.4")].relative_error < 1.6
+    # Layered graph: consistently low errors on products, excluded on B2.5.
+    assert by_key[("LGraph", "B2.3")].relative_error < 1.6
+    assert by_key[("LGraph", "B2.5")].status == "unsupported"
+    # DMap fails to see the varying column sparsity of Covertype (B2.2)
+    # with its default 256-block.
+    assert (
+        by_key[("DMap", "B2.2")].relative_error
+        > by_key[("MNC", "B2.2")].relative_error
+    )

@@ -1,0 +1,112 @@
+"""Figure 12: baseline parameter sensitivity.
+
+(a)/(b): layered-graph accuracy vs r-vector length on B2.1 and B2.2, with
+the (parameter-free) MNC error as the reference line.
+(c)/(d): density-map accuracy vs block size on B2.4 and B2.2.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.report import simple_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+ROUNDS_SWEEP = [2, 8, 32, 128]
+BLOCK_SWEEP = [16, 64, 256, 1024]
+REPETITIONS = 5
+
+
+def _lgraph_error(case_id, rounds, scale, seed):
+    root = get_use_case(case_id).build(scale=scale, seed=0)
+    truth = true_nnz_of(root)
+    estimator = make_estimator("layered_graph", rounds=rounds, seed=seed)
+    return relative_error(truth, estimate_root_nnz(root, estimator))
+
+
+def _dmap_error(case_id, block, scale):
+    root = get_use_case(case_id).build(scale=scale, seed=0)
+    truth = true_nnz_of(root)
+    estimator = make_estimator("density_map", block_size=block)
+    return relative_error(truth, estimate_root_nnz(root, estimator))
+
+
+def _mnc_error(case_id, scale):
+    root = get_use_case(case_id).build(scale=scale, seed=0)
+    truth = true_nnz_of(root)
+    return relative_error(truth, estimate_root_nnz(root, make_estimator("mnc")))
+
+
+@pytest.mark.parametrize("rounds", ROUNDS_SWEEP)
+def test_lgraph_rounds_time(benchmark, scale, rounds):
+    """Estimation time grows linearly with the number of rounds (B2.1)."""
+    root = get_use_case("B2.1").build(scale=scale, seed=0)
+    estimator = make_estimator("layered_graph", rounds=rounds)
+    benchmark.pedantic(
+        lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds
+
+
+@pytest.mark.parametrize("block", BLOCK_SWEEP)
+def test_dmap_block_time(benchmark, scale, block):
+    """Estimation time shrinks with the block size (B2.4)."""
+    root = get_use_case("B2.4").build(scale=scale, seed=0)
+    estimator = make_estimator("density_map", block_size=block)
+    benchmark.pedantic(
+        lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+    )
+    benchmark.extra_info["block_size"] = block
+
+
+def test_print_fig12(benchmark, scale):
+    def sweep():
+        lgraph_rows = []
+        for rounds in ROUNDS_SWEEP:
+            b21 = np.mean([
+                _lgraph_error("B2.1", rounds, scale, seed) for seed in range(REPETITIONS)
+            ])
+            b22 = np.mean([
+                _lgraph_error("B2.2", rounds, scale, seed) for seed in range(REPETITIONS)
+            ])
+            lgraph_rows.append([rounds, b21, b22])
+        dmap_rows = [
+            [block, _dmap_error("B2.4", block, scale), _dmap_error("B2.2", block, scale)]
+            for block in BLOCK_SWEEP
+        ]
+        references = [_mnc_error("B2.1", scale), _mnc_error("B2.2", scale),
+                      _mnc_error("B2.4", scale)]
+        return lgraph_rows, dmap_rows, references
+
+    lgraph_rows, dmap_rows, references = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    mnc_b21, mnc_b22, mnc_b24 = references
+    table_a = simple_table(
+        ["rounds r", "B2.1 rel.err", "B2.2 rel.err"], lgraph_rows,
+        title=(
+            "Figure 12(a-b): LGraph error vs number of rounds "
+            f"(MNC reference: B2.1={mnc_b21:.2f}, B2.2={mnc_b22:.2f})"
+        ),
+    )
+    table_b = simple_table(
+        ["block b", "B2.4 rel.err", "B2.2 rel.err"], dmap_rows,
+        title=(
+            "Figure 12(c-d): DMap error vs block size "
+            f"(MNC reference: B2.4={mnc_b24:.2f}, B2.2={mnc_b22:.2f})"
+        ),
+    )
+    write_result("fig12_parameters", table_a + "\n\n" + table_b)
+
+    # Paper shape: more rounds help the layered graph on B2.1.
+    assert lgraph_rows[-1][1] <= lgraph_rows[0][1]
+    # MNC is exact on both B2.1 and B2.2 without any parameter.
+    assert mnc_b21 == pytest.approx(1.0)
+    assert mnc_b22 == pytest.approx(1.0)
+    # Only small blocks can capture Covertype's 54-column structure.
+    errors_b22 = {row[0]: row[2] for row in dmap_rows}
+    assert errors_b22[16] < errors_b22[1024]

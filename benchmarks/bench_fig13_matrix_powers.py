@@ -1,0 +1,79 @@
+"""Figure 13: accuracy on the B3.3 matrix-power chain P G, P G G, ...
+
+Reuses the B3.3 use case's leaves (selection matrix P, citation graph G)
+and scores every estimator on each prefix of the chain. The paper's
+counter-intuitive finding must reproduce: matrix powers densify and become
+*more* uniform, so MetaAC/DMap errors shrink with chain length while MNC's
+grow — the one benchmark where structure propagation is counter-productive.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.ir.nodes import matmul
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.report import simple_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+LINEUP = ["meta_ac", "mnc_basic", "mnc", "density_map", "layered_graph"]
+PREFIX_LABELS = ["PG", "PGG", "PGGG", "PGGGG"]
+
+
+def _chain_prefixes(scale):
+    root = get_use_case("B3.3").build(scale=scale, seed=0)
+    leaves = {leaf.label: leaf for leaf in root.leaves()}
+    p, g = leaves["P"], leaves["G"]
+    prefixes = []
+    node = matmul(p, g, name="PG")
+    prefixes.append(node)
+    for label in PREFIX_LABELS[1:]:
+        node = matmul(node, g, name=label)
+        prefixes.append(node)
+    return prefixes
+
+
+@pytest.mark.parametrize("name", LINEUP)
+def test_full_chain_estimation_time(benchmark, scale, name):
+    prefixes = _chain_prefixes(scale)
+    estimator = make_estimator(name)
+    value = benchmark.pedantic(
+        lambda: estimate_root_nnz(prefixes[-1], estimator), rounds=1, iterations=1
+    )
+    truth = true_nnz_of(prefixes[-1])
+    benchmark.extra_info["relative_error"] = relative_error(truth, value)
+
+
+def test_print_fig13(benchmark, scale):
+    def sweep():
+        prefixes = _chain_prefixes(scale)
+        truths = [true_nnz_of(node) for node in prefixes]
+        rows = []
+        for name in LINEUP:
+            estimator = make_estimator(name)
+            row = [estimator.name]
+            for node, truth in zip(prefixes, truths):
+                estimate = estimate_root_nnz(node, estimator)
+                row.append(relative_error(truth, estimate))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = simple_table(
+        ["Estimator"] + PREFIX_LABELS, rows,
+        title=f"Figure 13: relative errors on B3.3 matrix powers (scale={scale})",
+    )
+    write_result("fig13_matrix_powers", table)
+
+    errors = {row[0]: row[1:] for row in rows}
+    # MNC is exact on the initial selection P G (Theorem 3.1).
+    assert errors["MNC"][0] == pytest.approx(1.0)
+    # MetaAC and DMap miss the selection structure on the first product.
+    assert errors["MetaAC"][0] > errors["MNC"][0]
+    # The layered graph stays accurate along the whole chain.
+    assert max(errors["LGraph"]) < 2.0
+    # Densifying chain: MetaAC's error shrinks with depth (paper's
+    # "decreasing errors with increasing chain length").
+    assert errors["MetaAC"][-1] < errors["MetaAC"][0]

@@ -1,0 +1,74 @@
+"""M3-style experiment: how estimation errors translate into runtime
+decisions (paper Section 5 marks this metric optional; reproduced here as
+an extension).
+
+Every estimator drives format selection and memory pre-allocation for all
+operations of the single-operation use cases B1.1-B2.5; reported per
+estimator: wrong-format decisions and total allocation regret relative to
+a truth-optimal allocator.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.runtime import execute_with_decisions
+from repro.sparsest.report import simple_table
+from repro.sparsest.usecases import get_use_case
+
+CASE_IDS = ["B1.1", "B1.2", "B1.3", "B1.4", "B1.5",
+            "B2.1", "B2.2", "B2.3", "B2.4", "B2.5"]
+LINEUP = ["meta_wc", "meta_ac", "density_map", "mnc_basic", "mnc"]
+
+
+def _summaries(scale):
+    totals = {}
+    for name in LINEUP:
+        estimator = make_estimator(name)
+        operations = 0
+        wrong = 0
+        regret = 0.0
+        optimal = 0.0
+        for case_id in CASE_IDS:
+            root = get_use_case(case_id).build(scale=scale, seed=0)
+            summary = execute_with_decisions(root, estimator)
+            operations += summary.operations
+            wrong += summary.wrong_formats
+            regret += summary.report.regret_bytes
+            optimal += summary.report.optimal_bytes
+        totals[estimator.name] = (operations, wrong, regret, optimal)
+    return totals
+
+
+@pytest.mark.parametrize("name", LINEUP)
+def test_decision_time(benchmark, scale, name):
+    root = get_use_case("B2.1").build(scale=scale, seed=0)
+    estimator = make_estimator(name)
+    benchmark.pedantic(
+        lambda: execute_with_decisions(root, estimator), rounds=1, iterations=1
+    )
+
+
+def test_print_allocation_report(benchmark, scale):
+    totals = benchmark.pedantic(lambda: _summaries(scale), rounds=1, iterations=1)
+    rows = []
+    for name, (operations, wrong, regret, optimal) in totals.items():
+        ratio = regret / optimal if optimal else 0.0
+        rows.append([name, operations, wrong, regret / 1e6, f"{ratio * 100:.1f}%"])
+    table = simple_table(
+        ["Estimator", "ops", "wrong formats", "regret [MB]", "regret vs optimal"],
+        rows,
+        title=(
+            "M3 extension: allocation decisions over B1.1-B2.5 "
+            f"(scale={scale})"
+        ),
+    )
+    write_result("m3_allocation", table)
+
+    # MNC causes the fewest wrong-format decisions and the least regret of
+    # the estimators that scale (i.e. excluding the exact bitset).
+    wrongs = {name: values[1] for name, values in totals.items()}
+    regrets = {name: values[2] for name, values in totals.items()}
+    assert wrongs["MNC"] <= min(wrongs["MetaAC"], wrongs["MetaWC"], wrongs["DMap"])
+    assert regrets["MNC"] <= min(regrets["MetaAC"], regrets["MetaWC"], regrets["DMap"])
+    assert wrongs["MNC"] == 0

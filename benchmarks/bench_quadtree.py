@@ -1,0 +1,77 @@
+"""Dynamic density map (quad tree) vs fixed-block density maps.
+
+Evaluates the paper's Section 2.2 design question empirically: the
+adaptive map's accuracy and synopsis size against fixed maps at coarse
+(256) and fine (16) block sizes, on block-structured and Covertype-style
+inputs plus B-case products.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.report import simple_table
+from repro.sparsest.runner import true_nnz_of
+from repro.sparsest.usecases import get_use_case
+
+CASE_IDS = ["B1.1", "B2.2", "B2.3", "B2.4"]
+VARIANTS = [
+    ("DMap b=256", "density_map", {"block_size": 256}),
+    ("DMap b=16", "density_map", {"block_size": 16}),
+    ("QTree", "quadtree_map", {"leaf_nnz": 64, "min_block": 16}),
+]
+
+
+@pytest.mark.parametrize("label,name,kwargs", VARIANTS)
+def test_estimation_time(benchmark, scale, label, name, kwargs):
+    root = get_use_case("B2.4").build(scale=scale, seed=0)
+    estimator = make_estimator(name, **kwargs)
+    benchmark.pedantic(
+        lambda: estimate_root_nnz(root, estimator), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = label
+
+
+def test_print_quadtree_comparison(benchmark, scale):
+    def sweep():
+        accuracy_rows = []
+        size_rows = []
+        for case_id in CASE_IDS:
+            root = get_use_case(case_id).build(scale=scale, seed=0)
+            truth = true_nnz_of(root)
+            row = [case_id]
+            sizes = [case_id]
+            for label, name, kwargs in VARIANTS:
+                estimator = make_estimator(name, **kwargs)
+                estimate = estimate_root_nnz(root, estimator)
+                row.append(relative_error(truth, estimate))
+                leaf = root.leaves()[0]
+                sizes.append(estimator.build(leaf.matrix).size_bytes())
+            accuracy_rows.append(row)
+            size_rows.append(sizes)
+        return accuracy_rows, size_rows
+
+    accuracy_rows, size_rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    labels = [label for label, _, _ in VARIANTS]
+    table = (
+        simple_table(["Case"] + labels, accuracy_rows,
+                     title=f"Quad-tree vs fixed density maps: relative error (scale={scale})")
+        + "\n\n"
+        + simple_table(["Case"] + [f"{l} bytes" for l in labels], size_rows,
+                       title="Leaf synopsis size [bytes]")
+    )
+    write_result("quadtree_comparison", table)
+
+    errors = {
+        row[0]: dict(zip(labels, row[1:])) for row in accuracy_rows
+    }
+    sizes = {row[0]: dict(zip(labels, row[1:])) for row in size_rows}
+    # The adaptive map should be at least as accurate as the coarse fixed
+    # map on the structured cases...
+    for case_id in CASE_IDS:
+        assert errors[case_id]["QTree"] <= errors[case_id]["DMap b=256"] * 1.05, case_id
+    # ...while staying smaller than the fine fixed map on the ultra-sparse
+    # NLP input (the Section 2.2 space complaint about fixed defaults).
+    assert sizes["B1.1"]["QTree"] < sizes["B1.1"]["DMap b=16"]

@@ -1,0 +1,77 @@
+"""Table 1: analysis of sparsity estimators (space, time, chains, bias).
+
+The complexity columns are analytical; this benchmark verifies them
+empirically by timing synopsis construction at two sizes and checking the
+growth, and times each estimator's build as the pytest-benchmark metric.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.estimators import make_estimator
+from repro.matrix.random import random_sparse
+from repro.sparsest.report import simple_table
+
+TABLE1_ROWS = [
+    ("MetaAC",  "O(1)",              "O(1)",                 "yes", "-"),
+    ("MetaWC",  "O(1)",              "O(1)",                 "yes", "over (>= sC)"),
+    ("Bitset",  "O(mn + nl + ml)",   "O(mnl)",               "yes", "-"),
+    ("DMap",    "O((mn+nl+ml)/b^2)", "O(mnl/b^3)",           "yes", "-"),
+    ("Sample",  "O(|S|)",            "O(|S| (m + l))",       "no",  "under (<= sC)"),
+    ("LGraph",  "O(rd + nnz(A,B))",  "O(r (d + nnz(A,B)))",  "yes", "-"),
+    ("MNC",     "O(d)",              "O(d + nnz(A,B))",      "yes", "-"),
+]
+
+BUILDERS = {
+    "MetaAC": lambda: make_estimator("meta_ac"),
+    "Bitset": lambda: make_estimator("bitset"),
+    "DMap": lambda: make_estimator("density_map", block_size=64),
+    "Sample": lambda: make_estimator("sampling"),
+    "LGraph": lambda: make_estimator("layered_graph"),
+    "MNC": lambda: make_estimator("mnc"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_build_time(benchmark, name):
+    """Synopsis construction time per estimator (1000x1000, s=0.05)."""
+    matrix = random_sparse(1000, 1000, 0.05, seed=1)
+    estimator = BUILDERS[name]()
+    benchmark.pedantic(lambda: estimator.build(matrix), rounds=3, iterations=1)
+    benchmark.extra_info["estimator"] = name
+
+
+def test_print_table1(benchmark):
+    """Render Table 1 and empirically confirm the space column ordering."""
+    small = random_sparse(500, 500, 0.05, seed=2)
+    large = random_sparse(2000, 2000, 0.05, seed=3)
+
+    def measure():
+        sizes = {}
+        for name, factory in BUILDERS.items():
+            estimator = factory()
+            sizes[name] = (
+                estimator.build(small).size_bytes(),
+                estimator.build(large).size_bytes(),
+            )
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Empirical growth factors (large is 4x the dimension, 16x the cells).
+    growth = {name: l / max(s, 1) for name, (s, l) in sizes.items()}
+    assert growth["MetaAC"] == 1.0  # O(1)
+    assert 3.0 <= growth["MNC"] <= 5.0  # O(d): ~4x
+    assert 10.0 <= growth["Bitset"] <= 20.0  # O(mn): ~16x
+    assert 10.0 <= growth["DMap"] <= 20.0  # O(mn/b^2): ~16x
+
+    rows = [
+        list(row) + [f"{sizes.get(row[0], ('-', '-'))[1]}"]
+        for row in TABLE1_ROWS
+    ]
+    table = simple_table(
+        ["Estimator", "Space", "Time", "Chains", "Bias", "bytes@2Kx2K s=0.05"],
+        rows,
+        title="Table 1: Analysis of Existing Sparsity Estimators",
+    )
+    write_result("table1_analysis", table)

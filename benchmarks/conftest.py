@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark suite.
+
+Every module regenerates one of the paper's tables or figures as an ASCII
+table, printed to the terminal and written to ``benchmarks/results/``.
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.2, i.e. datasets at ~1/25 of the paper's cell counts — see
+EXPERIMENTS.md for the exact dimensions this implies).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Benchmark scale factor (1.0 would be paper-sized inputs)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a rendered table under benchmarks/results and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    print()
+    print(content)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

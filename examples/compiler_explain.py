@@ -1,0 +1,74 @@
+"""Compiler view: EXPLAIN reports and the sparsity-aware chain rewrite.
+
+Run with: python examples/compiler_explain.py
+
+Builds a product chain the way a user would write it (left to right),
+prints the compiler's EXPLAIN report under MNC statistics, applies the
+Appendix C chain rewrite, and shows the re-parenthesized plan with its
+improved cost — the full loop an ML-system optimizer runs per expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators import make_estimator
+from repro.ir import evaluate, leaf, matmul
+from repro.matrix import random_sparse
+from repro.matrix.properties import col_nnz, row_nnz
+from repro.optimizer import rewrite_chains
+from repro.runtime import explain
+
+
+def true_sparse_cost(root) -> float:
+    """Exact multiply-pair cost of a plan (materializes intermediates)."""
+    from repro.opcodes import Op
+
+    total = 0.0
+
+    def walk(node):
+        nonlocal total
+        structure = evaluate(node)
+        if node.op is Op.MATMUL:
+            left = walk(node.inputs[0])
+            right = walk(node.inputs[1])
+            total += float(col_nnz(left) @ row_nnz(right))
+        return structure
+
+    walk(root)
+    return total
+
+
+def main() -> None:
+    # A 5-matrix chain with one ultra-sparse matrix in the middle. Written
+    # left-deep — the "natural" but wasteful order.
+    rng = np.random.default_rng(21)
+    n = 250
+    sparsities = [0.6, 0.5, 0.003, 0.5, 0.6]
+    matrices = [random_sparse(n, n, s, seed=rng) for s in sparsities]
+    nodes = [leaf(m, name=f"M{i + 1}(s={s:g})")
+             for i, (m, s) in enumerate(zip(matrices, sparsities))]
+    root = nodes[0]
+    for node in nodes[1:]:
+        root = matmul(root, node)
+
+    mnc = make_estimator("mnc")
+    print("=== as written (left-deep):\n")
+    print(explain(root, mnc))
+    before = true_sparse_cost(root)
+    print(f"\ntrue sparse cost: {before:,.0f} multiply pairs")
+
+    rewritten = rewrite_chains(root, rng=22)
+    print("\n=== after the sparsity-aware chain rewrite:\n")
+    print(explain(rewritten, make_estimator("mnc")))
+    after = true_sparse_cost(rewritten)
+    print(f"\ntrue sparse cost: {after:,.0f} multiply pairs")
+    print(f"speedup: {before / max(after, 1):.2f}x")
+
+    # Sanity: the rewrite is semantics-preserving.
+    assert (evaluate(root) != evaluate(rewritten)).nnz == 0
+    print("\n(rewritten plan verified structurally identical to the original)")
+
+
+if __name__ == "__main__":
+    main()

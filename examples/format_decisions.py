@@ -1,0 +1,61 @@
+"""Format decisions and memory pre-allocation guided by estimators.
+
+Run with: python examples/format_decisions.py
+
+This is the paper's motivating application: before an ML runtime executes
+an operation, it must decide the output's physical format (sparse CSR or
+dense FP64) and pre-allocate the buffer — from a sparsity *estimate*. A
+wrong estimate costs real memory: a dense buffer for an ultra-sparse
+output wastes `m*n*8` bytes; an undersized sparse buffer forces a
+reallocation mid-operation.
+
+The script executes the paper's adversarial B1.4/B1.5 products and the
+NLP encode under four estimators and reports the allocation regret each
+one causes.
+"""
+
+from __future__ import annotations
+
+from repro.estimators import make_estimator
+from repro.ir import leaf, matmul
+from repro.matrix.random import outer_product_pair
+from repro.runtime import execute_with_decisions
+from repro.sparsest.generators import nlp_pair
+
+
+def main() -> None:
+    n = 1_000
+    column, row = outer_product_pair(n)
+    tokens, embeddings = nlp_pair(
+        rows=5_000, vocab=2_000, dimensions=32, known_fraction=0.01, seed=5
+    )
+
+    scenarios = {
+        "B1.4 outer (truly dense)": matmul(leaf(column, "C"), leaf(row, "R")),
+        "B1.5 inner (single nnz)": matmul(leaf(row, "R"), leaf(column, "C")),
+        "NLP encode (ultra sparse)": matmul(leaf(tokens, "X"), leaf(embeddings, "W")),
+    }
+    estimators = ["meta_wc", "meta_ac", "density_map", "mnc"]
+
+    for title, root in scenarios.items():
+        print(f"\n=== {title}  ({root.shape[0]}x{root.shape[1]} output)")
+        print(f"{'estimator':12s} {'format ok':>10s} {'over-alloc':>12s} "
+              f"{'under-alloc':>12s} {'regret':>10s}")
+        for name in estimators:
+            summary = execute_with_decisions(root, make_estimator(name))
+            decision = summary.report.decisions[0]
+            print(f"{summary.estimator:12s} "
+                  f"{'yes' if decision.format_correct else 'NO':>10s} "
+                  f"{decision.over_allocated_bytes / 1e6:10.2f} MB "
+                  f"{decision.under_allocated_bytes / 1e6:10.2f} MB "
+                  f"{decision.regret_bytes / 1e6:8.2f} MB")
+
+    print(
+        "\nMNC's exactness on structured products means zero regret where\n"
+        "the metadata estimators either waste a dense buffer (B1.5, NLP)\n"
+        "or undersize a sparse one (B1.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; on
+offline machines without it, pip falls back to the legacy
+``setup.py develop`` path, which requires this file. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Reproduction of *MNC: Structure-Exploiting Sparsity Estimation for Matrix
+Expressions* (Sommer, Boehm, Evfimievski, Reinwald, Haas — SIGMOD 2019).
+
+The package provides:
+
+- the MNC sketch and estimators (:mod:`repro.core`),
+- every baseline estimator the paper compares against
+  (:mod:`repro.estimators`),
+- an expression IR with ground-truth evaluation and estimator-driven sketch
+  propagation (:mod:`repro.ir`),
+- sparsity-aware matrix-multiplication-chain optimization
+  (:mod:`repro.optimizer`),
+- the SparsEst benchmark (:mod:`repro.sparsest`).
+
+Quickstart::
+
+    import repro
+    from repro.matrix import random_sparse
+
+    a = random_sparse(1000, 800, 0.01, seed=1)
+    b = random_sparse(800, 1200, 0.02, seed=2)
+    estimate = repro.estimate_product_sparsity_of(a, b)
+"""
+
+from repro.core import MNCSketch
+from repro.core.estimate import estimate_product_nnz, estimate_product_sparsity
+from repro.core.propagate import propagate_product
+from repro.errors import (
+    EstimationError,
+    PlanError,
+    ReproError,
+    ShapeError,
+    SketchError,
+    UnsupportedOperationError,
+)
+from repro.estimators import available_estimators, make_estimator
+from repro.matrix.conversion import MatrixLike
+from repro.opcodes import Op
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationError",
+    "MNCSketch",
+    "MatrixLike",
+    "Op",
+    "PlanError",
+    "ReproError",
+    "ShapeError",
+    "SketchError",
+    "UnsupportedOperationError",
+    "__version__",
+    "available_estimators",
+    "estimate_product_nnz",
+    "estimate_product_sparsity",
+    "estimate_product_sparsity_of",
+    "make_estimator",
+    "propagate_product",
+    "sketch",
+]
+
+
+def sketch(matrix: MatrixLike) -> MNCSketch:
+    """Build the MNC sketch of a matrix (convenience for
+    :meth:`MNCSketch.from_matrix`)."""
+    return MNCSketch.from_matrix(matrix)
+
+
+def estimate_product_sparsity_of(a: MatrixLike, b: MatrixLike) -> float:
+    """One-call MNC sparsity estimate for the product ``A B``.
+
+    Builds both sketches and runs Algorithm 1; for repeated estimates over
+    the same matrices, build the sketches once with :func:`sketch` and call
+    :func:`estimate_product_sparsity` directly.
+    """
+    return estimate_product_sparsity(
+        MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+    )

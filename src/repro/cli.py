@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+- ``info`` — library version, registered estimators, use cases.
+- ``sketch FILE.npz`` — build and summarize the MNC sketch of a stored
+  matrix.
+- ``estimate A.npz B.npz [--estimator NAME]`` — estimate the sparsity of
+  the product ``A B`` (optionally comparing against the exact result).
+- ``sparsest [--cases ...] [--estimators ...] [--scale S]`` — run SparsEst
+  use cases and print the relative-error table.
+- ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
+  random matrix chain with the dense and sparsity-aware DPs.
+
+Matrices are exchanged in scipy ``.npz`` sparse format
+(:func:`repro.matrix.io.save_matrix`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MNC sparsity estimation (SIGMOD 2019 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="show version, estimators, use cases")
+
+    sketch_cmd = commands.add_parser("sketch", help="summarize a matrix's MNC sketch")
+    sketch_cmd.add_argument("matrix", help="path to a .npz sparse matrix")
+
+    estimate_cmd = commands.add_parser(
+        "estimate", help="estimate the sparsity of a product A @ B"
+    )
+    estimate_cmd.add_argument("left", help="path to A (.npz)")
+    estimate_cmd.add_argument("right", help="path to B (.npz)")
+    estimate_cmd.add_argument(
+        "--estimator", default="mnc", help="registered estimator name (default mnc)"
+    )
+    estimate_cmd.add_argument(
+        "--exact", action="store_true",
+        help="also compute the exact result and the relative error",
+    )
+
+    sparsest_cmd = commands.add_parser("sparsest", help="run SparsEst use cases")
+    sparsest_cmd.add_argument(
+        "--cases", default="",
+        help="comma-separated use-case ids (default: all)",
+    )
+    sparsest_cmd.add_argument(
+        "--estimators", default="meta_ac,mnc,density_map",
+        help="comma-separated estimator names",
+    )
+    sparsest_cmd.add_argument("--scale", type=float, default=0.05)
+    sparsest_cmd.add_argument("--seed", type=int, default=0)
+
+    optimize_cmd = commands.add_parser(
+        "optimize", help="optimize a random matrix-product chain"
+    )
+    optimize_cmd.add_argument(
+        "--dims", required=True,
+        help="comma-separated boundary dimensions d0,...,dk (k matrices)",
+    )
+    optimize_cmd.add_argument(
+        "--sparsities", required=True,
+        help="comma-separated sparsity per matrix (k values)",
+    )
+    optimize_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.estimators import available_estimators
+    from repro.sparsest import use_case_ids
+
+    print(f"repro {repro.__version__} — MNC sparsity estimation")
+    print(f"estimators: {', '.join(available_estimators())}")
+    print(f"use cases:  {', '.join(use_case_ids())}")
+    return 0
+
+
+def _cmd_sketch(path: str) -> int:
+    from repro.core.sketch import MNCSketch
+    from repro.matrix.io import load_matrix
+
+    matrix = load_matrix(path)
+    sketch = MNCSketch.from_matrix(matrix)
+    print(f"matrix:   {sketch.nrows} x {sketch.ncols}, nnz {sketch.total_nnz:,} "
+          f"(sparsity {sketch.sparsity:.6g})")
+    print(f"max nnz per row/column: {sketch.max_hr} / {sketch.max_hc}")
+    print(f"non-empty rows/columns: {sketch.nnz_rows:,} / {sketch.nnz_cols:,}")
+    print(f"single-nnz rows/columns: {sketch.rows_single:,} / {sketch.cols_single:,}")
+    print(f"half-full rows/columns: {sketch.rows_half_full:,} / {sketch.cols_half_full:,}")
+    print(f"extensions: {sketch.has_extensions}, fully diagonal: {sketch.fully_diagonal}")
+    print(f"sketch size: {sketch.size_bytes():,} bytes")
+    return 0
+
+
+def _cmd_estimate(left: str, right: str, estimator_name: str, exact: bool) -> int:
+    from repro.estimators import make_estimator
+    from repro.matrix.io import load_matrix
+    from repro.opcodes import Op
+
+    a = load_matrix(left)
+    b = load_matrix(right)
+    estimator = make_estimator(estimator_name)
+    synopses = [estimator.build(a), estimator.build(b)]
+    nnz = estimator.estimate_nnz(Op.MATMUL, synopses)
+    cells = a.shape[0] * b.shape[1]
+    print(f"{estimator.name} estimate: nnz ~ {nnz:,.0f}, "
+          f"sparsity ~ {nnz / cells:.6g}")
+    if exact:
+        from repro.matrix.ops import matmul
+        from repro.sparsest.metrics import relative_error
+
+        truth = matmul(a, b).nnz
+        print(f"exact:          nnz = {truth:,}, sparsity = {truth / cells:.6g}")
+        print(f"relative error: {relative_error(truth, nnz):.4f}")
+    return 0
+
+
+def _cmd_sparsest(cases: str, estimators: str, scale: float, seed: int) -> int:
+    from repro.estimators import make_estimator
+    from repro.sparsest import all_use_cases, get_use_case, run_estimators
+    from repro.sparsest.report import outcomes_table, timings_table
+
+    if cases:
+        selected = [get_use_case(case_id.strip()) for case_id in cases.split(",")]
+    else:
+        selected = all_use_cases()
+    lineup = [make_estimator(name.strip()) for name in estimators.split(",")]
+    outcomes = run_estimators(selected, lineup, scale=scale, seed=seed)
+    print(outcomes_table(outcomes, title=f"SparsEst relative errors (scale={scale})"))
+    print()
+    print(timings_table(outcomes, title="Estimation time [s]"))
+    if len(lineup) > 1:
+        from repro.sparsest.summary import summary_table
+
+        print()
+        print(summary_table(outcomes, title="Per-estimator summary"))
+    return 0
+
+
+def _cmd_optimize(dims: str, sparsities: str, seed: int) -> int:
+    from repro.core.sketch import MNCSketch
+    from repro.optimizer import (
+        optimize_chain_dense,
+        optimize_chain_sparse,
+        plan_cost_estimated,
+        plan_to_string,
+    )
+
+    try:
+        boundary = [int(value) for value in dims.split(",")]
+        sparsity_values = [float(value) for value in sparsities.split(",")]
+    except ValueError as exc:
+        print(f"error: could not parse --dims/--sparsities: {exc}", file=sys.stderr)
+        return 2
+    if len(boundary) != len(sparsity_values) + 1:
+        print("error: need k+1 dims for k sparsities", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(seed)
+    sketches = [
+        MNCSketch.synthetic(m, n, s, rng)
+        for (m, n), s in zip(zip(boundary, boundary[1:]), sparsity_values)
+    ]
+    dense = optimize_chain_dense([h.shape for h in sketches])
+    sparse = optimize_chain_sparse(sketches, rng=rng)
+    dense_cost = plan_cost_estimated(dense.plan, sketches, rng=rng)
+    sparse_cost = plan_cost_estimated(sparse.plan, sketches, rng=rng)
+    print(f"dense-DP plan:  {plan_to_string(dense.plan)}")
+    print(f"  estimated sparse cost: {dense_cost:,.0f}")
+    print(f"sparse-DP plan: {plan_to_string(sparse.plan)}")
+    print(f"  estimated sparse cost: {sparse_cost:,.0f}")
+    if sparse_cost > 0:
+        print(f"dense plan overhead: {dense_cost / sparse_cost:.2f}x")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "sketch":
+        return _cmd_sketch(args.matrix)
+    if args.command == "estimate":
+        return _cmd_estimate(args.left, args.right, args.estimator, args.exact)
+    if args.command == "sparsest":
+        return _cmd_sparsest(args.cases, args.estimators, args.scale, args.seed)
+    if args.command == "optimize":
+        return _cmd_optimize(args.dims, args.sparsities, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Chain-level estimation utilities (paper Sections 3.3 and Appendix C).
+
+Convenience wrappers around product estimation and propagation for pure
+matrix-product chains ``M1 M2 ... Mk``:
+
+- :func:`estimate_chain_nnz` — left-deep estimate of the full chain;
+- :func:`estimate_all_subchains` — estimates for every subchain ``(i, j)``,
+  reusing intermediate sketches across overlapping subproblems exactly the
+  way the Appendix C optimizer does (each left-deep prefix sketch is
+  propagated once and shared by all ``j``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.estimate import estimate_product_nnz
+from repro.core.propagate import propagate_product
+from repro.core.rounding import SeedLike, resolve_rng
+from repro.core.sketch import MNCSketch
+from repro.errors import ShapeError
+
+
+def _validate_chain(sketches: Sequence[MNCSketch]) -> None:
+    if not sketches:
+        raise ShapeError("chain must contain at least one matrix")
+    for left, right in zip(sketches, sketches[1:]):
+        if left.ncols != right.nrows:
+            raise ShapeError(
+                f"chain shape mismatch: {left.shape} then {right.shape}"
+            )
+
+
+def estimate_chain_nnz(
+    sketches: Sequence[MNCSketch], rng: SeedLike = None
+) -> float:
+    """Estimate ``nnz(M1 M2 ... Mk)`` by left-deep sketch propagation.
+
+    The final product is estimated directly (not propagated), matching the
+    paper's root-handling rule.
+    """
+    _validate_chain(sketches)
+    if len(sketches) == 1:
+        return float(sketches[0].total_nnz)
+    generator = resolve_rng(rng)
+    current = sketches[0]
+    for sketch in sketches[1:-1]:
+        current = propagate_product(current, sketch, rng=generator)
+    return estimate_product_nnz(current, sketches[-1])
+
+
+def estimate_chain_sparsity(
+    sketches: Sequence[MNCSketch], rng: SeedLike = None
+) -> float:
+    """Sparsity form of :func:`estimate_chain_nnz`."""
+    _validate_chain(sketches)
+    cells = sketches[0].nrows * sketches[-1].ncols
+    if cells == 0:
+        return 0.0
+    return estimate_chain_nnz(sketches, rng=rng) / cells
+
+
+def estimate_all_subchains(
+    sketches: Sequence[MNCSketch], rng: SeedLike = None
+) -> Dict[Tuple[int, int], float]:
+    """Estimate every subchain ``M_i ... M_j`` (``i < j``), memoizing
+    intermediate sketches across overlapping subproblems.
+
+    Returns:
+        ``{(i, j): estimated nnz}`` for all ``0 <= i < j < k``. The
+        left-deep prefix sketch for each starting index ``i`` is built
+        once and reused for every ``j`` — ``O(k^2)`` propagations total.
+    """
+    _validate_chain(sketches)
+    generator = resolve_rng(rng)
+    count = len(sketches)
+    estimates: Dict[Tuple[int, int], float] = {}
+    for start in range(count - 1):
+        current = sketches[start]
+        for end in range(start + 1, count):
+            estimates[(start, end)] = estimate_product_nnz(current, sketches[end])
+            if end < count - 1:
+                current = propagate_product(current, sketches[end], rng=generator)
+    return estimates
+
+
+def chain_sketches(
+    matrices: Sequence, with_extensions: bool = True
+) -> List[MNCSketch]:
+    """Build the leaf sketches of a chain in one call."""
+    return [
+        MNCSketch.from_matrix(matrix, with_extensions=with_extensions)
+        for matrix in matrices
+    ]

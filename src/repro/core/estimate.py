@@ -1,0 +1,164 @@
+"""MNC sparsity estimation for matrix products (paper Section 3.2).
+
+Implements Algorithm 1: the exact case of Theorem 3.1, the
+extension-vector case, the density-map-like fallback over count vectors, and
+the lower/upper bounds of Theorem 3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.core.sketch import MNCSketch
+
+
+def _check_product_shapes(h_a: MNCSketch, h_b: MNCSketch) -> None:
+    if h_a.ncols != h_b.nrows:
+        raise ShapeError(
+            f"product requires inner dimensions to agree: "
+            f"{h_a.shape} x {h_b.shape}"
+        )
+
+
+def density_map_vector_estimate(
+    v_a: np.ndarray, v_b: np.ndarray, cells: float
+) -> float:
+    """Density-map-style estimate of the non-zeros of a sum of outer products.
+
+    Treats each slice ``k`` of the common dimension as an outer product with
+    ``v_a[k] * v_b[k]`` candidate non-zeros scattered uniformly over *cells*
+    output cells, and combines slices with the probabilistic-union operator of
+    Eq 4 (``s (+) t = s + t - s*t``). Evaluated in log space so thousands of
+    slices do not underflow.
+
+    Args:
+        v_a: per-slice non-zero counts on the left (columns of A).
+        v_b: per-slice non-zero counts on the right (rows of B).
+        cells: number of output cells the non-zeros can land in.
+
+    Returns:
+        Estimated number of non-zeros, in ``[0, cells]``.
+    """
+    if cells <= 0:
+        return 0.0
+    collision = (
+        np.asarray(v_a, dtype=np.float64) * np.asarray(v_b, dtype=np.float64)
+    ) / cells
+    np.clip(collision, 0.0, 1.0, out=collision)
+    if np.any(collision >= 1.0):
+        return float(cells)
+    log_all_zero = np.log1p(-collision).sum()
+    return float(cells) * float(-np.expm1(log_all_zero))
+
+
+def product_nnz_upper_bound(h_a: MNCSketch, h_b: MNCSketch) -> int:
+    """Theorem 3.2 upper bound: ``nnz(hr_A) * nnz(hc_B)`` capped at ``m*l``.
+
+    Every output non-zero needs a non-empty row of A and a non-empty column
+    of B, so the product of those counts bounds the output non-zeros.
+    """
+    _check_product_shapes(h_a, h_b)
+    return min(h_a.nnz_rows * h_b.nnz_cols, h_a.nrows * h_b.ncols)
+
+
+def product_nnz_lower_bound(h_a: MNCSketch, h_b: MNCSketch) -> int:
+    """Theorem 3.2 lower bound: ``|hr_A > n/2| * |hc_B > n/2|``.
+
+    A row of A and column of B that are each more than half full must share
+    at least one common index in the length-``n`` common dimension, so their
+    output cell is guaranteed non-zero.
+    """
+    _check_product_shapes(h_a, h_b)
+    return h_a.rows_half_full * h_b.cols_half_full
+
+
+def estimate_product_nnz(
+    h_a: MNCSketch,
+    h_b: MNCSketch,
+    use_extensions: bool = True,
+    use_bounds: bool = True,
+) -> float:
+    """Estimate ``nnz(A B)`` from the MNC sketches of A and B (Algorithm 1).
+
+    Case 1 (Theorem 3.1): if every row of A or every column of B holds at
+    most one non-zero, the boolean product is a disjoint union of outer
+    products and ``hc_A . hr_B`` is the exact count.
+
+    Case 2 (extension vectors): the non-zeros contributed by single-non-zero
+    rows of A and single-non-zero columns of B are counted exactly via
+    ``hec_A . hr_B + (hc_A - hec_A) . her_B``; the remainder is estimated by
+    the density-map fallback over the residual count vectors with the output
+    restricted to the non-single, non-empty rows/columns (Eq 8–9).
+
+    Case 3 (fallback): density-map estimate over ``hc_A``/``hr_B`` with the
+    output size reduced to non-empty rows times non-empty columns, which is
+    also how the Theorem 3.2 upper bound enters.
+
+    Finally the Theorem 3.2 lower bound is imposed.
+
+    Args:
+        h_a: sketch of the left operand.
+        h_b: sketch of the right operand.
+        use_extensions: disable to skip the extension-vector case ("MNC
+            Basic" in the paper's figures).
+        use_bounds: disable to skip the Theorem 3.2 bounds and the reduced
+            output size ``p`` ("MNC Basic").
+
+    Returns:
+        Estimated number of non-zeros (float; callers divide by ``m*l`` for
+        sparsity or round for allocation decisions).
+    """
+    _check_product_shapes(h_a, h_b)
+    m, l = h_a.nrows, h_b.ncols
+    if m == 0 or l == 0 or h_a.total_nnz == 0 or h_b.total_nnz == 0:
+        return 0.0
+
+    hc_a = h_a.hc.astype(np.float64)
+    hr_b = h_b.hr.astype(np.float64)
+    full_cells = float(m) * float(l)
+    if h_a.max_hr <= 1 or h_b.max_hc <= 1:
+        # Theorem 3.1: exact.
+        nnz = float(hc_a @ hr_b)
+    elif use_extensions and (h_a.hec is not None or h_b.her is not None):
+        hec_a = h_a.hec_or_zeros().astype(np.float64)
+        her_b = h_b.her_or_zeros().astype(np.float64)
+        exact_part = float(hec_a @ hr_b + (hc_a - hec_a) @ her_b)
+        if use_bounds:
+            residual_rows = h_a.nnz_rows - h_a.rows_single
+            residual_cols = h_b.nnz_cols - h_b.cols_single
+            cells = float(residual_rows) * float(residual_cols)
+        else:
+            cells = full_cells
+        generic_part = density_map_vector_estimate(
+            hc_a - hec_a, hr_b - her_b, cells
+        )
+        nnz = exact_part + generic_part
+    else:
+        if use_bounds:
+            cells = float(h_a.nnz_rows) * float(h_b.nnz_cols)
+        else:
+            cells = full_cells
+        nnz = density_map_vector_estimate(hc_a, hr_b, cells)
+
+    if use_bounds:
+        nnz = max(nnz, float(product_nnz_lower_bound(h_a, h_b)))
+        nnz = min(nnz, float(product_nnz_upper_bound(h_a, h_b)))
+    return min(nnz, full_cells)
+
+
+def estimate_product_sparsity(
+    h_a: MNCSketch,
+    h_b: MNCSketch,
+    use_extensions: bool = True,
+    use_bounds: bool = True,
+) -> float:
+    """Estimate the sparsity of ``A B`` (Algorithm 1 scaled by ``m*l``)."""
+    _check_product_shapes(h_a, h_b)
+    cells = h_a.nrows * h_b.ncols
+    if cells == 0:
+        return 0.0
+    nnz = estimate_product_nnz(
+        h_a, h_b, use_extensions=use_extensions, use_bounds=use_bounds
+    )
+    return nnz / cells

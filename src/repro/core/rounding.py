@@ -1,0 +1,56 @@
+"""Probabilistic rounding shared by all sketch-propagation rules.
+
+Deterministic rounding of fractional count vectors introduces systematic
+bias for ultra-sparse matrices: a vector whose entries are all 0.4 rounds to
+all-zero, which propagates into an (incorrectly) empty intermediate. The
+paper instead rounds entry ``x`` up with probability ``frac(x)``, which is
+unbiased (``E[round(x)] = x``) with minimal variance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for *seed* (pass-through for
+    generators, fresh default generator for ``None``)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def probabilistic_round(
+    values: np.ndarray,
+    rng: SeedLike = None,
+    maximum: Optional[int] = None,
+) -> np.ndarray:
+    """Round non-negative *values* to integers without systematic bias.
+
+    Each entry ``x`` becomes ``floor(x) + Bernoulli(x - floor(x))``, so the
+    expectation is preserved exactly. Negative inputs (which can arise from
+    floating-point noise in subtraction-based formulas) are clamped to zero
+    first.
+
+    Args:
+        values: float vector of estimated counts.
+        rng: seed or generator driving the Bernoulli draws.
+        maximum: optional per-entry cap (e.g. the row length), applied after
+            rounding so a count can never exceed the physically possible one.
+
+    Returns:
+        int64 vector of the same shape.
+    """
+    generator = resolve_rng(rng)
+    clipped = np.maximum(np.asarray(values, dtype=np.float64), 0.0)
+    floor = np.floor(clipped)
+    fraction = clipped - floor
+    bump = generator.random(clipped.shape) < fraction
+    result = floor.astype(np.int64) + bump.astype(np.int64)
+    if maximum is not None:
+        np.minimum(result, maximum, out=result)
+    return result

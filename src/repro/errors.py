@@ -1,0 +1,38 @@
+"""Exception hierarchy for the MNC reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Shape and operand problems raise the more specific
+subclasses below, mirroring the failure modes a database-style expression
+compiler has to report (incompatible operands, unsupported operations,
+malformed synopses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class SketchError(ReproError, ValueError):
+    """A synopsis (sketch) is malformed or inconsistent with its metadata."""
+
+
+class UnsupportedOperationError(ReproError, NotImplementedError):
+    """An estimator does not support the requested operation.
+
+    The SparsEst runner uses this to skip (estimator, operation) pairs the
+    paper also excludes, e.g. the layered graph on element-wise operations.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """An estimator failed to produce an estimate (e.g. degenerate sample)."""
+
+
+class PlanError(ReproError, ValueError):
+    """A matrix-multiplication-chain plan is malformed or inconsistent."""

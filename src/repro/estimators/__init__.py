@@ -1,0 +1,83 @@
+"""All sparsity estimators behind one common interface.
+
+Importing this package registers every estimator; use
+:func:`~repro.estimators.base.make_estimator` to instantiate by name:
+
+==================  =============================================  ========
+Registry name       Estimator (paper reference)                    Class
+==================  =============================================  ========
+``meta_ac``         average-case metadata, Eq 1                    MetaACEstimator
+``meta_ultrasparse``  first-order ultra-sparse, footnote 2          MetaUltraSparseEstimator
+``meta_wc``         worst-case metadata, Eq 2                      MetaWCEstimator
+``bitset``          exact boolean MM, Eq 3                         BitsetEstimator
+``density_map``     block density map, Eq 4                        DensityMapEstimator
+``sampling``        biased sampling, Eq 5                          SamplingEstimator
+``sampling_unbiased``  unbiased sampling, Appendix A Eq 16         UnbiasedSamplingEstimator
+``hash``            KMV/hashing of Amossen et al., Appendix A      HashEstimator
+``layered_graph``   Cohen's layered graph, Eq 6                    LayeredGraphEstimator
+``mnc``             the MNC sketch, Sections 3-4                   MNCEstimator
+``mnc_basic``       MNC without extensions/bounds                  MNCBasicEstimator
+``quadtree_map``    dynamic (quad-tree) density map, Sec 2.2       QuadTreeEstimator
+``exact``           ground-truth oracle                            ExactOracle
+==================  =============================================  ========
+"""
+
+from repro.estimators.base import (
+    SparsityEstimator,
+    Synopsis,
+    available_estimators,
+    make_estimator,
+    register_estimator,
+)
+from repro.estimators.bitset import BitsetEstimator, BitsetSynopsis, pack_matrix
+from repro.estimators.density_map import DensityMapEstimator, DensityMapSynopsis
+from repro.estimators.exact import ExactOracle, ExactSynopsis
+from repro.estimators.hashing import HashEstimator, HashSynopsis
+from repro.estimators.layered_graph import (
+    LayeredGraphEstimator,
+    LayeredGraphSynopsis,
+)
+from repro.estimators.metadata import (
+    MetaACEstimator,
+    MetaSynopsis,
+    MetaUltraSparseEstimator,
+    MetaWCEstimator,
+)
+from repro.estimators.mnc import MNCBasicEstimator, MNCEstimator, MNCSynopsis
+from repro.estimators.quadtree import QuadTreeEstimator, QuadTreeSynopsis
+from repro.estimators.sampling import (
+    SamplingEstimator,
+    SamplingSynopsis,
+    UnbiasedSamplingEstimator,
+)
+
+__all__ = [
+    "BitsetEstimator",
+    "BitsetSynopsis",
+    "DensityMapEstimator",
+    "DensityMapSynopsis",
+    "ExactOracle",
+    "ExactSynopsis",
+    "HashEstimator",
+    "HashSynopsis",
+    "LayeredGraphEstimator",
+    "LayeredGraphSynopsis",
+    "MetaACEstimator",
+    "MetaSynopsis",
+    "MetaUltraSparseEstimator",
+    "MetaWCEstimator",
+    "MNCBasicEstimator",
+    "MNCEstimator",
+    "MNCSynopsis",
+    "QuadTreeEstimator",
+    "QuadTreeSynopsis",
+    "SamplingEstimator",
+    "SamplingSynopsis",
+    "SparsityEstimator",
+    "Synopsis",
+    "UnbiasedSamplingEstimator",
+    "available_estimators",
+    "make_estimator",
+    "pack_matrix",
+    "register_estimator",
+]

@@ -1,0 +1,192 @@
+"""Common estimator interface and registry.
+
+Every sparsity estimator in the paper — and this reproduction — follows the
+same life cycle:
+
+1. ``build(matrix)`` constructs a *synopsis* for a leaf matrix (possibly a
+   trivial one, e.g. just ``(shape, nnz)`` for the metadata estimators).
+2. ``propagate(op, operands, **params)`` derives the synopsis of an
+   intermediate result from operand synopses.
+3. ``estimate_nnz(op, operands, **params)`` estimates the non-zero count of
+   an operation's result directly (used at DAG roots, where no synopsis is
+   needed — mirroring the paper's implementation detail of estimating roots
+   directly instead of propagating to them).
+
+Estimators advertise what they support through
+:meth:`SparsityEstimator.supports`; unsupported combinations raise
+:class:`~repro.errors.UnsupportedOperationError`, which the SparsEst runner
+reports as the paper's figures do (an "x" instead of a bar).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Sequence
+
+from repro.errors import UnsupportedOperationError
+from repro.matrix.conversion import MatrixLike
+from repro.opcodes import Op
+
+
+class Synopsis(abc.ABC):
+    """Base class for per-matrix synopses.
+
+    Subclasses carry whatever structure their estimator needs; the two
+    universally required pieces are the matrix shape and an estimate of the
+    non-zero count (exact for leaf synopses, estimated for propagated ones).
+    """
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """Shape of the (possibly virtual) matrix this synopsis describes."""
+
+    @property
+    @abc.abstractmethod
+    def nnz_estimate(self) -> float:
+        """(Estimated) number of structural non-zeros."""
+
+    @property
+    def cells(self) -> int:
+        """Total number of matrix cells."""
+        m, n = self.shape
+        return m * n
+
+    @property
+    def sparsity_estimate(self) -> float:
+        """(Estimated) sparsity ``nnz / cells`` (0.0 for empty shapes)."""
+        if self.cells == 0:
+            return 0.0
+        return self.nnz_estimate / self.cells
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the synopsis in bytes."""
+        return 0
+
+
+class SparsityEstimator(abc.ABC):
+    """Abstract base class for all sparsity estimators.
+
+    Subclasses implement :meth:`build` plus handlers for the operations they
+    support; the generic :meth:`estimate_nnz`/:meth:`propagate` entry points
+    dispatch on :class:`~repro.opcodes.Op`. Handler methods follow the naming
+    convention ``_estimate_<op>`` / ``_propagate_<op>`` and receive the
+    operand synopses positionally plus operation parameters as keywords.
+    """
+
+    #: Short identifier used in benchmark tables (e.g. ``"MNC"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, matrix: MatrixLike) -> Synopsis:
+        """Construct the synopsis of a leaf matrix."""
+
+    # ------------------------------------------------------------------
+    # Generic dispatch
+    # ------------------------------------------------------------------
+
+    def estimate_nnz(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
+        """Estimate the non-zero count of ``op`` applied to *operands*."""
+        handler = self._handler("_estimate_", op)
+        return float(handler(*operands, **params))
+
+    def estimate_sparsity(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
+        """Estimate the sparsity of ``op`` applied to *operands*."""
+        nnz = self.estimate_nnz(op, operands, **params)
+        m, n = self.output_shape(op, operands, **params)
+        if m == 0 or n == 0:
+            return 0.0
+        return nnz / (m * n)
+
+    def propagate(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> Synopsis:
+        """Derive the synopsis of ``op`` applied to *operands*."""
+        handler = self._handler("_propagate_", op)
+        return handler(*operands, **params)
+
+    def supports(self, op: Op) -> bool:
+        """Whether this estimator implements estimation for ``op``."""
+        return hasattr(self, f"_estimate_{op.value}")
+
+    def supports_propagation(self, op: Op) -> bool:
+        """Whether this estimator can derive intermediate synopses for ``op``."""
+        return hasattr(self, f"_propagate_{op.value}")
+
+    def _handler(self, prefix: str, op: Op) -> Callable[..., Any]:
+        handler = getattr(self, f"{prefix}{op.value}", None)
+        if handler is None:
+            raise UnsupportedOperationError(
+                f"estimator {self.name!r} does not support "
+                f"{prefix.strip('_').rstrip('_')} of {op.value!r}"
+            )
+        return handler
+
+    # ------------------------------------------------------------------
+    # Shape inference (shared by all estimators)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def output_shape(op: Op, operands: Sequence[Synopsis], **params: Any) -> tuple[int, int]:
+        """Shape of the result of ``op`` on *operands* (pure metadata)."""
+        shapes = [operand.shape for operand in operands]
+        if op is Op.MATMUL:
+            return (shapes[0][0], shapes[1][1])
+        if op in (Op.EWISE_ADD, Op.EWISE_MULT, Op.NEQ_ZERO, Op.EQ_ZERO):
+            return shapes[0]
+        if op is Op.TRANSPOSE:
+            return (shapes[0][1], shapes[0][0])
+        if op is Op.RESHAPE:
+            return (params["rows"], params["cols"])
+        if op is Op.DIAG_V2M:
+            return (shapes[0][0], shapes[0][0])
+        if op is Op.DIAG_M2V:
+            return (shapes[0][0], 1)
+        if op is Op.RBIND:
+            return (shapes[0][0] + shapes[1][0], shapes[0][1])
+        if op is Op.CBIND:
+            return (shapes[0][0], shapes[0][1] + shapes[1][1])
+        if op is Op.ROW_SUMS:
+            return (shapes[0][0], 1)
+        if op is Op.COL_SUMS:
+            return (1, shapes[0][1])
+        raise UnsupportedOperationError(f"no shape rule for {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., SparsityEstimator]] = {}
+
+
+def register_estimator(name: str) -> Callable[[type], type]:
+    """Class decorator registering an estimator factory under *name*."""
+
+    def decorator(cls: type) -> type:
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_estimators() -> list[str]:
+    """Names of all registered estimators."""
+    return sorted(_REGISTRY)
+
+
+def make_estimator(name: str, **kwargs: Any) -> SparsityEstimator:
+    """Instantiate a registered estimator by name.
+
+    Args:
+        name: registry key (see :func:`available_estimators`).
+        **kwargs: forwarded to the estimator constructor (e.g.
+            ``block_size=256`` for the density map).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnsupportedOperationError(
+            f"unknown estimator {name!r}; available: {available_estimators()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,176 @@
+"""Cohen's layered-graph estimator ``E_gph`` (paper Section 2.4, Eq 6).
+
+The layered graph of a chain ``M1 M2 ... Mk`` has the rows of ``M1`` as
+leaves and one level per matrix; edges follow the non-zero positions. Each
+leaf holds an *r-vector* of ``r`` i.i.d. Exp(1) draws; inner nodes take the
+element-wise minimum over their in-neighbors. For a node reached by ``N``
+leaves, each entry of its r-vector is the minimum of ``N`` Exp(1) variables,
+so ``(r - 1) / sum(rv)`` is the classic unbiased estimate of ``N`` — which is
+exactly the non-zero count of that node's column in the chain product.
+
+The implementation propagates a *frontier* (r-vectors at the current level's
+column nodes) through one matrix structure at a time with a vectorized
+``minimum.reduceat``. Unreachable nodes carry ``+inf`` r-vectors and
+contribute zero. Because propagation needs the right operand's non-zero
+*structure*, only left-deep chains of leaf matrices are supported — the same
+restriction the paper's benchmarks observe (no element-wise operations, no
+reorganizations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.rounding import SeedLike, resolve_rng
+from repro.errors import ShapeError, UnsupportedOperationError
+from repro.estimators.base import SparsityEstimator, Synopsis, register_estimator
+from repro.matrix.conversion import MatrixLike, as_csc
+
+DEFAULT_ROUNDS = 32
+
+
+class LayeredGraphSynopsis(Synopsis):
+    """Leaf (structure-bearing) or frontier (propagated) synopsis."""
+
+    __slots__ = ("_shape", "_nnz", "structure", "frontier", "rounds")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        nnz: float,
+        rounds: int,
+        structure: Optional[sp.csc_array] = None,
+        frontier: Optional[np.ndarray] = None,
+    ):
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._nnz = float(nnz)
+        self.rounds = int(rounds)
+        self.structure = structure
+        self.frontier = frontier
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz_estimate(self) -> float:
+        return self._nnz
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the full non-zero structure is available."""
+        return self.structure is not None
+
+    def size_bytes(self) -> int:
+        size = 0
+        if self.frontier is not None:
+            size += self.frontier.nbytes
+        if self.structure is not None:
+            size += self.structure.indices.nbytes + self.structure.indptr.nbytes
+        return size
+
+
+def propagate_frontier(frontier: np.ndarray, structure: sp.csc_array) -> np.ndarray:
+    """Push r-vectors one level down: out[j] = min over non-zero rows of
+    column j. Columns without incoming edges become ``+inf`` (unreachable)."""
+    n_rows, n_cols = structure.shape
+    if frontier.shape[0] != n_rows:
+        raise ShapeError(
+            f"frontier has {frontier.shape[0]} nodes, structure expects {n_rows}"
+        )
+    rounds = frontier.shape[1]
+    out = np.full((n_cols, rounds), np.inf, dtype=np.float64)
+    counts = np.diff(structure.indptr)
+    nonempty = counts > 0
+    if not nonempty.any():
+        return out
+    stacked = frontier[structure.indices]
+    starts = structure.indptr[:-1][nonempty]
+    out[nonempty] = np.minimum.reduceat(stacked, starts, axis=0)
+    return out
+
+
+def frontier_nnz_estimate(frontier: np.ndarray) -> float:
+    """Total non-zero estimate: sum of per-column reach-set estimates."""
+    rounds = frontier.shape[1]
+    finite = np.isfinite(frontier).all(axis=1)
+    if not finite.any():
+        return 0.0
+    sums = frontier[finite].sum(axis=1)
+    return float(((rounds - 1) / sums).sum())
+
+
+def frontier_column_estimates(frontier: np.ndarray) -> np.ndarray:
+    """Per-column non-zero estimates (used for sparsity-aware chain costs)."""
+    rounds = frontier.shape[1]
+    estimates = np.zeros(frontier.shape[0], dtype=np.float64)
+    finite = np.isfinite(frontier).all(axis=1)
+    sums = frontier[finite].sum(axis=1)
+    estimates[finite] = (rounds - 1) / sums
+    return estimates
+
+
+@register_estimator("layered_graph")
+class LayeredGraphEstimator(SparsityEstimator):
+    """Layered-graph estimator with configurable r-vector length.
+
+    Args:
+        rounds: length ``r`` of the r-vectors (paper default 32; must be >= 2
+            for the ``(r - 1) / sum`` estimate to exist).
+        seed: randomness for the Exp(1) leaf draws.
+    """
+
+    name = "LGraph"
+
+    def __init__(self, rounds: int = DEFAULT_ROUNDS, seed: SeedLike = 0xFACADE):
+        if rounds < 2:
+            raise ValueError(f"rounds must be >= 2, got {rounds}")
+        self.rounds = int(rounds)
+        self._rng = resolve_rng(seed)
+
+    def build(self, matrix: MatrixLike) -> LayeredGraphSynopsis:
+        csc = as_csc(matrix)
+        return LayeredGraphSynopsis(csc.shape, csc.nnz, self.rounds, structure=csc)
+
+    def _leaf_frontier(self, synopsis: LayeredGraphSynopsis) -> np.ndarray:
+        """Frontier of a leaf: Exp(1) r-vectors at its rows pushed through
+        its own structure (levels 1 -> 2 of the layered graph)."""
+        leaves = self._rng.exponential(
+            scale=1.0, size=(synopsis.shape[0], self.rounds)
+        )
+        return propagate_frontier(leaves, synopsis.structure)
+
+    def _frontier_of(self, synopsis: LayeredGraphSynopsis) -> np.ndarray:
+        if synopsis.frontier is not None:
+            return synopsis.frontier
+        if synopsis.structure is None:
+            raise UnsupportedOperationError(
+                "layered-graph synopsis lacks both frontier and structure"
+            )
+        frontier = self._leaf_frontier(synopsis)
+        # Cache so repeated subchain estimates reuse the same randomness.
+        synopsis.frontier = frontier
+        return frontier
+
+    def _propagate_matmul(
+        self, a: LayeredGraphSynopsis, b: LayeredGraphSynopsis
+    ) -> LayeredGraphSynopsis:
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"matmul shape mismatch: {a.shape} x {b.shape}")
+        if not b.is_leaf:
+            raise UnsupportedOperationError(
+                "the layered graph supports left-deep chains: the right "
+                "operand must be a base matrix"
+            )
+        frontier_a = self._frontier_of(a)
+        frontier_out = propagate_frontier(frontier_a, b.structure)
+        nnz = frontier_nnz_estimate(frontier_out)
+        return LayeredGraphSynopsis(
+            (a.shape[0], b.shape[1]), nnz, self.rounds, frontier=frontier_out
+        )
+
+    def _estimate_matmul(self, a: LayeredGraphSynopsis, b: LayeredGraphSynopsis) -> float:
+        return self._propagate_matmul(a, b).nnz_estimate

@@ -1,0 +1,251 @@
+"""Naive metadata estimators (paper Section 2.1).
+
+These derive the output sparsity solely from the operand sparsities, which
+are available as metadata without touching the data:
+
+- ``MetaAC`` (average case, Eq 1) assumes uniformly distributed non-zeros
+  and estimates the complementary probability of an output cell being zero.
+- ``MetaWC`` (worst case, Eq 2) assumes an adversarial alignment of dense
+  columns/rows and upper-bounds the output sparsity.
+
+Both run in O(1) per operation and propagate a scalar-only synopsis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.estimators.base import SparsityEstimator, Synopsis, register_estimator
+from repro.matrix.conversion import MatrixLike, as_csr
+
+
+class MetaSynopsis(Synopsis):
+    """Scalar synopsis: shape plus (estimated) non-zero count."""
+
+    __slots__ = ("_shape", "_nnz")
+
+    def __init__(self, shape: tuple[int, int], nnz: float):
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._nnz = float(nnz)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz_estimate(self) -> float:
+        return self._nnz
+
+    def size_bytes(self) -> int:
+        return 3 * 8  # two dimensions and one count
+
+
+class _MetadataEstimator(SparsityEstimator):
+    """Shared scaffolding: everything except the product formula.
+
+    Reorganizations are exact from metadata for both variants; element-wise
+    operations use the average-/worst-case combination rules respectively.
+    """
+
+    def build(self, matrix: MatrixLike) -> MetaSynopsis:
+        csr = as_csr(matrix)
+        return MetaSynopsis(csr.shape, csr.nnz)
+
+    # -- products -------------------------------------------------------
+
+    def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
+        raise NotImplementedError
+
+    def _estimate_matmul(self, a: Synopsis, b: Synopsis) -> float:
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"matmul shape mismatch: {a.shape} x {b.shape}")
+        n = a.shape[1]
+        m, l = a.shape[0], b.shape[1]
+        sparsity = self._product_sparsity(a.sparsity_estimate, b.sparsity_estimate, n)
+        return sparsity * m * l
+
+    def _propagate_matmul(self, a: Synopsis, b: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis(
+            (a.shape[0], b.shape[1]), self._estimate_matmul(a, b)
+        )
+
+    # -- element-wise ----------------------------------------------------
+
+    def _ewise_add_sparsity(self, s_a: float, s_b: float) -> float:
+        raise NotImplementedError
+
+    def _ewise_mult_sparsity(self, s_a: float, s_b: float) -> float:
+        raise NotImplementedError
+
+    def _estimate_ewise_add(self, a: Synopsis, b: Synopsis) -> float:
+        if a.shape != b.shape:
+            raise ShapeError(f"ewise_add shape mismatch: {a.shape} vs {b.shape}")
+        return self._ewise_add_sparsity(a.sparsity_estimate, b.sparsity_estimate) * a.cells
+
+    def _estimate_ewise_mult(self, a: Synopsis, b: Synopsis) -> float:
+        if a.shape != b.shape:
+            raise ShapeError(f"ewise_mult shape mismatch: {a.shape} vs {b.shape}")
+        return self._ewise_mult_sparsity(a.sparsity_estimate, b.sparsity_estimate) * a.cells
+
+    def _propagate_ewise_add(self, a: Synopsis, b: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis(a.shape, self._estimate_ewise_add(a, b))
+
+    def _propagate_ewise_mult(self, a: Synopsis, b: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis(a.shape, self._estimate_ewise_mult(a, b))
+
+    # -- reorganizations (exact from metadata) ----------------------------
+
+    def _estimate_transpose(self, a: Synopsis) -> float:
+        return a.nnz_estimate
+
+    def _propagate_transpose(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis((a.shape[1], a.shape[0]), a.nnz_estimate)
+
+    def _estimate_reshape(self, a: Synopsis, rows: int, cols: int) -> float:
+        if rows * cols != a.cells:
+            raise ShapeError(
+                f"cannot reshape {a.shape} into {rows}x{cols}: cell counts differ"
+            )
+        return a.nnz_estimate
+
+    def _propagate_reshape(self, a: Synopsis, rows: int, cols: int) -> MetaSynopsis:
+        return MetaSynopsis((rows, cols), self._estimate_reshape(a, rows, cols))
+
+    def _estimate_diag_v2m(self, a: Synopsis) -> float:
+        return a.nnz_estimate
+
+    def _propagate_diag_v2m(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis((a.shape[0], a.shape[0]), a.nnz_estimate)
+
+    def _estimate_diag_m2v(self, a: Synopsis) -> float:
+        # Expected diagonal hits under uniformity: nnz / n per row, m rows.
+        m, n = a.shape
+        if n == 0:
+            return 0.0
+        return a.nnz_estimate / n
+
+    def _propagate_diag_m2v(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis((a.shape[0], 1), self._estimate_diag_m2v(a))
+
+    def _estimate_rbind(self, a: Synopsis, b: Synopsis) -> float:
+        return a.nnz_estimate + b.nnz_estimate
+
+    def _propagate_rbind(self, a: Synopsis, b: Synopsis) -> MetaSynopsis:
+        if a.shape[1] != b.shape[1]:
+            raise ShapeError(f"rbind shape mismatch: {a.shape} vs {b.shape}")
+        return MetaSynopsis(
+            (a.shape[0] + b.shape[0], a.shape[1]), a.nnz_estimate + b.nnz_estimate
+        )
+
+    def _estimate_cbind(self, a: Synopsis, b: Synopsis) -> float:
+        return a.nnz_estimate + b.nnz_estimate
+
+    def _propagate_cbind(self, a: Synopsis, b: Synopsis) -> MetaSynopsis:
+        if a.shape[0] != b.shape[0]:
+            raise ShapeError(f"cbind shape mismatch: {a.shape} vs {b.shape}")
+        return MetaSynopsis(
+            (a.shape[0], a.shape[1] + b.shape[1]), a.nnz_estimate + b.nnz_estimate
+        )
+
+    def _estimate_neq_zero(self, a: Synopsis) -> float:
+        return a.nnz_estimate
+
+    def _propagate_neq_zero(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis(a.shape, a.nnz_estimate)
+
+    def _estimate_eq_zero(self, a: Synopsis) -> float:
+        return a.cells - a.nnz_estimate
+
+    def _propagate_eq_zero(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis(a.shape, self._estimate_eq_zero(a))
+
+    # -- aggregations (average-case non-empty-row/column counts) --------------
+
+    def _aggregate_nnz(self, a: Synopsis, groups: int, width: int) -> float:
+        # Expected number of non-empty groups of `width` cells each under a
+        # uniform scatter of the non-zeros.
+        if groups == 0 or width == 0:
+            return 0.0
+        sparsity = a.sparsity_estimate
+        if sparsity >= 1.0:
+            return float(groups)
+        return float(groups) * float(-np.expm1(width * np.log1p(-sparsity)))
+
+    def _estimate_row_sums(self, a: Synopsis) -> float:
+        return self._aggregate_nnz(a, a.shape[0], a.shape[1])
+
+    def _propagate_row_sums(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis((a.shape[0], 1), self._estimate_row_sums(a))
+
+    def _estimate_col_sums(self, a: Synopsis) -> float:
+        return self._aggregate_nnz(a, a.shape[1], a.shape[0])
+
+    def _propagate_col_sums(self, a: Synopsis) -> MetaSynopsis:
+        return MetaSynopsis((1, a.shape[1]), self._estimate_col_sums(a))
+
+
+@register_estimator("meta_ac")
+class MetaACEstimator(_MetadataEstimator):
+    """Average-case metadata estimator ``E_ac`` (Eq 1), unbiased under
+    uniformly and independently distributed non-zeros."""
+
+    name = "MetaAC"
+
+    def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
+        product = s_a * s_b
+        if product >= 1.0:
+            return 1.0
+        # 1 - (1 - sA*sB)^n, evaluated in log space for numerical stability
+        # with large n and tiny products.
+        return float(-np.expm1(n * np.log1p(-product)))
+
+    def _ewise_add_sparsity(self, s_a: float, s_b: float) -> float:
+        return s_a + s_b - s_a * s_b
+
+    def _ewise_mult_sparsity(self, s_a: float, s_b: float) -> float:
+        return s_a * s_b
+
+
+@register_estimator("meta_ultrasparse")
+class MetaUltraSparseEstimator(_MetadataEstimator):
+    """The even simpler ultra-sparse estimator ``sC = sA * sB * n`` the
+    paper cites in footnote 2 (due to Cohen [16]).
+
+    This is the first-order Taylor expansion of Eq 1 — accurate while
+    ``sA * sB * n << 1`` (no collisions expected) and increasingly wrong as
+    products densify; element-wise and reorganization handling follows the
+    average-case rules.
+    """
+
+    name = "MetaUS"
+
+    def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
+        return min(1.0, s_a * s_b * n)
+
+    def _ewise_add_sparsity(self, s_a: float, s_b: float) -> float:
+        return min(1.0, s_a + s_b)
+
+    def _ewise_mult_sparsity(self, s_a: float, s_b: float) -> float:
+        return s_a * s_b
+
+
+@register_estimator("meta_wc")
+class MetaWCEstimator(_MetadataEstimator):
+    """Worst-case metadata estimator ``E_wc`` (Eq 2), an upper bound used for
+    conservative memory estimates."""
+
+    name = "MetaWC"
+
+    def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
+        return min(1.0, s_a * n) * min(1.0, s_b * n)
+
+    def _ewise_add_sparsity(self, s_a: float, s_b: float) -> float:
+        return min(1.0, s_a + s_b)
+
+    def _ewise_mult_sparsity(self, s_a: float, s_b: float) -> float:
+        return min(s_a, s_b)
+
+    def _aggregate_nnz(self, a: Synopsis, groups: int, width: int) -> float:
+        # Worst case: every non-zero lands in a distinct group.
+        return float(min(groups, a.nnz_estimate))

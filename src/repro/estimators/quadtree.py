@@ -1,0 +1,288 @@
+"""Dynamic (quad-tree) density map — the paper's Section 2.2 discussion,
+built and evaluated.
+
+The fixed-block density map wastes space on empty regions and loses
+resolution in dense ones; the paper suggests "dynamic density maps that
+adapt local block sizes to the non-zero structure, for example via a
+recursive quad tree" but notes that "the non-aligned blocks in dmA and dmB
+would complicate the estimator". This module implements exactly that
+design point:
+
+- **construction** recursively subdivides regions while they hold more
+  than ``leaf_nnz`` non-zeros and exceed ``min_block`` cells per side —
+  storage adapts to the structure (empty regions cost one node);
+- **estimation** handles the non-alignment the paper warns about by
+  *rasterizing* both operands' trees onto a common regular grid (the finest
+  ``min_block`` granularity) and reusing the density-map product formula.
+
+The rasterization step is where the paper's predicted complication
+materializes: products pay an extra O(leaves + grid) alignment cost, and
+accuracy lands between the coarse fixed map and a fine fixed map — the
+quantitative answer to the paper's open design question (see
+``benchmarks/bench_quadtree.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.estimators.base import SparsityEstimator, Synopsis, register_estimator
+from repro.estimators.density_map import DensityMapEstimator, DensityMapSynopsis, _block_sizes
+from repro.matrix.conversion import MatrixLike, as_csr
+
+
+@dataclass
+class QuadNode:
+    """One region of the quad tree: half-open ranges and its nnz count."""
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+    nnz: int
+    children: Optional[List["QuadNode"]] = None
+
+    @property
+    def cells(self) -> int:
+        return (self.row_stop - self.row_start) * (self.col_stop - self.col_start)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTreeSynopsis(Synopsis):
+    """Adaptive density map: a quad tree of region non-zero counts."""
+
+    __slots__ = ("_shape", "root", "min_block", "_node_count")
+
+    def __init__(self, shape: tuple[int, int], root: QuadNode, min_block: int):
+        self._shape = (int(shape[0]), int(shape[1]))
+        self.root = root
+        self.min_block = int(min_block)
+        self._node_count = _count_nodes(root)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz_estimate(self) -> float:
+        return float(self.root.nnz)
+
+    @property
+    def node_count(self) -> int:
+        """Number of tree nodes (the adaptive size)."""
+        return self._node_count
+
+    def size_bytes(self) -> int:
+        # Four coordinates + count + child pointer per node.
+        return self._node_count * 6 * 8
+
+    def leaves(self) -> List[QuadNode]:
+        """All leaf regions."""
+        result: List[QuadNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def rasterize(self, block: int) -> DensityMapSynopsis:
+        """Project the tree onto a regular ``block``-sized grid.
+
+        Leaf counts spread uniformly over the grid blocks they overlap —
+        the alignment step that products over non-aligned trees require.
+        """
+        m, n = self._shape
+        rows = (m + block - 1) // block or 0
+        cols = (n + block - 1) // block or 0
+        counts = np.zeros((rows, cols), dtype=np.float64)
+        for leaf in self.leaves():
+            if leaf.nnz == 0:
+                continue
+            _spread(counts, leaf, block, m, n)
+        cells = np.outer(_block_sizes(m, block), _block_sizes(n, block)).astype(float)
+        density = counts / np.maximum(cells, 1.0)
+        return DensityMapSynopsis((m, n), block, density)
+
+
+def _spread(counts, leaf: QuadNode, block: int, m: int, n: int) -> None:
+    area = leaf.cells
+    first_row, last_row = leaf.row_start // block, (leaf.row_stop - 1) // block
+    first_col, last_col = leaf.col_start // block, (leaf.col_stop - 1) // block
+    for row_block in range(first_row, last_row + 1):
+        row_lo = max(leaf.row_start, row_block * block)
+        row_hi = min(leaf.row_stop, min((row_block + 1) * block, m))
+        for col_block in range(first_col, last_col + 1):
+            col_lo = max(leaf.col_start, col_block * block)
+            col_hi = min(leaf.col_stop, min((col_block + 1) * block, n))
+            overlap = (row_hi - row_lo) * (col_hi - col_lo)
+            if overlap > 0:
+                counts[row_block, col_block] += leaf.nnz * overlap / area
+
+
+def _count_nodes(root: QuadNode) -> int:
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if node.children:
+            stack.extend(node.children)
+    return count
+
+
+@register_estimator("quadtree_map")
+class QuadTreeEstimator(SparsityEstimator):
+    """Adaptive density-map estimator (dynamic block sizes, Sec 2.2).
+
+    Args:
+        leaf_nnz: subdivide regions holding more than this many non-zeros.
+        min_block: never subdivide below this side length; also the raster
+            granularity used to align operands for products.
+    """
+
+    name = "QTree"
+
+    def __init__(self, leaf_nnz: int = 64, min_block: int = 8):
+        if leaf_nnz < 1:
+            raise ValueError(f"leaf_nnz must be positive, got {leaf_nnz}")
+        if min_block < 1:
+            raise ValueError(f"min_block must be positive, got {min_block}")
+        self.leaf_nnz = int(leaf_nnz)
+        self.min_block = int(min_block)
+        self._dmap = DensityMapEstimator(block_size=min_block)
+
+    def build(self, matrix: MatrixLike) -> QuadTreeSynopsis:
+        csr = as_csr(matrix)
+        coo = csr.tocoo()
+        rows = coo.row.astype(np.int64)
+        cols = coo.col.astype(np.int64)
+        m, n = csr.shape
+        root = self._subdivide(rows, cols, 0, max(m, 1), 0, max(n, 1))
+        return QuadTreeSynopsis((m, n), root, self.min_block)
+
+    def _subdivide(self, rows, cols, r0, r1, c0, c1) -> QuadNode:
+        node = QuadNode(r0, r1, c0, c1, int(rows.size))
+        height, width = r1 - r0, c1 - c0
+        if (
+            rows.size <= self.leaf_nnz
+            or (height <= self.min_block and width <= self.min_block)
+        ):
+            return node
+        row_mid = r0 + height // 2 if height > self.min_block else r1
+        col_mid = c0 + width // 2 if width > self.min_block else c1
+        children = []
+        for row_lo, row_hi in ((r0, row_mid), (row_mid, r1)):
+            if row_lo >= row_hi:
+                continue
+            row_mask = (rows >= row_lo) & (rows < row_hi)
+            for col_lo, col_hi in ((c0, col_mid), (col_mid, c1)):
+                if col_lo >= col_hi:
+                    continue
+                mask = row_mask & (cols >= col_lo) & (cols < col_hi)
+                children.append(self._subdivide(
+                    rows[mask], cols[mask], row_lo, row_hi, col_lo, col_hi
+                ))
+        if len(children) <= 1:
+            return node
+        node.children = children
+        return node
+
+    # -- products: rasterize to the common grid, reuse the DMap formula ----
+
+    def _estimate_matmul(self, a: Synopsis, b: Synopsis) -> float:
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"matmul shape mismatch: {a.shape} x {b.shape}")
+        return self._dmap._estimate_matmul(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    def _propagate_matmul(self, a: Synopsis, b: Synopsis):
+        # Propagated intermediates are regular grids (the aligned form);
+        # _as_grid accepts either representation on later products.
+        return self._dmap._propagate_matmul(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    # -- element-wise (also via rasterization) ------------------------------
+
+    def _estimate_ewise_add(self, a: Synopsis, b: Synopsis) -> float:
+        return self._dmap._estimate_ewise_add(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    def _estimate_ewise_mult(self, a: Synopsis, b: Synopsis) -> float:
+        return self._dmap._estimate_ewise_mult(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    def _propagate_ewise_add(self, a: Synopsis, b: Synopsis):
+        return self._dmap._propagate_ewise_add(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    def _propagate_ewise_mult(self, a: Synopsis, b: Synopsis):
+        return self._dmap._propagate_ewise_mult(
+            _as_grid(a, self.min_block), _as_grid(b, self.min_block)
+        )
+
+    # -- exact tree-structural operations -----------------------------------
+
+    def _estimate_transpose(self, a: QuadTreeSynopsis) -> float:
+        return a.nnz_estimate
+
+    def _propagate_transpose(self, a: QuadTreeSynopsis) -> QuadTreeSynopsis:
+        return QuadTreeSynopsis(
+            (a.shape[1], a.shape[0]), _transpose_node(a.root), a.min_block
+        )
+
+    def _estimate_neq_zero(self, a: QuadTreeSynopsis) -> float:
+        return a.nnz_estimate
+
+    def _propagate_neq_zero(self, a: QuadTreeSynopsis) -> QuadTreeSynopsis:
+        return a
+
+    def _estimate_eq_zero(self, a: QuadTreeSynopsis) -> float:
+        return a.cells - a.nnz_estimate
+
+    def _propagate_eq_zero(self, a: QuadTreeSynopsis) -> QuadTreeSynopsis:
+        return QuadTreeSynopsis(a.shape, _complement_node(a.root), a.min_block)
+
+
+def _as_grid(synopsis: Synopsis, block: int) -> DensityMapSynopsis:
+    if isinstance(synopsis, QuadTreeSynopsis):
+        return synopsis.rasterize(block)
+    if isinstance(synopsis, DensityMapSynopsis):
+        return synopsis
+    raise ShapeError(
+        f"quad-tree estimator cannot align synopsis type {type(synopsis).__name__}"
+    )
+
+
+def _transpose_node(node: QuadNode) -> QuadNode:
+    children = None
+    if node.children is not None:
+        children = [_transpose_node(child) for child in node.children]
+    return QuadNode(
+        node.col_start, node.col_stop, node.row_start, node.row_stop,
+        node.nnz, children,
+    )
+
+
+def _complement_node(node: QuadNode) -> QuadNode:
+    children = None
+    if node.children is not None:
+        children = [_complement_node(child) for child in node.children]
+    return QuadNode(
+        node.row_start, node.row_stop, node.col_start, node.col_stop,
+        node.cells - node.nnz, children,
+    )

@@ -1,0 +1,63 @@
+"""Expression IR: DAGs of linear-algebra operations.
+
+The paper's estimators run over an intermediate representation in which
+nodes are input matrices (leaves) or operations, and edges are data
+dependencies. This package provides:
+
+- :mod:`repro.ir.nodes` — the :class:`~repro.ir.nodes.Expr` node type with
+  shape inference and operator sugar (``@``, ``+``, ``*``, ``.T``);
+- :mod:`repro.ir.interpreter` — ground-truth structural evaluation with
+  memoization of shared sub-DAGs;
+- :mod:`repro.ir.estimate` — sparsity estimation of DAG roots by
+  propagating any estimator's synopses bottom-up with memoization.
+"""
+
+from repro.ir.estimate import (
+    NodeEstimate,
+    estimate_dag,
+    estimate_root_nnz,
+    estimate_root_sparsity,
+)
+from repro.ir.dot import dag_stats, to_dot
+from repro.ir.interpreter import evaluate, evaluate_all
+from repro.ir.nodes import (
+    Expr,
+    cbind,
+    col_sums,
+    diag,
+    eq_zero,
+    ewise_add,
+    ewise_mult,
+    leaf,
+    matmul,
+    neq_zero,
+    rbind,
+    reshape,
+    row_sums,
+    transpose,
+)
+
+__all__ = [
+    "Expr",
+    "NodeEstimate",
+    "cbind",
+    "col_sums",
+    "dag_stats",
+    "diag",
+    "eq_zero",
+    "estimate_dag",
+    "estimate_root_nnz",
+    "estimate_root_sparsity",
+    "evaluate",
+    "evaluate_all",
+    "ewise_add",
+    "ewise_mult",
+    "leaf",
+    "matmul",
+    "neq_zero",
+    "rbind",
+    "reshape",
+    "row_sums",
+    "to_dot",
+    "transpose",
+]

@@ -1,0 +1,74 @@
+"""DAG introspection: statistics and Graphviz export.
+
+Handy when debugging estimator behaviour on a benchmark expression: the
+DOT rendering shows each node's operation, shape, and — when an estimator
+is supplied — its estimated sparsity next to the exact one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.estimators.base import SparsityEstimator
+from repro.ir.estimate import estimate_dag
+from repro.ir.nodes import Expr
+from repro.opcodes import Op
+
+
+def dag_stats(root: Expr) -> Dict[str, int]:
+    """Node counts by category for a DAG."""
+    nodes = list(root.postorder())
+    return {
+        "nodes": len(nodes),
+        "leaves": sum(1 for n in nodes if n.op is Op.LEAF),
+        "products": sum(1 for n in nodes if n.op is Op.MATMUL),
+        "elementwise": sum(1 for n in nodes if n.op.is_elementwise),
+        "reorganizations": sum(1 for n in nodes if n.op.is_reorganization),
+        "aggregations": sum(1 for n in nodes if n.op.is_aggregation),
+        "depth": _depth(root),
+    }
+
+
+def _depth(root: Expr) -> int:
+    depths: Dict[int, int] = {}
+    for node in root.postorder():
+        if not node.inputs:
+            depths[id(node)] = 1
+        else:
+            depths[id(node)] = 1 + max(depths[id(child)] for child in node.inputs)
+    return depths[id(root)]
+
+
+def to_dot(
+    root: Expr,
+    estimator: Optional[SparsityEstimator] = None,
+    graph_name: str = "expression",
+) -> str:
+    """Render the DAG as a Graphviz DOT string.
+
+    Args:
+        root: the expression.
+        estimator: when given, each node's label includes the estimator's
+            sparsity estimate for that node.
+        graph_name: DOT graph identifier.
+    """
+    estimates = None
+    if estimator is not None:
+        result = estimate_dag(root, estimator, include_intermediates=True)
+        estimates = result["intermediates"]
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;", "  node [shape=box];"]
+    ids: Dict[int, str] = {}
+    for index, node in enumerate(root.postorder()):
+        ids[id(node)] = f"n{index}"
+        label = f"{node.label}\\n{node.shape[0]}x{node.shape[1]}"
+        if estimates is not None:
+            node_estimate = estimates.get(id(node))
+            if node_estimate is not None:
+                label += f"\\ns~{node_estimate.sparsity:.4g}"
+        shape_attr = ', style=filled, fillcolor="#e8f0fe"' if node.op is Op.LEAF else ""
+        lines.append(f'  {ids[id(node)]} [label="{label}"{shape_attr}];')
+    for node in root.postorder():
+        for child in node.inputs:
+            lines.append(f"  {ids[id(child)]} -> {ids[id(node)]};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Expression DAG nodes with shape inference and operator sugar.
+
+An :class:`Expr` is an immutable node in a DAG: a leaf wrapping a concrete
+matrix, or an operation over child expressions. Shapes are inferred and
+validated at construction, so malformed expressions fail fast at build time
+(the compiler analogue of the paper's IR validation).
+
+Nodes compare by identity: building the DAG with shared sub-expressions is
+what enables the interpreter's and the estimators' memoization, mirroring
+the paper's "memoize intermediate sketches because nodes might be reachable
+over multiple paths".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.matrix.conversion import MatrixLike, as_csr
+from repro.opcodes import Op
+
+
+class Expr:
+    """A node of a matrix-expression DAG.
+
+    Build leaves with :func:`leaf` and operations with the module-level
+    constructors or the operator sugar:
+
+    >>> x = leaf(matrix_x, name="X")
+    >>> w = leaf(matrix_w, name="W")
+    >>> product = x @ w
+    >>> masked = x * neq_zero(x)   # element-wise
+    """
+
+    __slots__ = ("op", "inputs", "matrix", "params", "name", "_shape", "__weakref__")
+
+    def __init__(
+        self,
+        op: Op,
+        inputs: tuple["Expr", ...] = (),
+        matrix: Optional[sp.csr_array] = None,
+        params: Optional[dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ):
+        self.op = op
+        self.inputs = tuple(inputs)
+        self.matrix = matrix
+        self.params = dict(params or {})
+        self.name = name
+        self._shape = self._infer_shape()
+
+    # ------------------------------------------------------------------
+    # Shape inference
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The (validated) output shape of this node."""
+        return self._shape
+
+    def _infer_shape(self) -> tuple[int, int]:
+        op = self.op
+        if op is Op.LEAF:
+            if self.matrix is None:
+                raise ShapeError("leaf nodes require a matrix")
+            return tuple(int(d) for d in self.matrix.shape)
+        if len(self.inputs) != op.arity:
+            raise ShapeError(
+                f"{op.value} expects {op.arity} inputs, got {len(self.inputs)}"
+            )
+        shapes = [child.shape for child in self.inputs]
+        if op is Op.MATMUL:
+            if shapes[0][1] != shapes[1][0]:
+                raise ShapeError(f"matmul shape mismatch: {shapes[0]} x {shapes[1]}")
+            return (shapes[0][0], shapes[1][1])
+        if op in (Op.EWISE_ADD, Op.EWISE_MULT):
+            if shapes[0] != shapes[1]:
+                raise ShapeError(f"{op.value} shape mismatch: {shapes[0]} vs {shapes[1]}")
+            return shapes[0]
+        if op is Op.TRANSPOSE:
+            return (shapes[0][1], shapes[0][0])
+        if op is Op.RESHAPE:
+            rows, cols = self.params["rows"], self.params["cols"]
+            if rows * cols != shapes[0][0] * shapes[0][1]:
+                raise ShapeError(
+                    f"cannot reshape {shapes[0]} into {rows}x{cols}: cell counts differ"
+                )
+            return (rows, cols)
+        if op is Op.DIAG_V2M:
+            if shapes[0][1] != 1:
+                raise ShapeError(f"diag expects an m x 1 vector, got {shapes[0]}")
+            return (shapes[0][0], shapes[0][0])
+        if op is Op.DIAG_M2V:
+            if shapes[0][0] != shapes[0][1]:
+                raise ShapeError(f"diag extraction expects a square input, got {shapes[0]}")
+            return (shapes[0][0], 1)
+        if op is Op.RBIND:
+            if shapes[0][1] != shapes[1][1]:
+                raise ShapeError(f"rbind shape mismatch: {shapes[0]} vs {shapes[1]}")
+            return (shapes[0][0] + shapes[1][0], shapes[0][1])
+        if op is Op.CBIND:
+            if shapes[0][0] != shapes[1][0]:
+                raise ShapeError(f"cbind shape mismatch: {shapes[0]} vs {shapes[1]}")
+            return (shapes[0][0], shapes[0][1] + shapes[1][1])
+        if op in (Op.NEQ_ZERO, Op.EQ_ZERO):
+            return shapes[0]
+        if op is Op.ROW_SUMS:
+            return (shapes[0][0], 1)
+        if op is Op.COL_SUMS:
+            return (1, shapes[0][1])
+        raise ShapeError(f"unknown operation {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # DAG traversal
+    # ------------------------------------------------------------------
+
+    def postorder(self) -> Iterator["Expr"]:
+        """Yield nodes in post-order (children before parents), each once."""
+        seen: set[int] = set()
+        stack: list[tuple["Expr", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in seen:
+                continue
+            if expanded:
+                seen.add(id(node))
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.inputs):
+                    if id(child) not in seen:
+                        stack.append((child, False))
+
+    def leaves(self) -> list["Expr"]:
+        """All distinct leaf nodes of the DAG."""
+        return [node for node in self.postorder() if node.op is Op.LEAF]
+
+    @property
+    def label(self) -> str:
+        """Human-readable node label for reports and plan printing."""
+        if self.name:
+            return self.name
+        if self.op is Op.LEAF:
+            return f"leaf{self.shape}"
+        return self.op.value
+
+    def __repr__(self) -> str:
+        if self.op is Op.LEAF:
+            return f"Expr(leaf {self.label} {self.shape})"
+        children = ", ".join(child.label for child in self.inputs)
+        return f"Expr({self.op.value}({children}) -> {self.shape})"
+
+    # ------------------------------------------------------------------
+    # Operator sugar
+    # ------------------------------------------------------------------
+
+    def __matmul__(self, other: "Expr") -> "Expr":
+        return matmul(self, other)
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return ewise_add(self, other)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return ewise_mult(self, other)
+
+    @property
+    def T(self) -> "Expr":  # noqa: N802 - numpy-style transpose property
+        return transpose(self)
+
+    def reshape(self, rows: int, cols: int) -> "Expr":
+        return reshape(self, rows, cols)
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+def leaf(matrix: MatrixLike, name: Optional[str] = None) -> Expr:
+    """Wrap a concrete matrix as a DAG leaf."""
+    return Expr(Op.LEAF, matrix=as_csr(matrix), name=name)
+
+
+def matmul(a: Expr, b: Expr, name: Optional[str] = None) -> Expr:
+    """Matrix product node ``A B``."""
+    return Expr(Op.MATMUL, (a, b), name=name)
+
+
+def ewise_add(a: Expr, b: Expr, name: Optional[str] = None) -> Expr:
+    """Element-wise addition node ``A + B``."""
+    return Expr(Op.EWISE_ADD, (a, b), name=name)
+
+
+def ewise_mult(a: Expr, b: Expr, name: Optional[str] = None) -> Expr:
+    """Element-wise (Hadamard) multiplication node ``A (*) B``."""
+    return Expr(Op.EWISE_MULT, (a, b), name=name)
+
+
+def transpose(a: Expr, name: Optional[str] = None) -> Expr:
+    """Transpose node ``A^T``."""
+    return Expr(Op.TRANSPOSE, (a,), name=name)
+
+
+def reshape(a: Expr, rows: int, cols: int, name: Optional[str] = None) -> Expr:
+    """Row-wise reshape node."""
+    return Expr(Op.RESHAPE, (a,), params={"rows": int(rows), "cols": int(cols)}, name=name)
+
+
+def diag(a: Expr, name: Optional[str] = None) -> Expr:
+    """Diag node: vector input -> diagonal matrix; square input -> vector."""
+    if a.shape[1] == 1:
+        return Expr(Op.DIAG_V2M, (a,), name=name)
+    return Expr(Op.DIAG_M2V, (a,), name=name)
+
+
+def rbind(a: Expr, b: Expr, name: Optional[str] = None) -> Expr:
+    """Row-wise concatenation node."""
+    return Expr(Op.RBIND, (a, b), name=name)
+
+
+def cbind(a: Expr, b: Expr, name: Optional[str] = None) -> Expr:
+    """Column-wise concatenation node."""
+    return Expr(Op.CBIND, (a, b), name=name)
+
+
+def neq_zero(a: Expr, name: Optional[str] = None) -> Expr:
+    """Indicator node ``A != 0``."""
+    return Expr(Op.NEQ_ZERO, (a,), name=name)
+
+
+def eq_zero(a: Expr, name: Optional[str] = None) -> Expr:
+    """Complement indicator node ``A == 0``."""
+    return Expr(Op.EQ_ZERO, (a,), name=name)
+
+
+def row_sums(a: Expr, name: Optional[str] = None) -> Expr:
+    """Structural row-aggregation node (``m x 1`` output)."""
+    return Expr(Op.ROW_SUMS, (a,), name=name)
+
+
+def col_sums(a: Expr, name: Optional[str] = None) -> Expr:
+    """Structural column-aggregation node (``1 x n`` output)."""
+    return Expr(Op.COL_SUMS, (a,), name=name)

@@ -1,0 +1,98 @@
+"""Sparse-matrix substrate for the MNC reproduction.
+
+This subpackage provides everything the estimators need from a matrix
+runtime: canonical conversion to CSR/CSC (:mod:`repro.matrix.conversion`),
+structural ground-truth operations under the paper's assumptions A1/A2
+(:mod:`repro.matrix.ops`), structural property probes
+(:mod:`repro.matrix.properties`), structured random generators
+(:mod:`repro.matrix.random`), and a small npz-backed cache
+(:mod:`repro.matrix.io`).
+"""
+
+from repro.matrix.conversion import (
+    as_csc,
+    as_csr,
+    is_sparse,
+    to_dense,
+)
+from repro.matrix.ops import (
+    boolean_matmul,
+    cbind,
+    col_sums,
+    diag_extract,
+    diag_matrix,
+    equals_zero,
+    ewise_add,
+    ewise_mult,
+    matmul,
+    not_equals_zero,
+    reshape_rowwise,
+    rbind,
+    row_sums,
+    transpose,
+)
+from repro.matrix.properties import (
+    col_nnz,
+    density,
+    is_diagonal,
+    is_lower_triangular,
+    is_permutation,
+    is_symmetric,
+    is_upper_triangular,
+    nnz,
+    row_nnz,
+    sparsity,
+)
+from repro.matrix.random import (
+    banded_matrix,
+    block_diagonal_matrix,
+    one_hot_block,
+    permutation_matrix,
+    power_law_columns,
+    random_sparse,
+    selection_matrix,
+    single_nnz_per_row,
+    symmetric_matrix,
+    triangular_matrix,
+)
+
+__all__ = [
+    "as_csc",
+    "as_csr",
+    "banded_matrix",
+    "block_diagonal_matrix",
+    "boolean_matmul",
+    "cbind",
+    "col_nnz",
+    "col_sums",
+    "density",
+    "diag_extract",
+    "diag_matrix",
+    "equals_zero",
+    "ewise_add",
+    "ewise_mult",
+    "is_diagonal",
+    "is_lower_triangular",
+    "is_permutation",
+    "is_symmetric",
+    "is_upper_triangular",
+    "is_sparse",
+    "matmul",
+    "nnz",
+    "not_equals_zero",
+    "one_hot_block",
+    "permutation_matrix",
+    "symmetric_matrix",
+    "triangular_matrix",
+    "power_law_columns",
+    "random_sparse",
+    "rbind",
+    "reshape_rowwise",
+    "row_nnz",
+    "row_sums",
+    "selection_matrix",
+    "single_nnz_per_row",
+    "sparsity",
+    "to_dense",
+    "transpose",
+]

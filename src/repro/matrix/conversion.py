@@ -1,0 +1,135 @@
+"""Canonical conversion between dense arrays and sparse formats.
+
+Every public entry point in the library accepts "matrix-like" inputs —
+``numpy.ndarray`` (2-D), any ``scipy.sparse`` matrix/array, or nested lists —
+and converts them once at the boundary. Internally the library works with
+``scipy.sparse.csr_array``/``csc_array``; keeping the conversion in one module
+means format quirks (duplicate entries, explicit zeros, 1-D inputs) are
+handled exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+
+MatrixLike = Union[np.ndarray, sp.spmatrix, sp.sparray, list]
+"""Anything accepted at the public API boundary as a matrix."""
+
+
+def is_sparse(matrix: object) -> bool:
+    """Return ``True`` when *matrix* is any scipy sparse container."""
+    return sp.issparse(matrix)
+
+
+def _validate_2d(shape: tuple[int, ...]) -> None:
+    if len(shape) != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {shape}")
+    if shape[0] < 0 or shape[1] < 0:
+        raise ShapeError(f"matrix dimensions must be non-negative, got {shape}")
+
+
+def as_csr(matrix: MatrixLike, copy: bool = False) -> sp.csr_array:
+    """Convert *matrix* to a canonical CSR array.
+
+    Canonical means: 2-D, duplicate entries summed, explicit zeros removed,
+    indices sorted. Estimators rely on ``nnz`` counting only *structural*
+    non-zeros, so the explicit-zero elimination here is load-bearing.
+
+    Args:
+        matrix: dense array, sparse matrix/array, or nested lists.
+        copy: force a copy even when *matrix* is already canonical CSR.
+
+    Returns:
+        A canonical ``scipy.sparse.csr_array``.
+    """
+    if isinstance(matrix, sp.csr_array) and not copy:
+        result = matrix
+    elif sp.issparse(matrix):
+        result = sp.csr_array(matrix)
+    else:
+        dense = np.asarray(matrix)
+        if dense.ndim == 1:
+            dense = dense.reshape(1, -1)
+        _validate_2d(dense.shape)
+        result = sp.csr_array(dense)
+    if result.has_canonical_format and not copy:
+        # sum_duplicates / eliminate_zeros already done; explicit zeros may
+        # still be present in canonical format, so always scrub them.
+        result = result.copy() if copy else result
+    else:
+        result = result.copy()
+        result.sum_duplicates()
+    result.eliminate_zeros()
+    _validate_2d(result.shape)
+    return result
+
+
+def as_csc(matrix: MatrixLike, copy: bool = False) -> sp.csc_array:
+    """Convert *matrix* to a canonical CSC array (see :func:`as_csr`)."""
+    if isinstance(matrix, sp.csc_array) and not copy:
+        result = matrix
+    elif sp.issparse(matrix):
+        result = sp.csc_array(matrix)
+    else:
+        dense = np.asarray(matrix)
+        if dense.ndim == 1:
+            dense = dense.reshape(1, -1)
+        _validate_2d(dense.shape)
+        result = sp.csc_array(dense)
+    if not result.has_canonical_format or copy:
+        result = result.copy()
+        result.sum_duplicates()
+    result.eliminate_zeros()
+    _validate_2d(result.shape)
+    return result
+
+
+def to_dense(matrix: MatrixLike) -> np.ndarray:
+    """Return *matrix* as a dense 2-D ``numpy.ndarray``."""
+    if sp.issparse(matrix):
+        return matrix.toarray()
+    dense = np.asarray(matrix)
+    if dense.ndim == 1:
+        dense = dense.reshape(1, -1)
+    _validate_2d(dense.shape)
+    return dense
+
+
+def check_assumptions(matrix: MatrixLike) -> None:
+    """Validate the paper's assumption A2: the matrix holds no NaN values.
+
+    NaNs break sparse linear algebra semantics (``NaN * 0 = NaN``, paper
+    Section 2), so every estimator here treats inputs as NaN-free. The
+    structural conversion would silently treat NaN as "non-zero"; call this
+    at ingestion boundaries to fail loudly instead.
+
+    Raises:
+        ShapeError: when any stored value is NaN.
+    """
+    if sp.issparse(matrix):
+        data = matrix.data
+    else:
+        data = np.asarray(matrix)
+    if data.dtype.kind == "f" and np.isnan(data).any():
+        raise ShapeError(
+            "matrix contains NaN values; assumption A2 of sparsity "
+            "estimation (no NaNs) is violated"
+        )
+
+
+def boolean_structure(matrix: MatrixLike) -> sp.csr_array:
+    """Return the 0/1 non-zero structure of *matrix* as CSR with int8 data.
+
+    This realizes assumption A1 of the paper (no cancellation): downstream
+    ground-truth operations work on the structure, so adding ``+1`` and ``-1``
+    can never annihilate a non-zero.
+    """
+    csr = as_csr(matrix)
+    structure = csr.copy()
+    structure.data = np.ones_like(structure.data, dtype=np.int8)
+    return structure

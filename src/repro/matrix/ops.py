@@ -1,0 +1,173 @@
+"""Ground-truth structural operations under assumptions A1/A2.
+
+The paper's estimators all target the *structural* output sparsity — the
+sparsity of the result when positive/negative cancellation (A1) and NaN
+poisoning (A2) are ruled out. The cleanest way to realize those assumptions
+is to compute on 0/1 indicator structures: a product of 0/1 matrices can only
+lose non-zeros through cancellation, which cannot happen with non-negative
+data.
+
+Every function here returns a canonical CSR array holding the exact non-zero
+structure of the result; the SparsEst runner uses these as the ground truth
+against which estimates are scored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.matrix.conversion import MatrixLike, as_csc, as_csr, boolean_structure
+
+
+def matmul(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Structural matrix product ``C = A B`` under A1/A2.
+
+    Computed as a boolean product of the operand structures: ``C[i, j]`` is
+    non-zero iff some ``k`` has ``A[i, k] != 0`` and ``B[k, j] != 0``.
+    """
+    return boolean_matmul(a, b)
+
+
+def boolean_matmul(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Boolean matrix product on non-zero structures, returned as 0/1 CSR."""
+    sa = boolean_structure(a)
+    sb = boolean_structure(b)
+    if sa.shape[1] != sb.shape[0]:
+        raise ShapeError(
+            f"matmul requires inner dimensions to agree: {sa.shape} x {sb.shape}"
+        )
+    # int64 accumulation cannot overflow for any realistic benchmark size and
+    # cannot cancel, so the structure of the numeric product is exact.
+    product = sa.astype(np.int64) @ sb.astype(np.int64)
+    result = as_csr(product)
+    result.data = np.ones_like(result.data, dtype=np.int8)
+    return result
+
+
+def ewise_add(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Structural element-wise addition: the union of both structures."""
+    sa = boolean_structure(a)
+    sb = boolean_structure(b)
+    if sa.shape != sb.shape:
+        raise ShapeError(f"ewise_add requires equal shapes: {sa.shape} vs {sb.shape}")
+    union = as_csr(sa.astype(np.int64) + sb.astype(np.int64))
+    union.data = np.ones_like(union.data, dtype=np.int8)
+    return union
+
+
+def ewise_mult(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Structural element-wise (Hadamard) product: structure intersection."""
+    sa = boolean_structure(a)
+    sb = boolean_structure(b)
+    if sa.shape != sb.shape:
+        raise ShapeError(f"ewise_mult requires equal shapes: {sa.shape} vs {sb.shape}")
+    inter = as_csr(sa.multiply(sb))
+    inter.data = np.ones_like(inter.data, dtype=np.int8)
+    return inter
+
+
+def transpose(a: MatrixLike) -> sp.csr_array:
+    """Structural transpose."""
+    return as_csr(as_csr(a).transpose())
+
+
+def reshape_rowwise(a: MatrixLike, rows: int, cols: int) -> sp.csr_array:
+    """Row-major reshape of an ``m x n`` matrix into ``rows x cols``.
+
+    Matches the paper's ``reshape`` semantics (row-wise linearization, as in
+    SystemML): cell ``(i, j)`` maps to linear index ``i * n + j`` which maps to
+    output cell ``(idx // cols, idx % cols)``. The total cell count must be
+    preserved.
+    """
+    csr = as_csr(a)
+    m, n = csr.shape
+    if rows * cols != m * n:
+        raise ShapeError(
+            f"cannot reshape {m}x{n} ({m * n} cells) into {rows}x{cols} "
+            f"({rows * cols} cells)"
+        )
+    coo = csr.tocoo()
+    linear = coo.row.astype(np.int64) * n + coo.col.astype(np.int64)
+    out = sp.coo_array(
+        (coo.data, (linear // cols, linear % cols)), shape=(rows, cols)
+    )
+    return as_csr(out)
+
+
+def diag_matrix(v: MatrixLike) -> sp.csr_array:
+    """Place a column vector (``m x 1``) onto the diagonal of an ``m x m``
+    matrix (the paper's vector-to-matrix ``diag``)."""
+    csr = as_csr(v)
+    m, n = csr.shape
+    if n != 1:
+        raise ShapeError(f"diag_matrix expects an m x 1 column vector, got {csr.shape}")
+    coo = csr.tocoo()
+    return as_csr(sp.coo_array((coo.data, (coo.row, coo.row)), shape=(m, m)))
+
+
+def diag_extract(a: MatrixLike) -> sp.csr_array:
+    """Extract the main diagonal of a square matrix as an ``m x 1`` vector
+    (the paper's matrix-to-vector ``diag``)."""
+    csr = as_csr(a)
+    m, n = csr.shape
+    if m != n:
+        raise ShapeError(f"diag_extract expects a square matrix, got {csr.shape}")
+    return as_csr(csr.diagonal().reshape(m, 1))
+
+
+def rbind(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Row-wise concatenation (stack *b* below *a*)."""
+    sa, sb = as_csr(a), as_csr(b)
+    if sa.shape[1] != sb.shape[1]:
+        raise ShapeError(
+            f"rbind requires equal column counts: {sa.shape} vs {sb.shape}"
+        )
+    return as_csr(sp.vstack([sa, sb], format="csr"))
+
+
+def cbind(a: MatrixLike, b: MatrixLike) -> sp.csr_array:
+    """Column-wise concatenation (stack *b* to the right of *a*)."""
+    sa, sb = as_csr(a), as_csr(b)
+    if sa.shape[0] != sb.shape[0]:
+        raise ShapeError(f"cbind requires equal row counts: {sa.shape} vs {sb.shape}")
+    return as_csr(sp.hstack([sa, sb], format="csr"))
+
+
+def row_sums(a: MatrixLike) -> sp.csr_array:
+    """Structural row aggregation: an ``m x 1`` vector whose entry ``i`` is
+    non-zero iff row ``i`` holds any non-zero.
+
+    Under A1/A2 a numeric ``rowSums`` can only be zero when the whole row is
+    structurally zero, so this is the exact structure of the aggregate.
+    """
+    csr = as_csr(a)
+    counts = np.diff(csr.indptr)
+    return as_csr((counts > 0).astype(np.int8).reshape(-1, 1))
+
+
+def col_sums(a: MatrixLike) -> sp.csr_array:
+    """Structural column aggregation: a ``1 x n`` vector whose entry ``j``
+    is non-zero iff column ``j`` holds any non-zero (see :func:`row_sums`)."""
+    csc = as_csc(a)
+    counts = np.diff(csc.indptr)
+    return as_csr((counts > 0).astype(np.int8).reshape(1, -1))
+
+
+def not_equals_zero(a: MatrixLike) -> sp.csr_array:
+    """The indicator structure ``A != 0`` as a 0/1 CSR matrix."""
+    return boolean_structure(a)
+
+
+def equals_zero(a: MatrixLike) -> sp.csr_array:
+    """The complement indicator ``A == 0`` (dense complement, 0/1 CSR).
+
+    The result has ``m * n - nnz(A)`` non-zeros, so it is typically dense;
+    callers in the benchmark only apply it to modest shapes.
+    """
+    csr = as_csr(a)
+    dense = np.ones(csr.shape, dtype=np.int8)
+    coo = csr.tocoo()
+    dense[coo.row, coo.col] = 0
+    return as_csr(dense)

@@ -1,0 +1,62 @@
+"""Operation vocabulary shared by the expression IR and the estimators.
+
+Both :mod:`repro.ir` (which builds expression DAGs) and
+:mod:`repro.estimators` (which propagate synopses over those DAGs) need to
+agree on operation identity; keeping the enum in a leaf module avoids a
+dependency cycle between the two packages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.Enum):
+    """Operations supported by the expression IR (paper Sections 3–4)."""
+
+    LEAF = "leaf"
+    MATMUL = "matmul"
+    EWISE_ADD = "ewise_add"
+    EWISE_MULT = "ewise_mult"
+    TRANSPOSE = "transpose"
+    RESHAPE = "reshape"
+    DIAG_V2M = "diag_v2m"  # vector -> diagonal matrix
+    DIAG_M2V = "diag_m2v"  # matrix -> diagonal vector
+    RBIND = "rbind"
+    CBIND = "cbind"
+    NEQ_ZERO = "neq_zero"  # A != 0
+    EQ_ZERO = "eq_zero"    # A == 0
+    ROW_SUMS = "row_sums"  # aggregate each row to one cell (m x 1)
+    COL_SUMS = "col_sums"  # aggregate each column to one cell (1 x n)
+
+    @property
+    def arity(self) -> int:
+        """Number of matrix operands the operation consumes."""
+        if self in _BINARY_OPS:
+            return 2
+        if self is Op.LEAF:
+            return 0
+        return 1
+
+    @property
+    def is_elementwise(self) -> bool:
+        """True for the element-wise operations of paper Section 4."""
+        return self in (Op.EWISE_ADD, Op.EWISE_MULT)
+
+    @property
+    def is_reorganization(self) -> bool:
+        """True for reorganizations (position changes, Section 4)."""
+        return self in (
+            Op.TRANSPOSE, Op.RESHAPE, Op.DIAG_V2M, Op.DIAG_M2V,
+            Op.RBIND, Op.CBIND, Op.NEQ_ZERO, Op.EQ_ZERO,
+        )
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True for the row/column aggregations (structural sums)."""
+        return self in (Op.ROW_SUMS, Op.COL_SUMS)
+
+
+_BINARY_OPS = frozenset(
+    {Op.MATMUL, Op.EWISE_ADD, Op.EWISE_MULT, Op.RBIND, Op.CBIND}
+)

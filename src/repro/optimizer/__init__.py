@@ -1,0 +1,42 @@
+"""Matrix-multiplication-chain optimization (paper Appendix C).
+
+- :mod:`repro.optimizer.cost` — dense and sparsity-aware FLOP cost models.
+- :mod:`repro.optimizer.mmchain` — the textbook O(n^3) dynamic program and
+  its sparsity-aware extension that memoizes MNC sketches of optimal
+  subchains (Eq 17), plus random-plan enumeration for Figure 16.
+- :mod:`repro.optimizer.rewrite` — the SystemML-style dynamic rewrite that
+  re-parenthesizes maximal product chains inside expression DAGs.
+"""
+
+from repro.optimizer.cost import (
+    dense_matmul_flops,
+    plan_cost_estimated,
+    plan_cost_true,
+    sparse_matmul_flops,
+)
+from repro.optimizer.rewrite import collect_chain, rewrite_chains
+from repro.optimizer.mmchain import (
+    Plan,
+    enumerate_random_plans,
+    left_deep_plan,
+    optimize_chain_dense,
+    optimize_chain_sparse,
+    plan_to_string,
+    random_plan,
+)
+
+__all__ = [
+    "Plan",
+    "collect_chain",
+    "dense_matmul_flops",
+    "enumerate_random_plans",
+    "left_deep_plan",
+    "optimize_chain_dense",
+    "optimize_chain_sparse",
+    "plan_cost_estimated",
+    "plan_cost_true",
+    "plan_to_string",
+    "random_plan",
+    "rewrite_chains",
+    "sparse_matmul_flops",
+]

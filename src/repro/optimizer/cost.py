@@ -1,0 +1,84 @@
+"""FLOP cost models for matrix-multiplication plans.
+
+The sparse cost of one product is the number of non-zero multiply pairs,
+``sum_k nnz(A[:, k]) * nnz(B[k, :]) = hc_A . hr_B`` — independent of the
+output sparsity (paper Eq 17, following Cohen). The dense cost is the
+classic ``m * n * l``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.propagate import propagate_product
+from repro.core.rounding import SeedLike, resolve_rng
+from repro.core.sketch import MNCSketch
+from repro.errors import PlanError
+from repro.matrix import ops as mops
+from repro.matrix.conversion import MatrixLike, as_csr
+from repro.matrix.properties import col_nnz, row_nnz
+
+# A plan is a leaf index or a recursive (left, right) pair.
+Plan = Union[int, tuple]
+
+
+def dense_matmul_flops(m: int, n: int, l: int) -> float:
+    """Dense cost of an ``(m x n) @ (n x l)`` product."""
+    return float(m) * float(n) * float(l)
+
+
+def sparse_matmul_flops(h_a: MNCSketch, h_b: MNCSketch) -> float:
+    """Sparse multiply-pair cost from sketches: ``hc_A . hr_B`` (Eq 17)."""
+    if h_a.ncols != h_b.nrows:
+        raise PlanError(f"cost of mismatched product: {h_a.shape} x {h_b.shape}")
+    return float(h_a.hc.astype(np.float64) @ h_b.hr.astype(np.float64))
+
+
+def plan_cost_estimated(
+    plan: Plan,
+    sketches: Sequence[MNCSketch],
+    rng: SeedLike = None,
+) -> float:
+    """Sparsity-aware cost of *plan* using MNC sketch propagation.
+
+    Intermediate sketches are derived with
+    :func:`~repro.core.propagate.propagate_product`, so the cost of deep
+    plans reflects estimated intermediate structure rather than dense shapes.
+    """
+    generator = resolve_rng(rng)
+    cost, _ = _walk_estimated(plan, sketches, generator)
+    return cost
+
+
+def _walk_estimated(
+    plan: Plan, sketches: Sequence[MNCSketch], rng: np.random.Generator
+) -> tuple[float, MNCSketch]:
+    if isinstance(plan, int):
+        return 0.0, sketches[plan]
+    if len(plan) != 2:
+        raise PlanError(f"malformed plan node: {plan!r}")
+    left_cost, left = _walk_estimated(plan[0], sketches, rng)
+    right_cost, right = _walk_estimated(plan[1], sketches, rng)
+    cost = left_cost + right_cost + sparse_matmul_flops(left, right)
+    return cost, propagate_product(left, right, rng=rng)
+
+
+def plan_cost_true(plan: Plan, matrices: Sequence[MatrixLike]) -> float:
+    """Exact sparse cost of *plan*: materializes every intermediate
+    structure. Only feasible for small chains (used to validate the
+    estimated costs in tests)."""
+    cost, _ = _walk_true(plan, [as_csr(m) for m in matrices])
+    return cost
+
+
+def _walk_true(plan: Plan, matrices: Sequence) -> tuple[float, object]:
+    if isinstance(plan, int):
+        return 0.0, matrices[plan]
+    left_cost, left = _walk_true(plan[0], matrices)
+    right_cost, right = _walk_true(plan[1], matrices)
+    pair_cost = float(
+        col_nnz(left).astype(np.float64) @ row_nnz(right).astype(np.float64)
+    )
+    return left_cost + right_cost + pair_cost, mops.matmul(left, right)

@@ -1,0 +1,154 @@
+"""Sparsity-aware MM-chain rewrite over expression DAGs (Appendix C).
+
+SystemML applies the sparsity-aware chain DP as a *rewrite*: wherever the
+DAG contains a chain of consecutive matrix products, the parenthesization
+is re-chosen with sketch-based costs. This module brings that rewrite to
+:mod:`repro.ir`:
+
+1. :func:`collect_chain` flattens a maximal product-only subtree into its
+   ordered operand list;
+2. :func:`rewrite_chains` walks a DAG bottom-up, re-optimizes every maximal
+   chain of length >= 3 with :func:`~repro.optimizer.mmchain.optimize_chain_sparse`,
+   and rebuilds the products according to the optimal plan.
+
+The rewrite is semantics-preserving (matrix products are associative, and
+the structural interpreter verifies this in the tests) and leaves all
+non-product operations untouched — chains are cut at element-wise
+operations, reorganizations, and shared (multi-parent) intermediates, the
+same boundaries SystemML's rewrite respects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.rounding import SeedLike, resolve_rng
+from repro.core.sketch import MNCSketch
+from repro.ir.nodes import Expr, matmul
+from repro.opcodes import Op
+from repro.optimizer.cost import Plan
+from repro.optimizer.mmchain import optimize_chain_sparse
+
+
+def collect_chain(root: Expr, reference_counts: Optional[Dict[int, int]] = None) -> List[Expr]:
+    """Flatten the maximal product chain rooted at *root*.
+
+    Returns the ordered operand expressions ``[M1, M2, ..., Mk]`` such that
+    ``root`` computes ``M1 @ M2 @ ... @ Mk`` (k >= 2 when *root* is a
+    product; ``[root]`` otherwise). Flattening stops at non-product nodes
+    and — when *reference_counts* is given — at products that other parts
+    of the DAG also consume (re-parenthesizing those would duplicate work).
+    """
+    if root.op is not Op.MATMUL:
+        return [root]
+    operands: List[Expr] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        shared = (
+            reference_counts is not None
+            and node is not root
+            and reference_counts.get(id(node), 0) > 1
+        )
+        if node.op is Op.MATMUL and not shared:
+            stack.append(node.inputs[1])
+            stack.append(node.inputs[0])
+        else:
+            operands.append(node)
+    return operands
+
+
+def _reference_counts(root: Expr) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for node in root.postorder():
+        for child in node.inputs:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+    return counts
+
+
+def _build_plan(plan: Plan, operands: List[Expr]) -> Expr:
+    if isinstance(plan, int):
+        return operands[plan]
+    left = _build_plan(plan[0], operands)
+    right = _build_plan(plan[1], operands)
+    return matmul(left, right)
+
+
+def rewrite_chains(
+    root: Expr,
+    rng: SeedLike = None,
+    min_chain_length: int = 3,
+) -> Expr:
+    """Re-parenthesize every maximal product chain in the DAG.
+
+    Chains are costed with MNC sketches: leaf operands are sketched from
+    their matrices, non-leaf operands (chain inputs produced by other
+    operations) are sketched from their *exactly evaluated structure* when
+    they are leaves of the chain — here we propagate synopses instead,
+    using the MNC estimator over the sub-DAG, so no materialization
+    happens.
+
+    Args:
+        root: expression to rewrite (not mutated; a new DAG is returned,
+            sharing unchanged sub-expressions).
+        rng: randomness for sketch propagation inside the DP.
+        min_chain_length: chains shorter than this are left as-is (the
+            default 3 skips plain binary products, which have one plan).
+
+    Returns:
+        The rewritten root expression.
+    """
+    from repro.estimators.mnc import MNCEstimator
+    from repro.ir.estimate import _propagate_dag
+
+    generator = resolve_rng(rng)
+    counts = _reference_counts(root)
+    estimator = MNCEstimator(seed=generator)
+    rewritten: Dict[int, Expr] = {}
+
+    def rebuild(node: Expr) -> Expr:
+        cached = rewritten.get(id(node))
+        if cached is not None:
+            return cached
+        if node.op is Op.LEAF:
+            rewritten[id(node)] = node
+            return node
+        if node.op is Op.MATMUL:
+            operands = collect_chain(node, counts)
+            if len(operands) >= min_chain_length:
+                new_operands = [rebuild(operand) for operand in operands]
+                sketches = [_sketch_of(operand, estimator) for operand in new_operands]
+                solution = optimize_chain_sparse(sketches, rng=generator)
+                result = _build_plan(solution.plan, new_operands)
+                rewritten[id(node)] = result
+                return result
+        new_inputs = tuple(rebuild(child) for child in node.inputs)
+        if all(new is old for new, old in zip(new_inputs, node.inputs)):
+            result = node
+        else:
+            result = Expr(
+                node.op, new_inputs, matrix=node.matrix,
+                params=node.params, name=node.name,
+            )
+        rewritten[id(node)] = result
+        return result
+
+    def _sketch_of(operand: Expr, mnc: MNCEstimator) -> MNCSketch:
+        if operand.op is Op.LEAF:
+            return MNCSketch.from_matrix(operand.matrix)
+        synopses = _propagate_dag_cached(operand, mnc)
+        return synopses[id(operand)].sketch
+
+    propagation_cache: Dict[int, Dict[int, object]] = {}
+
+    def _propagate_dag_cached(operand: Expr, mnc: MNCEstimator):
+        cached = propagation_cache.get(id(operand))
+        if cached is None:
+            # Propagate including the operand itself (it is not the DAG
+            # root here, so _propagate_dag covers it).
+            wrapper = Expr(Op.NEQ_ZERO, (operand,))
+            cached = _propagate_dag(wrapper, mnc)
+            propagation_cache[id(operand)] = cached
+        return cached
+
+    return rebuild(root)

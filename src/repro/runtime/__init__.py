@@ -1,0 +1,39 @@
+"""Runtime consumers of sparsity estimates (the paper's motivation).
+
+Sparsity estimates exist to drive decisions: output *format* selection
+(sparse vs dense blocks), memory *pre-allocation*, and plan costing. This
+subpackage implements those consumers so the estimators can be evaluated on
+the decisions they cause, not just on relative error:
+
+- :mod:`repro.runtime.formats` — SystemML-style format rule and memory
+  models for dense FP64 and CSR blocks;
+- :mod:`repro.runtime.allocator` — per-operation allocation decisions and
+  the regret (waste / undersizing) an estimator's error induces;
+- :mod:`repro.runtime.executor` — executes an expression DAG with
+  estimator-guided decisions and aggregates decision quality.
+"""
+
+from repro.runtime.allocator import AllocationDecision, AllocationReport, plan_allocation
+from repro.runtime.executor import DecisionSummary, execute_with_decisions
+from repro.runtime.explain import PlanLine, explain, explain_lines
+from repro.runtime.formats import (
+    SPARSE_FORMAT_THRESHOLD,
+    MatrixFormat,
+    choose_format,
+    memory_bytes,
+)
+
+__all__ = [
+    "AllocationDecision",
+    "AllocationReport",
+    "DecisionSummary",
+    "MatrixFormat",
+    "PlanLine",
+    "SPARSE_FORMAT_THRESHOLD",
+    "choose_format",
+    "execute_with_decisions",
+    "explain",
+    "explain_lines",
+    "memory_bytes",
+    "plan_allocation",
+]

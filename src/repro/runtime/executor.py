@@ -1,0 +1,80 @@
+"""Estimator-guided execution of expression DAGs.
+
+Walks a DAG the way a runtime would: before materializing each operation's
+output, it commits to a format and buffer size from the estimator's
+propagated synopsis; afterwards the exact structural result reveals what
+the decision cost. The result is a :class:`DecisionSummary` — the "M3"
+style evaluation the paper marks optional (how estimates affect the plan's
+execution, not just their error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.base import SparsityEstimator
+from repro.ir.estimate import _propagate_dag
+from repro.ir.interpreter import evaluate_all
+from repro.ir.nodes import Expr
+from repro.opcodes import Op
+from repro.runtime.allocator import AllocationReport, plan_allocation
+
+
+@dataclass(frozen=True)
+class DecisionSummary:
+    """Outcome of executing a DAG under an estimator's guidance."""
+
+    estimator: str
+    report: AllocationReport
+
+    @property
+    def operations(self) -> int:
+        return self.report.total
+
+    @property
+    def wrong_formats(self) -> int:
+        return self.report.wrong_format_count
+
+    @property
+    def regret_mb(self) -> float:
+        return self.report.regret_bytes / 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.estimator}: {self.operations} ops, "
+            f"{self.wrong_formats} wrong formats, "
+            f"regret {self.regret_mb:.2f} MB "
+            f"({self.report.regret_ratio * 100:.1f}% of optimal)"
+        )
+
+
+def execute_with_decisions(
+    root: Expr, estimator: SparsityEstimator
+) -> DecisionSummary:
+    """Execute *root* with estimator-guided allocation for every operation.
+
+    Leaves are inputs (already resident, no decision); every operation node
+    gets one allocation decision scored against the exact structural
+    result.
+
+    Args:
+        root: the expression DAG (will be fully evaluated — use benchmark
+            scales).
+        estimator: any registered estimator instance.
+    """
+    synopses = _propagate_dag(root, estimator)
+    truths = evaluate_all(root)
+    report = AllocationReport()
+    for node in root.postorder():
+        if node.op is Op.LEAF:
+            continue
+        if node is root:
+            children = [synopses[id(child)] for child in node.inputs]
+            estimated = estimator.estimate_nnz(node.op, children, **node.params)
+        else:
+            estimated = synopses[id(node)].nnz_estimate
+        truth = float(truths[id(node)].nnz)
+        report.add(
+            plan_allocation(node.label, node.shape, estimated, truth)
+        )
+    return DecisionSummary(estimator=estimator.name, report=report)

@@ -1,0 +1,126 @@
+"""EXPLAIN-style plan reports for expression DAGs.
+
+Database systems expose the optimizer's view of a query via EXPLAIN; this
+module does the same for a matrix expression: per node, the operation,
+output shape, the estimator's sparsity estimate, the format decision it
+implies, the estimated memory, and (for products) the estimated sparse
+multiply-pair cost. The report is what a SystemML-style compiler would log
+when compiling the expression with MNC-backed statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.estimators.base import SparsityEstimator, Synopsis
+from repro.estimators.mnc import MNCSynopsis
+from repro.ir.estimate import _propagate_dag
+from repro.ir.nodes import Expr
+from repro.opcodes import Op
+from repro.optimizer.cost import sparse_matmul_flops
+from repro.runtime.formats import MatrixFormat, choose_format, memory_bytes
+
+
+@dataclass(frozen=True)
+class PlanLine:
+    """One node of the explained plan."""
+
+    depth: int
+    label: str
+    op: str
+    shape: tuple[int, int]
+    sparsity: float
+    format: MatrixFormat
+    memory_bytes: float
+    flops: Optional[float]
+
+
+def explain_lines(root: Expr, estimator: SparsityEstimator) -> List[PlanLine]:
+    """Compute the per-node plan lines, leaves first (post-order)."""
+    synopses = _propagate_dag(root, estimator)
+    if root.op is not Op.LEAF:
+        children = [synopses[id(child)] for child in root.inputs]
+        root_nnz = estimator.estimate_nnz(root.op, children, **root.params)
+    depths = _depths(root)
+    lines: List[PlanLine] = []
+    for node in root.postorder():
+        if node is root and node.op is not Op.LEAF:
+            nnz = root_nnz
+            synopsis: Optional[Synopsis] = None
+        else:
+            synopsis = synopses[id(node)]
+            nnz = synopsis.nnz_estimate
+        m, n = node.shape
+        sparsity = nnz / (m * n) if m and n else 0.0
+        fmt = choose_format(min(max(sparsity, 0.0), 1.0))
+        memory = memory_bytes(m, n, min(nnz, m * n), fmt)
+        flops = _product_flops(node, synopses)
+        lines.append(PlanLine(
+            depth=depths[id(node)], label=node.label, op=node.op.value,
+            shape=node.shape, sparsity=sparsity, format=fmt,
+            memory_bytes=memory, flops=flops,
+        ))
+    return lines
+
+
+def _product_flops(node: Expr, synopses) -> Optional[float]:
+    if node.op is not Op.MATMUL:
+        return None
+    left = synopses.get(id(node.inputs[0]))
+    right = synopses.get(id(node.inputs[1]))
+    if isinstance(left, MNCSynopsis) and isinstance(right, MNCSynopsis):
+        return sparse_matmul_flops(left.sketch, right.sketch)
+    if left is not None and right is not None:
+        # Generic estimators: expected pairs under uniform slice counts.
+        common = node.inputs[0].shape[1]
+        if common == 0:
+            return 0.0
+        return left.nnz_estimate * right.nnz_estimate / common
+    return None
+
+
+def _depths(root: Expr) -> dict[int, int]:
+    depths: dict[int, int] = {}
+    order = list(root.postorder())
+    depths[id(root)] = 0
+    for node in reversed(order):
+        for child in node.inputs:
+            proposed = depths.get(id(node), 0) + 1
+            if proposed > depths.get(id(child), -1):
+                depths[id(child)] = proposed
+    return depths
+
+
+def explain(root: Expr, estimator: SparsityEstimator) -> str:
+    """Render an EXPLAIN report for *root* under *estimator*.
+
+    Nodes print root-first (the reverse of evaluation order), indented by
+    DAG depth, e.g.::
+
+        masked-scores  ewise_mult  1000x2500  s~0.0056  SPARSE  0.2 MB
+          known        neq_zero    1000x2500  ...
+    """
+    lines = explain_lines(root, estimator)
+    by_id = {id(node): line for node, line in zip(root.postorder(), lines)}
+    rendered = [f"plan for {root.label} under {estimator.name}:"]
+    seen: set[int] = set()
+
+    def render(node: Expr) -> None:
+        if id(node) in seen:
+            line = by_id[id(node)]
+            rendered.append(f"{'  ' * line.depth}{line.label}  (shared, see above)")
+            return
+        seen.add(id(node))
+        line = by_id[id(node)]
+        flops = f"  flops~{line.flops:,.0f}" if line.flops is not None else ""
+        rendered.append(
+            f"{'  ' * line.depth}{line.label}  [{line.op}]  "
+            f"{line.shape[0]}x{line.shape[1]}  s~{line.sparsity:.4g}  "
+            f"{line.format.value}  {line.memory_bytes / 1e6:.2f} MB{flops}"
+        )
+        for child in node.inputs:
+            render(child)
+
+    render(root)
+    return "\n".join(rendered)

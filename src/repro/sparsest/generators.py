@@ -1,0 +1,107 @@
+"""Structured synthetic inputs for the B1 use cases (paper Section 5).
+
+Each helper builds the operand pair of one structured matrix product:
+token/embedding matrices (B1.1), diagonal scaling (B1.2), random
+permutation (B1.3), and the adversarial outer/inner special cases
+(B1.4/B1.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.matrix.conversion import as_csr
+from repro.matrix.random import (
+    SeedLike,
+    _rng,
+    diagonal_matrix,
+    outer_product_pair,
+    permutation_matrix,
+    random_sparse,
+    single_nnz_per_row,
+)
+
+
+def embeddings_matrix(
+    vocab: int, dimensions: int, seed: SeedLike = None
+) -> sp.csr_array:
+    """Pre-trained word-embeddings stand-in: dense ``vocab x dimensions``
+    with an empty last row (the unknown-token row, paper Figure 1)."""
+    rng = _rng(seed)
+    dense = rng.random((vocab, dimensions)) * 0.9 + 0.1
+    dense[-1, :] = 0.0
+    return as_csr(dense)
+
+
+def nlp_pair(
+    rows: int = 20_000,
+    vocab: int = 10_000,
+    dimensions: int = 64,
+    known_fraction: float = 0.001,
+    zipf_alpha: float = 1.1,
+    seed: SeedLike = 11,
+) -> tuple[sp.csr_array, sp.csr_array]:
+    """B1.1 NLP: ``X W`` where X has one non-zero per row (power-law token
+    columns, the last column holding the ``1 - known_fraction`` unknowns)
+    and W is dense except its empty last row.
+
+    The true output sparsity is exactly *known_fraction* — independent of
+    all dimensions — because only known-token rows hit non-empty W rows.
+    """
+    rng = _rng(seed)
+    weights = np.arange(1, vocab + 1, dtype=np.float64) ** (-zipf_alpha)
+    weights[-1] = 0.0
+    weights *= known_fraction / weights.sum()
+    weights[-1] = 1.0 - known_fraction
+    tokens = single_nnz_per_row(rows, vocab, seed=rng, column_weights=weights)
+    return tokens, embeddings_matrix(vocab, dimensions, seed=rng)
+
+
+def scale_pair(
+    n: int = 10_000,
+    cols: int = 512,
+    sparsity: float = 0.01,
+    seed: SeedLike = 12,
+) -> tuple[sp.csr_array, sp.csr_array]:
+    """B1.2 Scale: ``diag(lambda) X`` — the output structure equals X."""
+    rng = _rng(seed)
+    return diagonal_matrix(n, seed=rng), random_sparse(n, cols, sparsity, seed=rng)
+
+
+def permutation_pair(
+    n: int = 10_000,
+    cols: int = 512,
+    sparsity: float = 0.5,
+    seed: SeedLike = 13,
+) -> tuple[sp.csr_array, sp.csr_array]:
+    """B1.3 Perm: ``table(s1, s2) X`` (random reshuffle) — output structure
+    is a row permutation of X, so the sparsity is exactly X's."""
+    rng = _rng(seed)
+    return permutation_matrix(n, seed=rng), random_sparse(n, cols, sparsity, seed=rng)
+
+
+def outer_pair(n: int = 2_000) -> tuple[sp.csr_array, sp.csr_array]:
+    """B1.4 Outer: ``C R`` with a dense column meeting its aligned dense
+    row — the product is fully dense."""
+    column, row = outer_product_pair(n)
+    return column, row
+
+
+def inner_pair(n: int = 2_000) -> tuple[sp.csr_array, sp.csr_array]:
+    """B1.5 Inner: ``R C`` — the same operands in the opposite order yield a
+    single non-zero."""
+    column, row = outer_product_pair(n)
+    return row, column
+
+
+def scale_shift_matrix(n: int) -> sp.csr_array:
+    """B3.2's scale-and-shift matrix: ``n x n`` with a fully dense diagonal
+    and a fully dense last row (used to fold centering into the product and
+    avoid densifying the sparse X upfront)."""
+    diag_rows = np.arange(n)
+    last_rows = np.full(n, n - 1)
+    rows = np.concatenate([diag_rows, last_rows])
+    cols = np.concatenate([diag_rows, np.arange(n)])
+    data = np.ones(rows.size, dtype=np.int8)
+    return as_csr(sp.coo_array((data, (rows, cols)), shape=(n, n)))

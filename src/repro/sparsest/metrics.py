@@ -1,0 +1,48 @@
+"""SparsEst metrics (paper Section 5).
+
+M1 accuracy uses the *relative error* ``max(s, s_hat) / min(s, s_hat)``,
+bounded below by 1 and symmetric in over-/under-estimation (unlike the
+absolute ratio error, which penalizes over-estimation more). M2 timing is
+plain wall-clock, reported separately for construction and estimation by the
+runner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """Paper metric M1: ``max(t, e) / min(t, e)``, in ``[1, inf)``.
+
+    Conventions for degenerate cases: two zeros agree perfectly (1.0); a
+    zero against a non-zero is an infinite error (the estimator claims an
+    empty/non-empty result that is the opposite).
+    """
+    t, e = float(true_value), float(estimate)
+    if t < 0 or e < 0:
+        raise ValueError(f"values must be non-negative, got {t} and {e}")
+    if t == 0.0 and e == 0.0:
+        return 1.0
+    if t == 0.0 or e == 0.0:
+        return math.inf
+    return max(t, e) / min(t, e)
+
+
+def absolute_ratio_error(true_value: float, estimate: float) -> float:
+    """The classic ARE ``|t - e| / t`` (asymmetric; reported for reference)."""
+    t, e = float(true_value), float(estimate)
+    if t <= 0:
+        return math.inf if e != t else 0.0
+    return abs(t - e) / t
+
+
+def aggregate_relative_error(
+    true_values: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """Additive aggregation over repeated experiments (paper Section 5):
+    ``max(sum(e), sum(t)) / min(sum(e), sum(t))``."""
+    if len(true_values) != len(estimates):
+        raise ValueError("true_values and estimates must have equal length")
+    return relative_error(sum(true_values), sum(estimates))

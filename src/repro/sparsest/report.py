@@ -1,0 +1,122 @@
+"""ASCII report tables shaped like the paper's figures.
+
+The benchmark modules print these tables so a run of
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's accuracy
+figures as text: use cases as columns, estimators as rows, relative errors
+as cells (``x`` marks unsupported/OOM combinations, as in Figures 11/14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.sparsest.runner import EstimateOutcome
+
+
+def format_error(value: float) -> str:
+    """Render one relative error: ``1.0`` exact, ``x`` for failures."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "x"
+    if math.isinf(value):
+        return "INF"
+    if value >= 1000:
+        return f"{value:.3g}"
+    return f"{value:.2f}"
+
+
+def outcomes_table(outcomes: Sequence[EstimateOutcome], title: str = "") -> str:
+    """Pivot outcomes into an estimator x use-case relative-error table."""
+    use_cases: List[str] = []
+    estimators: List[str] = []
+    cells: Dict[tuple[str, str], str] = {}
+    for outcome in outcomes:
+        if outcome.use_case not in use_cases:
+            use_cases.append(outcome.use_case)
+        if outcome.estimator not in estimators:
+            estimators.append(outcome.estimator)
+        cell = format_error(outcome.relative_error) if outcome.ok else "x"
+        cells[(outcome.estimator, outcome.use_case)] = cell
+    name_width = max([len(e) for e in estimators] + [9])
+    col_width = max([len(u) for u in use_cases] + [8])
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + " | " + " | ".join(
+        f"{u:>{col_width}}" for u in use_cases
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for estimator in estimators:
+        row = [
+            f"{cells.get((estimator, use_case), ''):>{col_width}}"
+            for use_case in use_cases
+        ]
+        lines.append(f"{estimator:<{name_width}} | " + " | ".join(row))
+    return "\n".join(lines)
+
+
+def timings_table(outcomes: Sequence[EstimateOutcome], title: str = "") -> str:
+    """Pivot outcomes into an estimator x use-case timing table (seconds)."""
+    use_cases: List[str] = []
+    estimators: List[str] = []
+    cells: Dict[tuple[str, str], str] = {}
+    for outcome in outcomes:
+        if outcome.use_case not in use_cases:
+            use_cases.append(outcome.use_case)
+        if outcome.estimator not in estimators:
+            estimators.append(outcome.estimator)
+        cell = f"{outcome.seconds:.4f}" if outcome.ok else "x"
+        cells[(outcome.estimator, outcome.use_case)] = cell
+    name_width = max([len(e) for e in estimators] + [9])
+    col_width = max([len(u) for u in use_cases] + [8])
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + " | " + " | ".join(
+        f"{u:>{col_width}}" for u in use_cases
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for estimator in estimators:
+        row = [
+            f"{cells.get((estimator, use_case), ''):>{col_width}}"
+            for use_case in use_cases
+        ]
+        lines.append(f"{estimator:<{name_width}} | " + " | ".join(row))
+    return "\n".join(lines)
+
+
+def simple_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Generic fixed-width table used by the runtime/size benchmarks."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_render_cell(cell) for cell in row]
+        rendered += [""] * (columns - len(rendered))
+        rendered_rows.append(rendered)
+        for index, cell in enumerate(rendered[:columns]):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(f"{c:>{w}}" for c, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "x"
+        if math.isinf(cell):
+            return "INF"
+        if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:,.4f}" if abs(cell) < 100 else f"{cell:,.1f}"
+    return str(cell)

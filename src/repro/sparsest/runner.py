@@ -1,0 +1,182 @@
+"""SparsEst execution harness.
+
+Runs estimators over use-case DAGs, computes ground truth once per DAG
+(memoized on the expression object), and reports the paper's M1/M2 metrics.
+Estimators that cannot express an operation (e.g. the layered graph on
+element-wise operations, Table 1) yield an ``unsupported`` outcome, which
+the report renders as the "x" the paper's figures show. Estimators whose
+synopsis would exceed a configurable memory budget (the paper's
+out-of-memory bitset cases) yield ``oom``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Iterable, List, MutableMapping, Sequence
+
+from repro.errors import UnsupportedOperationError
+from repro.estimators.base import SparsityEstimator
+from repro.estimators.bitset import BitsetEstimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.ir.interpreter import evaluate
+from repro.ir.nodes import Expr
+from repro.opcodes import Op
+from repro.sparsest.metrics import relative_error
+from repro.sparsest.usecases import UseCase
+
+#: Default synopsis budget: a bitset beyond this is treated as OOM, mirroring
+#: the paper's 8 TB / 7.8 TB bitset failures at benchmark scale.
+DEFAULT_MEMORY_BUDGET_BYTES = 2 * 1024**3
+
+# Keyed weakly by the Expr object itself: entries die with their DAGs, so a
+# recycled id() can never resurrect a stale ground truth.
+_TRUTH_CACHE: MutableMapping[Expr, float] = weakref.WeakKeyDictionary()
+
+
+@dataclass(frozen=True)
+class EstimateOutcome:
+    """Result of one (use case, estimator) execution."""
+
+    use_case: str
+    estimator: str
+    true_nnz: float
+    estimated_nnz: float
+    relative_error: float
+    seconds: float
+    status: str  # "ok" | "unsupported" | "oom"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def true_nnz_of(root: Expr) -> float:
+    """Ground-truth non-zero count of a DAG root (memoized per object)."""
+    if root not in _TRUTH_CACHE:
+        _TRUTH_CACHE[root] = float(evaluate(root).nnz)
+    return _TRUTH_CACHE[root]
+
+
+def _bitset_would_oom(root: Expr, budget_bytes: int) -> bool:
+    """Whether any node's bitset synopsis exceeds the memory budget."""
+    for node in root.postorder():
+        m, n = node.shape
+        if m * n / 8 > budget_bytes:
+            return True
+    return False
+
+
+def run_use_case(
+    use_case: UseCase,
+    estimator: SparsityEstimator,
+    scale: float = 1.0,
+    seed: int = 0,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> EstimateOutcome:
+    """Run one estimator on one use case and score it.
+
+    The reported time covers synopsis construction, propagation, and root
+    estimation (the paper's M2 "total estimation time").
+    """
+    root = use_case.build(scale=scale, seed=seed)
+    truth = true_nnz_of(root)
+    if isinstance(estimator, BitsetEstimator) and _bitset_would_oom(
+        root, memory_budget_bytes
+    ):
+        return EstimateOutcome(
+            use_case.id, estimator.name, truth, math.nan, math.inf, 0.0, "oom"
+        )
+    start = time.perf_counter()
+    try:
+        estimate = estimate_root_nnz(root, estimator)
+    except UnsupportedOperationError:
+        return EstimateOutcome(
+            use_case.id, estimator.name, truth, math.nan, math.inf, 0.0,
+            "unsupported",
+        )
+    seconds = time.perf_counter() - start
+    error = relative_error(truth, estimate)
+    return EstimateOutcome(
+        use_case.id, estimator.name, truth, estimate, error, seconds, "ok"
+    )
+
+
+def run_repeated(
+    use_case: UseCase,
+    estimator: SparsityEstimator,
+    repetitions: int = 20,
+    scale: float = 1.0,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> EstimateOutcome:
+    """Run *repetitions* seeds and aggregate with the paper's additive rule.
+
+    Section 5: "we additively aggregate ... and compute the final error as
+    max(S, s*n) / min(S, s*n)". Each repetition uses a distinct data seed;
+    timings sum. A single unsupported/OOM outcome short-circuits.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    true_counts: List[float] = []
+    estimates: List[float] = []
+    seconds = 0.0
+    for seed in range(repetitions):
+        outcome = run_use_case(
+            use_case, estimator, scale=scale, seed=seed,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        if not outcome.ok:
+            return outcome
+        true_counts.append(outcome.true_nnz)
+        estimates.append(outcome.estimated_nnz)
+        seconds += outcome.seconds
+    from repro.sparsest.metrics import aggregate_relative_error
+
+    return EstimateOutcome(
+        use_case.id, estimator.name,
+        sum(true_counts), sum(estimates),
+        aggregate_relative_error(true_counts, estimates),
+        seconds, "ok",
+    )
+
+
+def run_estimators(
+    use_cases: Sequence[UseCase],
+    estimators: Iterable[SparsityEstimator],
+    scale: float = 1.0,
+    seed: int = 0,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> List[EstimateOutcome]:
+    """Cartesian run of estimators over use cases."""
+    outcomes: List[EstimateOutcome] = []
+    for use_case in use_cases:
+        for estimator in estimators:
+            outcomes.append(
+                run_use_case(
+                    use_case, estimator, scale=scale, seed=seed,
+                    memory_budget_bytes=memory_budget_bytes,
+                )
+            )
+    return outcomes
+
+
+def supports_use_case(estimator: SparsityEstimator, root: Expr) -> bool:
+    """Static capability check: does *estimator* implement every operation
+    appearing in the DAG (propagation for inner nodes, estimation for the
+    root)?"""
+    for node in root.postorder():
+        if node.op is Op.LEAF:
+            continue
+        if node is root:
+            if not estimator.supports(node.op):
+                return False
+        elif not estimator.supports_propagation(node.op):
+            return False
+    return True
+
+
+def clear_truth_cache() -> None:
+    """Drop memoized ground-truth counts (mainly for tests)."""
+    _TRUTH_CACHE.clear()

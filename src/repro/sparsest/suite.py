@@ -1,0 +1,94 @@
+"""One-call SparsEst suite runs.
+
+``run_suite`` executes a lineup of estimators over (a subset of) the
+fifteen use cases and returns everything the paper's evaluation section
+reports: per-case relative errors, per-case timings, and per-estimator
+aggregates — plus rendered tables for terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.estimators import make_estimator
+from repro.estimators.base import SparsityEstimator
+from repro.sparsest.report import outcomes_table, timings_table
+from repro.sparsest.runner import EstimateOutcome, run_estimators, run_repeated
+from repro.sparsest.summary import EstimatorSummary, summarize, summary_table
+from repro.sparsest.usecases import all_use_cases, get_use_case
+
+#: The full figure lineup, in legend order.
+DEFAULT_LINEUP: Sequence[str] = (
+    "meta_wc", "meta_ac", "sampling", "mnc_basic", "mnc",
+    "density_map", "bitset", "layered_graph",
+)
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Everything one suite run produced."""
+
+    outcomes: List[EstimateOutcome]
+    summaries: List[EstimatorSummary]
+    scale: float
+    repetitions: int
+
+    def errors_table(self) -> str:
+        """Use-case x estimator relative-error table."""
+        return outcomes_table(
+            self.outcomes,
+            title=f"SparsEst relative errors (scale={self.scale}, "
+                  f"repetitions={self.repetitions})",
+        )
+
+    def timings_table(self) -> str:
+        """Use-case x estimator timing table."""
+        return timings_table(self.outcomes, title="Estimation time [s]")
+
+    def summary_table(self) -> str:
+        """Per-estimator aggregate table."""
+        return summary_table(self.outcomes, title="Per-estimator summary")
+
+    def render(self) -> str:
+        """All three tables, ready to print."""
+        return "\n\n".join(
+            [self.errors_table(), self.timings_table(), self.summary_table()]
+        )
+
+
+def run_suite(
+    estimator_names: Sequence[str] = DEFAULT_LINEUP,
+    case_ids: Optional[Sequence[str]] = None,
+    scale: float = 0.1,
+    repetitions: int = 1,
+    seed: int = 0,
+) -> SuiteResult:
+    """Run the SparsEst suite.
+
+    Args:
+        estimator_names: registry names to instantiate (fresh per run).
+        case_ids: use-case ids, default all fifteen.
+        scale: dimension scale relative to the paper's setup.
+        repetitions: >1 aggregates seeds with the paper's additive rule.
+        seed: base data seed (single-repetition runs only).
+    """
+    if case_ids is None:
+        cases = all_use_cases()
+    else:
+        cases = [get_use_case(case_id) for case_id in case_ids]
+    lineup: List[SparsityEstimator] = [
+        make_estimator(name) for name in estimator_names
+    ]
+    if repetitions <= 1:
+        outcomes = run_estimators(cases, lineup, scale=scale, seed=seed)
+    else:
+        outcomes = [
+            run_repeated(case, estimator, repetitions=repetitions, scale=scale)
+            for case in cases
+            for estimator in lineup
+        ]
+    return SuiteResult(
+        outcomes=outcomes, summaries=summarize(outcomes),
+        scale=scale, repetitions=repetitions,
+    )

@@ -1,0 +1,110 @@
+"""Cross-benchmark summary statistics for estimator comparisons.
+
+Turns a list of :class:`~repro.sparsest.runner.EstimateOutcome` into
+per-estimator aggregates: geometric-mean relative error (the natural
+average for a multiplicative, [1, inf)-bounded metric), exact-result and
+failure counts, win counts (how often the estimator had the strictly best
+error on a use case), and total estimation time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sparsest.runner import EstimateOutcome
+
+
+@dataclass(frozen=True)
+class EstimatorSummary:
+    """Aggregate performance of one estimator over a set of use cases."""
+
+    estimator: str
+    cases: int
+    supported: int
+    exact: int
+    failures: int
+    wins: int
+    geometric_mean_error: float
+    worst_error: float
+    total_seconds: float
+
+
+def summarize(outcomes: Sequence[EstimateOutcome]) -> List[EstimatorSummary]:
+    """Aggregate outcomes per estimator (sorted by geometric-mean error).
+
+    Unsupported/OOM outcomes count as failures and are excluded from the
+    error statistics; infinite errors on supported cases are excluded from
+    the geometric mean but reflected in ``worst_error``.
+    """
+    by_estimator: Dict[str, List[EstimateOutcome]] = {}
+    for outcome in outcomes:
+        by_estimator.setdefault(outcome.estimator, []).append(outcome)
+
+    best_by_case = _best_errors(outcomes)
+    summaries: List[EstimatorSummary] = []
+    for estimator, entries in by_estimator.items():
+        supported = [entry for entry in entries if entry.ok]
+        finite = [
+            entry.relative_error for entry in supported
+            if math.isfinite(entry.relative_error)
+        ]
+        exact = sum(
+            1 for entry in supported
+            if math.isfinite(entry.relative_error)
+            and entry.relative_error <= 1.0 + 1e-9
+        )
+        wins = sum(
+            1 for entry in supported
+            if entry.relative_error <= best_by_case[entry.use_case] + 1e-12
+        )
+        if finite:
+            geo_mean = math.exp(sum(math.log(e) for e in finite) / len(finite))
+        else:
+            geo_mean = math.inf
+        worst = max(
+            (entry.relative_error for entry in supported), default=math.inf
+        )
+        summaries.append(EstimatorSummary(
+            estimator=estimator,
+            cases=len(entries),
+            supported=len(supported),
+            exact=exact,
+            failures=len(entries) - len(supported),
+            wins=wins,
+            geometric_mean_error=geo_mean,
+            worst_error=worst,
+            total_seconds=sum(entry.seconds for entry in supported),
+        ))
+    summaries.sort(key=lambda s: (s.geometric_mean_error, s.estimator))
+    return summaries
+
+
+def _best_errors(outcomes: Sequence[EstimateOutcome]) -> Dict[str, float]:
+    best: Dict[str, float] = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        current = best.get(outcome.use_case, math.inf)
+        best[outcome.use_case] = min(current, outcome.relative_error)
+    return best
+
+
+def summary_table(outcomes: Sequence[EstimateOutcome], title: str = "") -> str:
+    """Render :func:`summarize` as a fixed-width table."""
+    from repro.sparsest.report import simple_table
+
+    rows = [
+        [
+            summary.estimator, summary.cases, summary.exact, summary.wins,
+            summary.failures, summary.geometric_mean_error,
+            summary.worst_error, summary.total_seconds,
+        ]
+        for summary in summarize(outcomes)
+    ]
+    return simple_table(
+        ["Estimator", "cases", "exact", "wins", "failed",
+         "geo-mean err", "worst err", "time [s]"],
+        rows, title=title,
+    )

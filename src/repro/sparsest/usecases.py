@@ -1,0 +1,339 @@
+"""SparsEst use cases B1.1–B3.5 (paper Section 5, Table 2).
+
+Every use case builds an expression DAG over synthetic inputs whose
+structural properties match the paper's description; dimensions default to
+roughly 1/5–1/10 of the paper's (laptop scale) and scale linearly with the
+``scale`` argument. Heavy datasets are cached on disk across processes.
+
+====== ========== ==========================================  =================
+Id     Name       Expression                                   Data
+====== ========== ==========================================  =================
+B1.1   NLP        X W                                          synthetic tokens
+B1.2   Scale      diag(lambda) X                               synthetic
+B1.3   Perm       table(s1, s2) X                              synthetic
+B1.4   Outer      C R                                          synthetic
+B1.5   Inner      R C                                          synthetic
+B2.1   NLP        X W                                          AMin A stand-in
+B2.2   Project    X P                                          Covertype stand-in
+B2.3   CoRefG     G G^T                                        AMin R stand-in
+B2.4   EmailG     G G                                          Email stand-in
+B2.5   Mask       M (*) X                                      Mnist stand-in
+B3.1   NLP        reshape(X W)                                 AMin A stand-in
+B3.2   S&S        S^T X^T diag(w) X S B                        Mnist stand-in
+B3.3   Graph      P G G G G                                    AMin R stand-in
+B3.4   Rec        (P X != 0) (*) (P L R^T)                     Amazon stand-in
+B3.5   Pred       X (*) ((R (*) S + T) != 0)                   Mnist stand-in
+====== ========== ==========================================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.ir.nodes import (
+    Expr,
+    diag,
+    ewise_add,
+    ewise_mult,
+    leaf,
+    matmul,
+    neq_zero,
+    reshape,
+    transpose,
+)
+from repro.matrix.conversion import as_csr
+from repro.matrix.io import cached_matrix
+from repro.matrix.random import random_sparse, selection_matrix
+from repro.sparsest import datasets, generators
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+@dataclass
+class UseCase:
+    """One SparsEst benchmark query.
+
+    ``build(scale, seed)`` returns the expression DAG; repeated calls with
+    the same arguments return the *same* object so ground truth and
+    estimates are computed over identical inputs.
+    """
+
+    id: str
+    name: str
+    category: str
+    description: str
+    builder: Callable[[float, int], Expr]
+    #: use cases a given estimator family cannot express (informational)
+    pure_product_chain: bool = True
+    _cache: Dict[tuple[float, int], Expr] = field(default_factory=dict, repr=False)
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> Expr:
+        key = (float(scale), int(seed))
+        if key not in self._cache:
+            self._cache[key] = self.builder(scale, seed)
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# Cached dataset accessors
+# ----------------------------------------------------------------------
+
+def _aminer_abstracts(scale: float, seed: int) -> sp.csr_array:
+    rows, vocab = _scaled(20_000, scale), _scaled(10_000, scale)
+    return cached_matrix(
+        f"aminer_abstracts:{rows}:{vocab}:{seed}",
+        lambda: datasets.aminer_abstracts(rows=rows, vocab=vocab, seed=41 + seed),
+    )
+
+
+def _aminer_references(scale: float, seed: int) -> sp.csr_array:
+    nodes = _scaled(20_000, scale)
+    return cached_matrix(
+        f"aminer_references:{nodes}:{seed}",
+        lambda: datasets.aminer_references(nodes=nodes, seed=42 + seed),
+    )
+
+
+def _amazon(scale: float, seed: int) -> sp.csr_array:
+    users, items = _scaled(20_000, scale), _scaled(5_000, scale)
+    return cached_matrix(
+        f"amazon:{users}:{items}:{seed}",
+        lambda: datasets.amazon_ratings(users=users, items=items, seed=43 + seed),
+    )
+
+
+def _covtype(scale: float, seed: int) -> sp.csr_array:
+    rows = _scaled(58_000, scale)
+    return cached_matrix(
+        f"covtype:{rows}:{seed}", lambda: datasets.covtype(rows=rows, seed=44 + seed)
+    )
+
+
+def _email(scale: float, seed: int) -> sp.csr_array:
+    nodes, edges = _scaled(26_000, scale), _scaled(42_000, scale)
+    return cached_matrix(
+        f"email:{nodes}:{edges}:{seed}",
+        lambda: datasets.email_graph(nodes=nodes, edges=edges, seed=45 + seed),
+    )
+
+
+def _mnist(scale: float, seed: int) -> sp.csr_array:
+    rows = _scaled(20_000, scale)
+    return cached_matrix(
+        f"mnist:{rows}:{seed}", lambda: datasets.mnist_like(rows=rows, seed=46 + seed)
+    )
+
+
+# ----------------------------------------------------------------------
+# B1: structured synthetic matrix products
+# ----------------------------------------------------------------------
+
+def _b11(scale: float, seed: int) -> Expr:
+    tokens, embeddings = generators.nlp_pair(
+        rows=_scaled(20_000, scale), vocab=_scaled(10_000, scale),
+        dimensions=_scaled(64, scale, minimum=8), seed=11 + seed,
+    )
+    return matmul(leaf(tokens, "X"), leaf(embeddings, "W"), name="XW")
+
+
+def _b12(scale: float, seed: int) -> Expr:
+    scaling, x = generators.scale_pair(
+        n=_scaled(10_000, scale), cols=_scaled(512, scale, minimum=8), seed=12 + seed
+    )
+    return matmul(leaf(scaling, "diag(lambda)"), leaf(x, "X"), name="diag(lambda)X")
+
+
+def _b13(scale: float, seed: int) -> Expr:
+    permutation, x = generators.permutation_pair(
+        n=_scaled(10_000, scale), cols=_scaled(512, scale, minimum=8), seed=13 + seed
+    )
+    return matmul(leaf(permutation, "P"), leaf(x, "X"), name="PX")
+
+
+def _b14(scale: float, seed: int) -> Expr:
+    column, row = generators.outer_pair(n=_scaled(2_000, scale))
+    return matmul(leaf(column, "C"), leaf(row, "R"), name="CR")
+
+
+def _b15(scale: float, seed: int) -> Expr:
+    row, column = generators.inner_pair(n=_scaled(2_000, scale))
+    return matmul(leaf(row, "R"), leaf(column, "C"), name="RC")
+
+
+# ----------------------------------------------------------------------
+# B2: real-structure matrix operations
+# ----------------------------------------------------------------------
+
+def _b21(scale: float, seed: int) -> Expr:
+    tokens = _aminer_abstracts(scale, seed)
+    vocab = tokens.shape[1]
+    embeddings = generators.embeddings_matrix(
+        vocab, _scaled(64, scale, minimum=8), seed=21 + seed
+    )
+    return matmul(leaf(tokens, "X"), leaf(embeddings, "W"), name="XW")
+
+
+def _b22(scale: float, seed: int) -> Expr:
+    x = _covtype(scale, seed)
+    n = x.shape[1]
+    # Project the dummy-coded (ultra-sparse, varying-sparsity) columns
+    # [11, 50] — P[c, j] = 1 maps original column to projected column.
+    projected = list(range(11, min(51, n)))
+    p = as_csr(selection_matrix(projected, n).transpose())
+    return matmul(leaf(x, "X"), leaf(p, "P"), name="XP")
+
+
+def _b23(scale: float, seed: int) -> Expr:
+    graph = _aminer_references(scale, seed)
+    graph_t = as_csr(graph.transpose())
+    return matmul(leaf(graph, "G"), leaf(graph_t, "Gt"), name="GGt")
+
+
+def _b24(scale: float, seed: int) -> Expr:
+    graph = _email(scale, seed)
+    g = leaf(graph, "G")
+    return matmul(g, g, name="GG")
+
+
+def _b25(scale: float, seed: int) -> Expr:
+    images = _mnist(scale, seed)
+    mask = datasets.center_mask(images.shape[0])
+    return ewise_mult(leaf(mask, "M"), leaf(images, "X"), name="M*X")
+
+
+# ----------------------------------------------------------------------
+# B3: real matrix expressions (chains)
+# ----------------------------------------------------------------------
+
+def _b31(scale: float, seed: int) -> Expr:
+    tokens = _aminer_abstracts(scale, seed)
+    vocab = tokens.shape[1]
+    dims = _scaled(64, scale, minimum=8)
+    embeddings = generators.embeddings_matrix(vocab, dims, seed=31 + seed)
+    product = matmul(leaf(tokens, "X"), leaf(embeddings, "W"), name="XW")
+    tokens_per_sentence = 10
+    rows = tokens.shape[0] // tokens_per_sentence
+    return reshape(product, rows, tokens_per_sentence * dims, name="reshape(XW)")
+
+
+def _b32(scale: float, seed: int) -> Expr:
+    images = _mnist(scale, seed)
+    rows = images.shape[0]
+    ones = np.ones((rows, 1))
+    x = leaf(as_csr(sp.hstack([sp.csr_matrix(images), sp.csr_matrix(ones)],
+                              format="csr")), "X")
+    n = x.shape[1]
+    s = leaf(generators.scale_shift_matrix(n), "S")
+    rng = np.random.default_rng(32 + seed)
+    w = leaf(as_csr(rng.random((rows, 1)) + 0.1), "w")
+    b = leaf(as_csr(rng.random((n, 3)) + 0.1), "B")
+    chain = matmul(transpose(s), transpose(x), name="StXt")
+    chain = matmul(chain, diag(w), name="StXtD")
+    chain = matmul(chain, x, name="StXtDX")
+    chain = matmul(chain, s, name="StXtDXS")
+    return matmul(chain, b, name="StXtDXSB")
+
+
+def _b33(scale: float, seed: int) -> Expr:
+    graph = _aminer_references(scale, seed)
+    out_degrees = np.diff(graph.indptr)
+    top = np.argsort(out_degrees)[::-1][: _scaled(200, scale, minimum=16)]
+    p = leaf(selection_matrix(np.sort(top), graph.shape[0]), "P")
+    g = leaf(graph, "G")
+    chain = matmul(p, g, name="PG")
+    chain = matmul(chain, g, name="PGG")
+    chain = matmul(chain, g, name="PGGG")
+    return matmul(chain, g, name="PGGGG")
+
+
+def _b34(scale: float, seed: int) -> Expr:
+    ratings = _amazon(scale, seed)
+    users, items = ratings.shape
+    row_degrees = np.diff(ratings.indptr)
+    top_users = np.sort(np.argsort(row_degrees)[::-1][: _scaled(2_000, scale, minimum=16)])
+    p = leaf(selection_matrix(top_users, users), "P")
+    rng = np.random.default_rng(34 + seed)
+    rank = 16
+    l = leaf(random_sparse(users, rank, 0.95, seed=rng), "L")
+    r = leaf(random_sparse(items, rank, 0.85, seed=rng), "R")
+    x = leaf(ratings, "X")
+    known = neq_zero(matmul(p, x, name="PX"), name="PX!=0")
+    predictions = matmul(matmul(p, l, name="PL"), transpose(r), name="PLRt")
+    return ewise_mult(known, predictions, name="Rec")
+
+
+def _b35(scale: float, seed: int) -> Expr:
+    images = _mnist(scale, seed)
+    rows, cols = images.shape
+    rng = np.random.default_rng(35 + seed)
+    center = datasets.center_mask(rows)
+    random_mask = random_sparse(rows, cols, 0.1, seed=rng, values="ones")
+    # T: data-dependent mask (X == 255 in the paper) — a subsample of X's
+    # own support, so it is correlated with the image structure.
+    coo = images.tocoo()
+    keep = rng.random(coo.nnz) < 0.2
+    t_matrix = as_csr(sp.coo_array(
+        (np.ones(int(keep.sum()), dtype=np.int8),
+         (coo.row[keep], coo.col[keep])), shape=images.shape,
+    ))
+    x = leaf(images, "X")
+    predicate = ewise_add(
+        ewise_mult(leaf(center, "R"), leaf(random_mask, "S"), name="R*S"),
+        leaf(t_matrix, "T"), name="R*S+T",
+    )
+    return ewise_mult(x, neq_zero(predicate, name="(R*S+T)!=0"), name="Pred")
+
+
+_USE_CASES: List[UseCase] = [
+    UseCase("B1.1", "NLP", "Struct", "token/embedding product, one nnz per row", _b11),
+    UseCase("B1.2", "Scale", "Struct", "diagonal scaling, structure-preserving", _b12),
+    UseCase("B1.3", "Perm", "Struct", "random permutation, structure-preserving", _b13),
+    UseCase("B1.4", "Outer", "Struct", "dense column x dense row -> fully dense", _b14),
+    UseCase("B1.5", "Inner", "Struct", "dense row x dense column -> single nnz", _b15),
+    UseCase("B2.1", "NLP", "Real", "AMin A abstracts encoding", _b21),
+    UseCase("B2.2", "Project", "Real", "Covertype dummy-coded column projection", _b22),
+    UseCase("B2.3", "CoRefG", "Real", "co-reference counting G G^T", _b23),
+    UseCase("B2.4", "EmailG", "Real", "email graph self-product", _b24),
+    UseCase("B2.5", "Mask", "Real", "image center masking (element-wise)", _b25,
+            pure_product_chain=False),
+    UseCase("B3.1", "NLP", "Chain", "NLP encode + sentence reshape", _b31,
+            pure_product_chain=False),
+    UseCase("B3.2", "S&S", "Chain", "deferred scale-and-shift chain", _b32,
+            pure_product_chain=False),
+    UseCase("B3.3", "Graph", "Chain", "matrix powers P G G G G", _b33),
+    UseCase("B3.4", "Rec", "Chain", "recommendations for selected users", _b34,
+            pure_product_chain=False),
+    UseCase("B3.5", "Pred", "Chain", "boolean mask predicate", _b35,
+            pure_product_chain=False),
+]
+
+_BY_ID = {case.id: case for case in _USE_CASES}
+
+
+def all_use_cases(category: Optional[str] = None) -> List[UseCase]:
+    """All use cases, optionally filtered by category (Struct/Real/Chain)."""
+    if category is None:
+        return list(_USE_CASES)
+    return [case for case in _USE_CASES if case.category == category]
+
+
+def use_case_ids(category: Optional[str] = None) -> List[str]:
+    """Ids of all (or one category's) use cases."""
+    return [case.id for case in all_use_cases(category)]
+
+
+def get_use_case(case_id: str) -> UseCase:
+    """Look up a use case by id (e.g. ``"B2.3"``)."""
+    try:
+        return _BY_ID[case_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown use case {case_id!r}; available: {sorted(_BY_ID)}"
+        ) from None

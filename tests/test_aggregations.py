@@ -1,0 +1,136 @@
+"""Tests for the row/column aggregation operations across the stack."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_structure_equal
+from repro.core import ops as core_ops
+from repro.core.sketch import MNCSketch
+from repro.estimators import make_estimator
+from repro.ir import col_sums, evaluate, leaf, matmul, row_sums
+from repro.ir.estimate import estimate_root_nnz
+from repro.matrix import ops as mops
+from repro.matrix.random import random_sparse, single_nnz_per_row
+from repro.opcodes import Op
+
+
+class TestGroundTruth:
+    def test_row_sums_structure(self):
+        matrix = np.array([[1, 0], [0, 0], [2, 3]])
+        result = mops.row_sums(matrix)
+        assert result.shape == (3, 1)
+        assert_structure_equal(result, np.array([[1], [0], [1]]))
+
+    def test_col_sums_structure(self):
+        matrix = np.array([[1, 0, 0], [2, 0, 3]])
+        result = mops.col_sums(matrix)
+        assert result.shape == (1, 3)
+        assert_structure_equal(result, np.array([[1, 0, 1]]))
+
+    def test_no_cancellation(self):
+        # +1 and -1 in a row sum to 0 numerically, but structurally the
+        # row is non-empty (assumption A1).
+        matrix = np.array([[1.0, -1.0]])
+        assert mops.row_sums(matrix).nnz == 1
+
+    def test_empty_matrix(self):
+        assert mops.row_sums(np.zeros((4, 3))).nnz == 0
+        assert mops.col_sums(np.zeros((4, 3))).nnz == 0
+
+
+class TestOpcode:
+    def test_aggregation_flags(self):
+        assert Op.ROW_SUMS.is_aggregation
+        assert Op.COL_SUMS.is_aggregation
+        assert not Op.MATMUL.is_aggregation
+        assert Op.ROW_SUMS.arity == 1
+
+
+class TestMncPropagation:
+    def test_row_sums_exact(self):
+        matrix = random_sparse(30, 20, 0.1, seed=1)
+        sketch = MNCSketch.from_matrix(matrix)
+        result = core_ops.propagate_row_sums(sketch)
+        truth = mops.row_sums(matrix)
+        assert result.shape == (30, 1)
+        assert result.total_nnz == truth.nnz
+        np.testing.assert_array_equal(result.hr, (sketch.hr > 0).astype(np.int64))
+
+    def test_col_sums_exact(self):
+        matrix = random_sparse(30, 20, 0.1, seed=2)
+        sketch = MNCSketch.from_matrix(matrix)
+        result = core_ops.propagate_col_sums(sketch)
+        assert result.shape == (1, 20)
+        assert result.total_nnz == mops.col_sums(matrix).nnz
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("name", ["mnc", "bitset", "exact"])
+    def test_exact_estimators(self, name):
+        matrix = random_sparse(40, 25, 0.08, seed=3)
+        estimator = make_estimator(name)
+        synopsis = estimator.build(matrix)
+        assert estimator.estimate_nnz(Op.ROW_SUMS, [synopsis]) == mops.row_sums(matrix).nnz
+        assert estimator.estimate_nnz(Op.COL_SUMS, [synopsis]) == mops.col_sums(matrix).nnz
+
+    def test_meta_ac_close_on_uniform(self):
+        matrix = random_sparse(200, 100, 0.05, seed=4)
+        estimator = make_estimator("meta_ac")
+        synopsis = estimator.build(matrix)
+        truth = mops.row_sums(matrix).nnz
+        estimate = estimator.estimate_nnz(Op.ROW_SUMS, [synopsis])
+        assert truth / 1.1 <= estimate <= truth * 1.1
+
+    def test_meta_wc_upper_bounds(self):
+        matrix = random_sparse(50, 50, 0.05, seed=5)
+        estimator = make_estimator("meta_wc")
+        synopsis = estimator.build(matrix)
+        assert estimator.estimate_nnz(Op.ROW_SUMS, [synopsis]) >= mops.row_sums(matrix).nnz
+
+    def test_density_map_close(self):
+        matrix = random_sparse(100, 80, 0.05, seed=6)
+        estimator = make_estimator("density_map", block_size=16)
+        synopsis = estimator.build(matrix)
+        truth = mops.row_sums(matrix).nnz
+        estimate = estimator.estimate_nnz(Op.ROW_SUMS, [synopsis])
+        assert truth / 1.3 <= estimate <= truth * 1.3
+        truth_c = mops.col_sums(matrix).nnz
+        estimate_c = estimator.estimate_nnz(Op.COL_SUMS, [synopsis])
+        assert truth_c / 1.3 <= estimate_c <= truth_c * 1.3
+
+    def test_layered_graph_unsupported(self):
+        from repro.errors import UnsupportedOperationError
+
+        estimator = make_estimator("layered_graph")
+        synopsis = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.estimate_nnz(Op.ROW_SUMS, [synopsis])
+
+
+class TestIr:
+    def test_shapes(self):
+        a = leaf(np.ones((4, 6)))
+        assert row_sums(a).shape == (4, 1)
+        assert col_sums(a).shape == (1, 6)
+
+    def test_interpreter(self):
+        matrix = random_sparse(10, 8, 0.3, seed=7)
+        root = row_sums(leaf(matrix))
+        assert_structure_equal(evaluate(root), mops.row_sums(matrix))
+
+    def test_end_to_end_mnc_close_on_product_aggregate(self):
+        # rowSums(P X): the product total is exact (Theorem 3.1) but the
+        # propagated row histogram is probabilistically rounded, so the
+        # non-empty-row count carries a little noise.
+        tokens = single_nnz_per_row(60, 30, seed=8)
+        data = random_sparse(30, 20, 0.2, seed=9)
+        root = row_sums(matmul(leaf(tokens), leaf(data)))
+        truth = evaluate(root).nnz
+        estimate = estimate_root_nnz(root, make_estimator("mnc"))
+        assert truth / 1.3 <= estimate <= truth * 1.3
+
+    def test_end_to_end_mnc_exact_on_leaf_aggregate(self):
+        matrix = random_sparse(50, 40, 0.05, seed=10)
+        root = col_sums(leaf(matrix))
+        truth = evaluate(root).nnz
+        assert estimate_root_nnz(root, make_estimator("mnc")) == truth

@@ -1,0 +1,122 @@
+"""Unit tests for the bitset estimator: it must be exact on everything."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_structure_equal
+from repro.estimators.bitset import BitsetEstimator, pack_matrix
+from repro.matrix import ops as mops
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+@pytest.fixture(params=["vectorized", "scalar"])
+def estimator(request):
+    return BitsetEstimator(kernel=request.param)
+
+
+class TestPacking:
+    def test_pack_counts_bits(self):
+        matrix = random_sparse(30, 45, 0.2, seed=1)
+        synopsis = pack_matrix(matrix)
+        assert synopsis.nnz_estimate == matrix.nnz
+        assert synopsis.shape == (30, 45)
+
+    def test_pack_unpack_roundtrip(self):
+        matrix = random_sparse(20, 37, 0.3, seed=2)
+        synopsis = pack_matrix(matrix)
+        assert_structure_equal(synopsis.to_csr(), matrix)
+
+    def test_size_is_packed(self):
+        synopsis = pack_matrix(random_sparse(64, 64, 0.5, seed=3))
+        assert synopsis.size_bytes() == 64 * 8  # 64 rows x 8 bytes
+
+    def test_non_multiple_of_eight_columns(self):
+        matrix = random_sparse(10, 13, 0.4, seed=4)
+        assert_structure_equal(pack_matrix(matrix).to_csr(), matrix)
+
+    def test_empty_matrix(self):
+        synopsis = pack_matrix(np.zeros((5, 9)))
+        assert synopsis.nnz_estimate == 0
+
+
+class TestExactness:
+    def test_matmul_exact(self, estimator):
+        a = random_sparse(40, 30, 0.15, seed=5)
+        b = random_sparse(30, 50, 0.15, seed=6)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == mops.matmul(a, b).nnz
+
+    def test_matmul_structure_exact(self, estimator):
+        a = random_sparse(25, 18, 0.2, seed=7)
+        b = random_sparse(18, 22, 0.25, seed=8)
+        result = estimator.propagate(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert_structure_equal(result.to_csr(), mops.matmul(a, b))
+
+    def test_ewise_exact(self, estimator):
+        a = random_sparse(20, 20, 0.3, seed=9)
+        b = random_sparse(20, 20, 0.3, seed=10)
+        sa, sb = estimator.build(a), estimator.build(b)
+        assert estimator.estimate_nnz(Op.EWISE_ADD, [sa, sb]) == mops.ewise_add(a, b).nnz
+        assert estimator.estimate_nnz(Op.EWISE_MULT, [sa, sb]) == mops.ewise_mult(a, b).nnz
+
+    def test_transpose_exact(self, estimator):
+        a = random_sparse(9, 17, 0.3, seed=11)
+        result = estimator.propagate(Op.TRANSPOSE, [estimator.build(a)])
+        assert_structure_equal(result.to_csr(), mops.transpose(a))
+
+    def test_reshape_exact(self, estimator):
+        a = random_sparse(12, 10, 0.3, seed=12)
+        result = estimator.propagate(Op.RESHAPE, [estimator.build(a)], rows=8, cols=15)
+        assert_structure_equal(result.to_csr(), mops.reshape_rowwise(a, 8, 15))
+
+    def test_eq_zero_exact_with_padding_bits(self, estimator):
+        # 13 columns: the last byte has 3 padding bits that must not be
+        # counted after complementing.
+        a = random_sparse(10, 13, 0.4, seed=13)
+        result = estimator.propagate(Op.EQ_ZERO, [estimator.build(a)])
+        assert result.nnz_estimate == 10 * 13 - a.nnz
+        assert_structure_equal(result.to_csr(), mops.equals_zero(a))
+
+    def test_binds_exact(self, estimator):
+        a = random_sparse(6, 9, 0.4, seed=14)
+        b = random_sparse(4, 9, 0.4, seed=15)
+        result = estimator.propagate(Op.RBIND, [estimator.build(a), estimator.build(b)])
+        assert_structure_equal(result.to_csr(), mops.rbind(a, b))
+        c = random_sparse(6, 5, 0.4, seed=16)
+        result = estimator.propagate(Op.CBIND, [estimator.build(a), estimator.build(c)])
+        assert_structure_equal(result.to_csr(), mops.cbind(a, c))
+
+    def test_diag_exact(self, estimator):
+        v = np.array([[1.0], [0.0], [2.0]])
+        result = estimator.propagate(Op.DIAG_V2M, [estimator.build(v)])
+        assert_structure_equal(result.to_csr(), mops.diag_matrix(v))
+
+    def test_chain_of_products_exact(self, estimator):
+        a = random_sparse(20, 15, 0.2, seed=17)
+        b = random_sparse(15, 18, 0.2, seed=18)
+        c = random_sparse(18, 12, 0.2, seed=19)
+        ab = estimator.propagate(Op.MATMUL, [estimator.build(a), estimator.build(b)])
+        abc = estimator.estimate_nnz(Op.MATMUL, [ab, estimator.build(c)])
+        assert abc == mops.matmul(mops.matmul(a, b), c).nnz
+
+
+class TestKernels:
+    def test_kernels_agree(self):
+        a = random_sparse(30, 25, 0.2, seed=20)
+        b = random_sparse(25, 35, 0.2, seed=21)
+        results = []
+        for kernel in ("vectorized", "scalar"):
+            est = BitsetEstimator(kernel=kernel)
+            results.append(
+                est.estimate_nnz(Op.MATMUL, [est.build(a), est.build(b)])
+            )
+        assert results[0] == results[1]
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            BitsetEstimator(kernel="simd")

@@ -1,0 +1,102 @@
+"""Tests for the chain estimation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import (
+    chain_sketches,
+    estimate_all_subchains,
+    estimate_chain_nnz,
+    estimate_chain_sparsity,
+)
+from repro.errors import ShapeError
+from repro.matrix.ops import matmul
+from repro.matrix.random import diagonal_matrix, random_sparse, single_nnz_per_row
+
+
+def _chain(seeds, dims, sparsities):
+    return [
+        random_sparse(m, n, s, seed=seed)
+        for seed, (m, n), s in zip(seeds, zip(dims, dims[1:]), sparsities)
+    ]
+
+
+class TestChainEstimate:
+    def test_single_matrix(self):
+        matrix = random_sparse(10, 8, 0.3, seed=1)
+        sketches = chain_sketches([matrix])
+        assert estimate_chain_nnz(sketches) == matrix.nnz
+
+    def test_two_matrix_chain_matches_product_estimate(self):
+        from repro.core.estimate import estimate_product_nnz
+
+        a = random_sparse(30, 20, 0.2, seed=2)
+        b = random_sparse(20, 25, 0.2, seed=3)
+        sketches = chain_sketches([a, b])
+        assert estimate_chain_nnz(sketches) == estimate_product_nnz(*sketches)
+
+    def test_three_matrix_chain_close_to_truth(self):
+        matrices = _chain([4, 5, 6], [100, 80, 90, 70], [0.08, 0.08, 0.08])
+        truth = matmul(matmul(matrices[0], matrices[1]), matrices[2]).nnz
+        estimate = estimate_chain_nnz(chain_sketches(matrices), rng=7)
+        assert truth / 1.5 <= estimate <= truth * 1.5
+
+    def test_diagonal_chain_exact(self):
+        d1 = diagonal_matrix(50, seed=8)
+        x = random_sparse(50, 40, 0.2, seed=9)
+        sketches = chain_sketches([d1, x])
+        assert estimate_chain_nnz(sketches, rng=10) == x.nnz
+
+    def test_sparsity_wrapper(self):
+        matrices = _chain([11, 12], [20, 30, 25], [0.3, 0.3])
+        sketches = chain_sketches(matrices)
+        nnz = estimate_chain_nnz(sketches, rng=13)
+        sparsity = estimate_chain_sparsity(sketches, rng=13)
+        assert sparsity == pytest.approx(nnz / (20 * 25), rel=0.2)
+
+    def test_shape_mismatch_rejected(self):
+        a = random_sparse(5, 6, 0.5, seed=14)
+        b = random_sparse(7, 5, 0.5, seed=15)
+        with pytest.raises(ShapeError):
+            estimate_chain_nnz(chain_sketches([a, b]))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ShapeError):
+            estimate_chain_nnz([])
+
+
+class TestAllSubchains:
+    def test_covers_all_pairs(self):
+        matrices = _chain([16, 17, 18, 19], [20, 25, 30, 22, 18],
+                          [0.2, 0.2, 0.2, 0.2])
+        estimates = estimate_all_subchains(chain_sketches(matrices), rng=20)
+        expected_keys = {(i, j) for i in range(4) for j in range(i + 1, 4)}
+        assert set(estimates) == expected_keys
+
+    def test_matches_truth_on_structured_chain(self):
+        # Permutation-like chains keep every subchain exactly estimable.
+        p = single_nnz_per_row(40, 40, seed=21)
+        q = single_nnz_per_row(40, 40, seed=22)
+        x = random_sparse(40, 30, 0.2, seed=23)
+        sketches = chain_sketches([p, q, x])
+        estimates = estimate_all_subchains(sketches, rng=24)
+        assert estimates[(0, 1)] == matmul(p, q).nnz
+        truth_full = matmul(matmul(p, q), x).nnz
+        assert estimates[(0, 2)] == pytest.approx(truth_full, rel=0.25)
+
+    def test_single_products_match_direct_estimates(self):
+        from repro.core.estimate import estimate_product_nnz
+
+        matrices = _chain([25, 26, 27], [15, 20, 25, 30], [0.3, 0.3, 0.3])
+        sketches = chain_sketches(matrices)
+        estimates = estimate_all_subchains(sketches, rng=28)
+        for i in range(2):
+            direct = estimate_product_nnz(sketches[i], sketches[i + 1])
+            assert estimates[(i, i + 1)] == direct
+
+    def test_basic_sketches_supported(self):
+        matrices = _chain([29, 30], [10, 12, 14], [0.4, 0.4])
+        sketches = chain_sketches(matrices, with_extensions=False)
+        assert all(not sketch.has_extensions for sketch in sketches)
+        estimates = estimate_all_subchains(sketches, rng=31)
+        assert (0, 1) in estimates

@@ -1,0 +1,122 @@
+"""Tests for the CLI and DAG introspection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.estimators import make_estimator
+from repro.ir import leaf, matmul, neq_zero
+from repro.ir.dot import dag_stats, to_dot
+from repro.matrix.io import save_matrix
+from repro.matrix.random import random_sparse
+
+
+@pytest.fixture
+def stored_pair(tmp_path):
+    a = random_sparse(40, 30, 0.2, seed=1)
+    b = random_sparse(30, 35, 0.2, seed=2)
+    path_a, path_b = tmp_path / "a.npz", tmp_path / "b.npz"
+    save_matrix(path_a, a)
+    save_matrix(path_b, b)
+    return str(path_a), str(path_b)
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mnc" in out
+        assert "B1.1" in out
+
+    def test_sketch(self, stored_pair, capsys):
+        path_a, _ = stored_pair
+        assert main(["sketch", path_a]) == 0
+        out = capsys.readouterr().out
+        assert "40 x 30" in out
+        assert "sketch size" in out
+
+    def test_estimate(self, stored_pair, capsys):
+        path_a, path_b = stored_pair
+        assert main(["estimate", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "MNC estimate" in out
+
+    def test_estimate_with_exact(self, stored_pair, capsys):
+        path_a, path_b = stored_pair
+        assert main(["estimate", path_a, path_b, "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+
+    def test_estimate_other_estimator(self, stored_pair, capsys):
+        path_a, path_b = stored_pair
+        assert main(["estimate", path_a, path_b, "--estimator", "meta_ac"]) == 0
+        assert "MetaAC" in capsys.readouterr().out
+
+    def test_sparsest_subset(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MNC_CACHE", str(tmp_path))
+        code = main([
+            "sparsest", "--cases", "B1.2,B1.4",
+            "--estimators", "meta_ac,mnc", "--scale", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "B1.2" in out and "B1.4" in out
+        assert "MNC" in out
+
+    def test_optimize(self, capsys):
+        code = main([
+            "optimize", "--dims", "50,60,40,30",
+            "--sparsities", "0.5,0.01,0.4", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparse-DP plan" in out
+
+    def test_optimize_bad_arity(self, capsys):
+        code = main([
+            "optimize", "--dims", "50,60", "--sparsities", "0.5,0.5",
+        ])
+        assert code == 2
+
+
+class TestDot:
+    def test_stats(self):
+        a = leaf(np.ones((4, 5)), "A")
+        b = leaf(np.ones((5, 4)), "B")
+        root = neq_zero(matmul(a, b))
+        stats = dag_stats(root)
+        assert stats["nodes"] == 4
+        assert stats["leaves"] == 2
+        assert stats["products"] == 1
+        assert stats["reorganizations"] == 1
+        assert stats["depth"] == 3
+
+    def test_shared_nodes_counted_once(self):
+        shared = leaf(random_sparse(6, 6, 0.5, seed=4), "S")
+        root = (shared @ shared) + (shared @ shared)
+        assert dag_stats(root)["leaves"] == 1
+
+    def test_dot_output_structure(self):
+        a = leaf(np.ones((3, 4)), "A")
+        b = leaf(np.ones((4, 2)), "B")
+        root = matmul(a, b, name="AB")
+        dot = to_dot(root)
+        assert dot.startswith("digraph expression {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="A\\n3x4"' in dot
+        assert "->" in dot
+
+    def test_dot_with_estimator_annotations(self):
+        a = leaf(random_sparse(10, 10, 0.3, seed=5), "A")
+        root = a @ a
+        dot = to_dot(root, estimator=make_estimator("mnc"))
+        assert "s~" in dot
+
+
+class TestCliParseErrors:
+    def test_optimize_unparseable_dims(self, capsys):
+        code = main([
+            "optimize", "--dims", "50,abc,40", "--sparsities", "0.5,0.5",
+        ])
+        assert code == 2
+        assert "could not parse" in capsys.readouterr().err

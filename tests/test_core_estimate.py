@@ -1,0 +1,186 @@
+"""Unit tests for the MNC product estimator (Algorithm 1, Theorems 3.1/3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import (
+    density_map_vector_estimate,
+    estimate_product_nnz,
+    estimate_product_sparsity,
+    product_nnz_lower_bound,
+    product_nnz_upper_bound,
+)
+from repro.core.sketch import MNCSketch
+from repro.errors import ShapeError
+from repro.matrix.ops import matmul
+from repro.matrix.random import (
+    diagonal_matrix,
+    outer_product_pair,
+    permutation_matrix,
+    random_sparse,
+    single_nnz_per_row,
+)
+
+
+def _sketches(a, b):
+    return MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+
+
+class TestTheorem31ExactCases:
+    """max(hr_A) <= 1 or max(hc_B) <= 1 implies the estimate is exact."""
+
+    def test_single_nnz_rows_left(self):
+        a = single_nnz_per_row(300, 60, seed=1)
+        b = random_sparse(60, 80, 0.2, seed=2)
+        h_a, h_b = _sketches(a, b)
+        assert estimate_product_nnz(h_a, h_b) == matmul(a, b).nnz
+
+    def test_single_nnz_cols_right(self):
+        a = random_sparse(80, 60, 0.2, seed=3)
+        b = single_nnz_per_row(70, 60, seed=4).T  # single nnz per column
+        h_a, h_b = _sketches(a, b)
+        assert estimate_product_nnz(h_a, h_b) == matmul(a, b).nnz
+
+    def test_permutation_left_preserves_sparsity(self):
+        p = permutation_matrix(100, seed=5)
+        x = random_sparse(100, 40, 0.3, seed=6)
+        h_p, h_x = _sketches(p, x)
+        assert estimate_product_nnz(h_p, h_x) == x.nnz
+
+    def test_diagonal_scaling_preserves_sparsity(self):
+        d = diagonal_matrix(100, seed=7)
+        x = random_sparse(100, 40, 0.1, seed=8)
+        h_d, h_x = _sketches(d, x)
+        assert estimate_product_nnz(h_d, h_x) == x.nnz
+
+    def test_nlp_sentence_encoding_exact(self):
+        # The introductory example: token matrix (1 nnz/row) x embeddings.
+        tokens = single_nnz_per_row(500, 50, seed=9)
+        rng = np.random.default_rng(10)
+        embeddings = rng.random((50, 16))
+        embeddings[-1] = 0.0
+        h_t, h_e = _sketches(tokens, embeddings)
+        assert estimate_product_nnz(h_t, h_e) == matmul(tokens, embeddings).nnz
+
+
+class TestBounds:
+    def test_upper_bound_formula(self):
+        a = random_sparse(50, 40, 0.1, seed=11)
+        b = random_sparse(40, 60, 0.1, seed=12)
+        h_a, h_b = _sketches(a, b)
+        assert product_nnz_upper_bound(h_a, h_b) == min(
+            h_a.nnz_rows * h_b.nnz_cols, 50 * 60
+        )
+
+    def test_upper_bound_holds(self):
+        a = random_sparse(50, 40, 0.2, seed=13)
+        b = random_sparse(40, 60, 0.2, seed=14)
+        h_a, h_b = _sketches(a, b)
+        assert matmul(a, b).nnz <= product_nnz_upper_bound(h_a, h_b)
+
+    def test_lower_bound_holds(self):
+        a = random_sparse(30, 20, 0.8, seed=15)
+        b = random_sparse(20, 30, 0.8, seed=16)
+        h_a, h_b = _sketches(a, b)
+        assert matmul(a, b).nnz >= product_nnz_lower_bound(h_a, h_b)
+
+    def test_inner_case_exact_via_upper_bound(self):
+        # B1.5: dense row x dense column -> a single non-zero. The upper
+        # bound nnz_rows * nnz_cols = 1 forces the exact answer.
+        column, row = outer_product_pair(64)
+        h_r, h_c = _sketches(row, column)
+        assert estimate_product_nnz(h_r, h_c) == 1.0
+
+    def test_outer_case_exact_via_lower_bound(self):
+        # B1.4: dense column x dense row -> fully dense. The half-full
+        # lower bound forces n*n.
+        column, row = outer_product_pair(64)
+        h_c, h_r = _sketches(column, row)
+        assert estimate_product_nnz(h_c, h_r) == 64 * 64
+
+    def test_basic_variant_misses_inner_case(self):
+        column, row = outer_product_pair(64)
+        h_r, h_c = _sketches(row, column)
+        basic = estimate_product_nnz(h_r, h_c, use_extensions=False, use_bounds=False)
+        assert basic > 1.0  # the bound is what makes full MNC exact here
+
+    def test_estimate_between_bounds(self):
+        for seed in range(5):
+            a = random_sparse(40, 30, 0.3, seed=100 + seed)
+            b = random_sparse(30, 40, 0.3, seed=200 + seed)
+            h_a, h_b = _sketches(a, b)
+            estimate = estimate_product_nnz(h_a, h_b)
+            assert product_nnz_lower_bound(h_a, h_b) <= estimate
+            assert estimate <= product_nnz_upper_bound(h_a, h_b)
+
+
+class TestGenericAccuracy:
+    def test_uniform_random_close(self):
+        a = random_sparse(400, 300, 0.05, seed=17)
+        b = random_sparse(300, 350, 0.05, seed=18)
+        h_a, h_b = _sketches(a, b)
+        truth = matmul(a, b).nnz
+        estimate = estimate_product_nnz(h_a, h_b)
+        assert truth / 1.15 <= estimate <= truth * 1.15
+
+    def test_skewed_columns_close(self):
+        from repro.matrix.random import power_law_columns
+
+        a = power_law_columns(300, 200, total_nnz=4000, seed=19)
+        b = random_sparse(200, 300, 0.05, seed=20)
+        h_a, h_b = _sketches(a, b)
+        truth = matmul(a, b).nnz
+        estimate = estimate_product_nnz(h_a, h_b)
+        assert truth / 1.3 <= estimate <= truth * 1.3
+
+    def test_sparsity_scaling(self):
+        a = random_sparse(100, 50, 0.1, seed=21)
+        b = random_sparse(50, 80, 0.1, seed=22)
+        h_a, h_b = _sketches(a, b)
+        nnz = estimate_product_nnz(h_a, h_b)
+        assert estimate_product_sparsity(h_a, h_b) == pytest.approx(nnz / (100 * 80))
+
+
+class TestEdgeCases:
+    def test_empty_operand_gives_zero(self):
+        a = np.zeros((10, 5))
+        b = random_sparse(5, 8, 0.5, seed=23)
+        h_a, h_b = _sketches(a, b)
+        assert estimate_product_nnz(h_a, h_b) == 0.0
+
+    def test_shape_mismatch(self):
+        h_a = MNCSketch.from_matrix(np.ones((2, 3)))
+        h_b = MNCSketch.from_matrix(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            estimate_product_nnz(h_a, h_b)
+
+    def test_dense_times_dense_is_full(self):
+        h_a = MNCSketch.from_matrix(np.ones((6, 6)))
+        h_b = MNCSketch.from_matrix(np.ones((6, 6)))
+        assert estimate_product_nnz(h_a, h_b) == 36.0
+
+    def test_zero_output_dimension(self):
+        h_a = MNCSketch.from_matrix(np.zeros((0, 4)))
+        h_b = MNCSketch.from_matrix(np.ones((4, 3)))
+        assert estimate_product_nnz(h_a, h_b) == 0.0
+        assert estimate_product_sparsity(h_a, h_b) == 0.0
+
+
+class TestDensityMapVectorEstimate:
+    def test_zero_cells(self):
+        assert density_map_vector_estimate(np.array([1.0]), np.array([1.0]), 0) == 0.0
+
+    def test_saturates_at_cells(self):
+        v = np.array([10.0, 10.0])
+        assert density_map_vector_estimate(v, v, 100.0) <= 100.0
+
+    def test_single_slice_exact(self):
+        # One outer product of a x b non-zeros in a*b cells is fully dense.
+        assert density_map_vector_estimate(
+            np.array([4.0]), np.array([5.0]), 20.0
+        ) == pytest.approx(20.0)
+
+    def test_monotone_in_counts(self):
+        low = density_map_vector_estimate(np.array([2.0, 2.0]), np.array([2.0, 2.0]), 100)
+        high = density_map_vector_estimate(np.array([5.0, 5.0]), np.array([5.0, 5.0]), 100)
+        assert high > low

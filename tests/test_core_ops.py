@@ -1,0 +1,247 @@
+"""Unit tests for Section-4 MNC estimation and propagation (non-product ops)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops as core_ops
+from repro.core.sketch import MNCSketch
+from repro.errors import ShapeError
+from repro.matrix import ops as mops
+from repro.matrix.conversion import as_csr
+from repro.matrix.random import random_sparse, single_nnz_per_row
+
+
+def sketch_of(matrix):
+    return MNCSketch.from_matrix(matrix)
+
+
+class TestTranspose:
+    def test_swaps_axes_exactly(self):
+        matrix = random_sparse(10, 20, 0.3, seed=1)
+        h = sketch_of(matrix)
+        h_t = core_ops.propagate_transpose(h)
+        expected = sketch_of(mops.transpose(matrix))
+        np.testing.assert_array_equal(h_t.hr, expected.hr)
+        np.testing.assert_array_equal(h_t.hc, expected.hc)
+        assert h_t.shape == (20, 10)
+
+    def test_swaps_extensions(self):
+        matrix = np.array([[1, 1, 0], [1, 0, 0], [0, 0, 1]])
+        h = sketch_of(matrix)
+        h_t = core_ops.propagate_transpose(h)
+        expected = sketch_of(matrix.T)
+        np.testing.assert_array_equal(h_t.her, expected.her)
+        np.testing.assert_array_equal(h_t.hec, expected.hec)
+
+    def test_involution(self):
+        matrix = random_sparse(7, 9, 0.4, seed=2)
+        h = sketch_of(matrix)
+        back = core_ops.propagate_transpose(core_ops.propagate_transpose(h))
+        np.testing.assert_array_equal(back.hr, h.hr)
+        np.testing.assert_array_equal(back.hc, h.hc)
+
+
+class TestIndicators:
+    def test_neq_zero_is_shallow(self):
+        h = sketch_of(random_sparse(5, 5, 0.5, seed=3))
+        assert core_ops.propagate_not_equals_zero(h) is h
+
+    def test_eq_zero_complements_exactly(self):
+        matrix = random_sparse(8, 12, 0.3, seed=4)
+        h_c = core_ops.propagate_equals_zero(sketch_of(matrix))
+        expected = sketch_of(mops.equals_zero(matrix))
+        np.testing.assert_array_equal(h_c.hr, expected.hr)
+        np.testing.assert_array_equal(h_c.hc, expected.hc)
+
+
+class TestBind:
+    def test_rbind_exact(self):
+        a = random_sparse(6, 10, 0.3, seed=5)
+        b = random_sparse(4, 10, 0.4, seed=6)
+        h = core_ops.propagate_rbind(sketch_of(a), sketch_of(b))
+        expected = sketch_of(mops.rbind(a, b))
+        np.testing.assert_array_equal(h.hr, expected.hr)
+        np.testing.assert_array_equal(h.hc, expected.hc)
+
+    def test_rbind_hec_exact(self):
+        a = np.array([[1, 1], [1, 0]])
+        b = np.array([[0, 1], [1, 1]])
+        h = core_ops.propagate_rbind(sketch_of(a), sketch_of(b))
+        expected = sketch_of(mops.rbind(a, b))
+        # hec (column counts in single-nnz rows) adds exactly.
+        np.testing.assert_array_equal(h.hec, expected.hec)
+
+    def test_cbind_exact(self):
+        a = random_sparse(10, 6, 0.3, seed=7)
+        b = random_sparse(10, 4, 0.4, seed=8)
+        h = core_ops.propagate_cbind(sketch_of(a), sketch_of(b))
+        expected = sketch_of(mops.cbind(a, b))
+        np.testing.assert_array_equal(h.hr, expected.hr)
+        np.testing.assert_array_equal(h.hc, expected.hc)
+
+    def test_rbind_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            core_ops.propagate_rbind(
+                sketch_of(np.ones((2, 2))), sketch_of(np.ones((2, 3)))
+            )
+
+    def test_cbind_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            core_ops.propagate_cbind(
+                sketch_of(np.ones((2, 2))), sketch_of(np.ones((3, 2)))
+            )
+
+
+class TestDiag:
+    def test_vector_to_matrix_exact(self):
+        v = as_csr(np.array([[1.0], [0.0], [2.0], [3.0]]))
+        h = core_ops.propagate_diag_vector(sketch_of(v))
+        expected = sketch_of(mops.diag_matrix(v))
+        np.testing.assert_array_equal(h.hr, expected.hr)
+        np.testing.assert_array_equal(h.hc, expected.hc)
+        assert not h.fully_diagonal  # one zero on the diagonal
+
+    def test_dense_vector_sets_diagonal_flag(self):
+        v = as_csr(np.ones((5, 1)))
+        h = core_ops.propagate_diag_vector(sketch_of(v))
+        assert h.fully_diagonal
+
+    def test_requires_column_vector(self):
+        with pytest.raises(ShapeError):
+            core_ops.propagate_diag_vector(sketch_of(np.ones((3, 2))))
+
+    def test_matrix_to_vector_best_effort(self, rng):
+        matrix = random_sparse(40, 40, 0.5, seed=9)
+        h = core_ops.propagate_diag_extract(sketch_of(matrix), rng=rng)
+        truth = mops.diag_extract(matrix).nnz
+        assert h.shape == (40, 1)
+        assert 0 <= h.total_nnz <= 40
+        # Rough sanity: within a factor ~2 of the true diagonal count.
+        assert abs(h.total_nnz - truth) <= max(10, truth)
+
+    def test_matrix_to_vector_requires_square(self, rng):
+        with pytest.raises(ShapeError):
+            core_ops.propagate_diag_extract(sketch_of(np.ones((2, 3))), rng=rng)
+
+
+class TestReshape:
+    def test_concat_rows_exact_axis(self, rng):
+        matrix = random_sparse(12, 5, 0.4, seed=10)
+        h = core_ops.propagate_reshape(sketch_of(matrix), 4, 15, rng=rng)
+        expected = sketch_of(mops.reshape_rowwise(matrix, 4, 15))
+        np.testing.assert_array_equal(h.hr, expected.hr)  # exact axis
+        assert h.total_nnz == matrix.nnz
+
+    def test_split_rows_exact_axis(self, rng):
+        matrix = random_sparse(4, 15, 0.4, seed=11)
+        h = core_ops.propagate_reshape(sketch_of(matrix), 12, 5, rng=rng)
+        expected = sketch_of(mops.reshape_rowwise(matrix, 12, 5))
+        np.testing.assert_array_equal(h.hc, expected.hc)  # exact axis
+        assert h.total_nnz == matrix.nnz
+
+    def test_identity_reshape_is_shallow(self, rng):
+        h = sketch_of(random_sparse(6, 8, 0.3, seed=12))
+        assert core_ops.propagate_reshape(h, 6, 8, rng=rng) is h
+
+    def test_general_reshape_preserves_total(self, rng):
+        matrix = random_sparse(6, 35, 0.3, seed=13)
+        h = core_ops.propagate_reshape(sketch_of(matrix), 14, 15, rng=rng)
+        assert h.total_nnz == matrix.nnz
+
+    def test_bad_cell_count(self, rng):
+        with pytest.raises(ShapeError):
+            core_ops.propagate_reshape(sketch_of(np.ones((2, 3))), 4, 2, rng=rng)
+
+    def test_nlp_sentence_reshape(self, rng):
+        # B3.1 pattern: (tokens x dims) -> (sentences x tokens*dims).
+        matrix = mops.matmul(
+            single_nnz_per_row(100, 30, seed=14),
+            random_sparse(30, 8, 0.9, seed=15),
+        )
+        h = core_ops.propagate_reshape(sketch_of(matrix), 10, 80, rng=rng)
+        assert h.total_nnz == matrix.nnz
+
+
+class TestEwiseEstimates:
+    def test_mult_self_estimate_bounded(self):
+        # Eq 13 is a rank-1 structure model: it cannot detect that the two
+        # operands are perfectly aligned, so a self-intersection estimate
+        # falls between the average case and the structural upper bound.
+        matrix = random_sparse(30, 30, 0.3, seed=16)
+        h = sketch_of(matrix)
+        estimate = core_ops.estimate_ewise_mult_nnz(h, h)
+        assert 0 < estimate <= matrix.nnz
+
+    def test_mult_zero_for_disjoint_columns(self):
+        a = np.zeros((4, 6))
+        a[:, :3] = 1
+        b = np.zeros((4, 6))
+        b[:, 3:] = 1
+        estimate = core_ops.estimate_ewise_mult_nnz(sketch_of(a), sketch_of(b))
+        assert estimate == 0.0
+
+    def test_mult_with_empty_operand(self):
+        a = random_sparse(5, 5, 0.5, seed=17)
+        estimate = core_ops.estimate_ewise_mult_nnz(
+            sketch_of(a), sketch_of(np.zeros((5, 5)))
+        )
+        assert estimate == 0.0
+
+    def test_mult_column_mask_exact(self):
+        # B2.5 pattern: column-structured mask on column-skewed data.
+        rng = np.random.default_rng(18)
+        data = (rng.random((50, 20)) < 0.4).astype(float)
+        mask = np.zeros((50, 20))
+        mask[:, 5:15] = 1.0
+        truth = mops.ewise_mult(data, mask).nnz
+        estimate = core_ops.estimate_ewise_mult_nnz(sketch_of(data), sketch_of(mask))
+        assert estimate == pytest.approx(truth)
+
+    def test_add_union_bounds(self):
+        a = random_sparse(20, 20, 0.3, seed=19)
+        b = random_sparse(20, 20, 0.3, seed=20)
+        estimate = core_ops.estimate_ewise_add_nnz(sketch_of(a), sketch_of(b))
+        assert max(a.nnz, b.nnz) <= estimate <= a.nnz + b.nnz
+
+    def test_add_close_to_truth(self):
+        a = random_sparse(100, 100, 0.1, seed=21)
+        b = random_sparse(100, 100, 0.1, seed=22)
+        truth = mops.ewise_add(a, b).nnz
+        estimate = core_ops.estimate_ewise_add_nnz(sketch_of(a), sketch_of(b))
+        assert truth / 1.1 <= estimate <= truth * 1.1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            core_ops.estimate_ewise_mult_nnz(
+                sketch_of(np.ones((2, 2))), sketch_of(np.ones((3, 3)))
+            )
+
+
+class TestEwisePropagation:
+    def test_mult_sketch_consistent(self, rng):
+        a = random_sparse(40, 40, 0.2, seed=23)
+        b = random_sparse(40, 40, 0.2, seed=24)
+        h = core_ops.propagate_ewise_mult(sketch_of(a), sketch_of(b), rng=rng)
+        assert h.hr.sum() == h.hc.sum()
+        assert h.shape == (40, 40)
+
+    def test_mult_entries_bounded_by_minimum(self, rng):
+        a = random_sparse(30, 30, 0.4, seed=25)
+        b = random_sparse(30, 30, 0.4, seed=26)
+        h_a, h_b = sketch_of(a), sketch_of(b)
+        h = core_ops.propagate_ewise_mult(h_a, h_b, rng=rng)
+        assert np.all(h.hr <= np.minimum(h_a.hr, h_b.hr))
+
+    def test_add_total_close(self, rng):
+        a = random_sparse(60, 60, 0.15, seed=27)
+        b = random_sparse(60, 60, 0.15, seed=28)
+        truth = mops.ewise_add(a, b).nnz
+        h = core_ops.propagate_ewise_add(sketch_of(a), sketch_of(b), rng=rng)
+        assert truth / 1.2 <= h.total_nnz <= truth * 1.2
+
+    def test_add_empty_plus_x_is_x(self, rng):
+        x = random_sparse(10, 10, 0.5, seed=29)
+        h = core_ops.propagate_ewise_add(
+            sketch_of(np.zeros((10, 10))), sketch_of(x), rng=rng
+        )
+        assert h.total_nnz == x.nnz

@@ -1,0 +1,242 @@
+"""Unit tests for the density map estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.estimators.density_map import DensityMapEstimator, _block_sizes
+from repro.matrix import ops as mops
+from repro.matrix.random import outer_product_pair, random_sparse
+from repro.opcodes import Op
+
+
+@pytest.fixture
+def dmap():
+    return DensityMapEstimator(block_size=16)
+
+
+class TestBlockSizes:
+    def test_even_division(self):
+        np.testing.assert_array_equal(_block_sizes(64, 16), [16, 16, 16, 16])
+
+    def test_remainder_block(self):
+        np.testing.assert_array_equal(_block_sizes(70, 16), [16, 16, 16, 16, 6])
+
+    def test_zero_dim(self):
+        assert _block_sizes(0, 16).size == 0
+
+    def test_dim_smaller_than_block(self):
+        np.testing.assert_array_equal(_block_sizes(5, 16), [5])
+
+
+class TestBuild:
+    def test_density_grid_values(self, dmap):
+        matrix = np.zeros((32, 32))
+        matrix[:16, :16] = 1.0  # block (0,0) fully dense
+        synopsis = dmap.build(matrix)
+        assert synopsis.density[0, 0] == pytest.approx(1.0)
+        assert synopsis.density[1, 1] == pytest.approx(0.0)
+
+    def test_nnz_recovered_exactly(self, dmap):
+        matrix = random_sparse(50, 70, 0.2, seed=1)
+        synopsis = dmap.build(matrix)
+        assert synopsis.nnz_estimate == pytest.approx(matrix.nnz)
+
+    def test_block_one_is_bitset_granularity(self):
+        estimator = DensityMapEstimator(block_size=1)
+        matrix = random_sparse(10, 10, 0.3, seed=2)
+        synopsis = estimator.build(matrix)
+        assert synopsis.density.shape == (10, 10)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            DensityMapEstimator(block_size=0)
+
+    def test_size_shrinks_quadratically(self):
+        matrix = random_sparse(128, 128, 0.1, seed=3)
+        fine = DensityMapEstimator(block_size=8).build(matrix)
+        coarse = DensityMapEstimator(block_size=64).build(matrix)
+        assert fine.size_bytes() > coarse.size_bytes()
+
+
+class TestProducts:
+    def test_uniform_random_accurate(self, dmap):
+        a = random_sparse(200, 150, 0.05, seed=4)
+        b = random_sparse(150, 180, 0.05, seed=5)
+        truth = mops.matmul(a, b).nnz
+        estimate = dmap.estimate_nnz(Op.MATMUL, [dmap.build(a), dmap.build(b)])
+        assert truth / 1.15 <= estimate <= truth * 1.15
+
+    def test_block_size_one_exactish_on_block_structure(self):
+        estimator = DensityMapEstimator(block_size=1)
+        a = np.zeros((12, 12))
+        a[2, 3] = 1
+        a[5, 7] = 1
+        b = np.eye(12)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == pytest.approx(2.0)
+
+    def test_fails_on_outer_product_structure(self, dmap):
+        # The paper's B1.4: square blocks cannot represent a dense column
+        # meeting a dense row, so the estimate is far below n*n.
+        column, row = outer_product_pair(64)
+        estimate = dmap.estimate_nnz(
+            Op.MATMUL, [dmap.build(column), dmap.build(row)]
+        )
+        assert estimate < 64 * 64 / 2
+
+    def test_mismatched_block_sizes_rejected(self):
+        a = DensityMapEstimator(block_size=8).build(np.eye(16))
+        b = DensityMapEstimator(block_size=16).build(np.eye(16))
+        with pytest.raises(ShapeError):
+            DensityMapEstimator(block_size=8).estimate_nnz(Op.MATMUL, [a, b])
+
+    def test_smaller_blocks_can_raise_error_on_column_structure(self):
+        # Paper Section 2.2 observation: with a single dense column and a
+        # dense right operand, smaller block sizes estimate *more*
+        # collisions and hence fewer non-zeros.
+        a = np.zeros((200, 100))
+        a[:50, 0] = 1.0
+        b = np.ones((100, 100))
+        estimates = {}
+        for block in (200, 50):
+            est = DensityMapEstimator(block_size=block)
+            estimates[block] = est.estimate_nnz(
+                Op.MATMUL, [est.build(a), est.build(b)]
+            )
+        truth = 50 * 100
+        assert abs(estimates[200] - truth) < abs(estimates[50] - truth)
+
+
+class TestOtherOps:
+    def test_ewise_add(self, dmap):
+        a = random_sparse(40, 40, 0.2, seed=6)
+        b = random_sparse(40, 40, 0.2, seed=7)
+        truth = mops.ewise_add(a, b).nnz
+        estimate = dmap.estimate_nnz(Op.EWISE_ADD, [dmap.build(a), dmap.build(b)])
+        assert truth / 1.2 <= estimate <= truth * 1.2
+
+    def test_ewise_mult_block_average(self, dmap):
+        a = random_sparse(40, 40, 0.3, seed=8)
+        b = random_sparse(40, 40, 0.3, seed=9)
+        truth = mops.ewise_mult(a, b).nnz
+        estimate = dmap.estimate_nnz(Op.EWISE_MULT, [dmap.build(a), dmap.build(b)])
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_transpose_exact(self, dmap):
+        matrix = random_sparse(30, 50, 0.2, seed=10)
+        result = dmap.propagate(Op.TRANSPOSE, [dmap.build(matrix)])
+        assert result.nnz_estimate == pytest.approx(matrix.nnz)
+        assert result.shape == (50, 30)
+
+    def test_eq_zero(self, dmap):
+        matrix = random_sparse(20, 20, 0.4, seed=11)
+        result = dmap.propagate(Op.EQ_ZERO, [dmap.build(matrix)])
+        assert result.nnz_estimate == pytest.approx(400 - matrix.nnz)
+
+    def test_diag_v2m(self, dmap):
+        v = np.ones((40, 1))
+        v[5] = 0.0
+        result = dmap.propagate(Op.DIAG_V2M, [dmap.build(v)])
+        assert result.shape == (40, 40)
+        assert result.nnz_estimate == pytest.approx(39.0)
+
+    def test_diag_m2v(self, dmap):
+        matrix = np.eye(32)
+        result = dmap.propagate(Op.DIAG_M2V, [dmap.build(matrix)])
+        assert result.shape == (32, 1)
+        # Block density of diagonal blocks is 1/16, so the average-case
+        # estimate of the diagonal count is 32/16 = 2.
+        assert result.nnz_estimate == pytest.approx(2.0)
+
+    def test_rbind_aligned_exact(self, dmap):
+        a = random_sparse(32, 16, 0.3, seed=12)
+        b = random_sparse(16, 16, 0.3, seed=13)
+        result = dmap.propagate(Op.RBIND, [dmap.build(a), dmap.build(b)])
+        assert result.nnz_estimate == pytest.approx(a.nnz + b.nnz, rel=1e-9)
+        assert result.shape == (48, 16)
+
+    def test_rbind_misaligned_preserves_total(self, dmap):
+        a = random_sparse(13, 16, 0.3, seed=14)
+        b = random_sparse(9, 16, 0.3, seed=15)
+        result = dmap.propagate(Op.RBIND, [dmap.build(a), dmap.build(b)])
+        assert result.nnz_estimate == pytest.approx(a.nnz + b.nnz, rel=0.01)
+
+    def test_cbind_misaligned_preserves_total(self, dmap):
+        a = random_sparse(16, 13, 0.3, seed=16)
+        b = random_sparse(16, 6, 0.3, seed=17)
+        result = dmap.propagate(Op.CBIND, [dmap.build(a), dmap.build(b)])
+        assert result.nnz_estimate == pytest.approx(a.nnz + b.nnz, rel=0.01)
+        assert result.shape == (16, 19)
+
+    def test_reshape_preserves_total_loses_structure(self, dmap):
+        matrix = random_sparse(32, 16, 0.25, seed=18)
+        result = dmap.propagate(Op.RESHAPE, [dmap.build(matrix)], rows=16, cols=32)
+        assert result.nnz_estimate == pytest.approx(matrix.nnz, rel=0.01)
+        assert result.shape == (16, 32)
+
+
+class TestAutoBlockSize:
+    def test_auto_resolves_on_first_build(self):
+        from repro.estimators.density_map import DensityMapEstimator, auto_block_size
+
+        estimator = DensityMapEstimator(block_size="auto")
+        matrix = random_sparse(512, 512, 0.1, seed=30)
+        estimator.build(matrix)
+        assert estimator.block_size == auto_block_size(512, 512)
+
+    def test_small_matrices_get_cell_exact_maps(self):
+        from repro.estimators.density_map import auto_block_size
+
+        assert auto_block_size(10, 10) == 1
+        assert auto_block_size(64, 64) == 1
+
+    def test_large_matrices_capped_at_default(self):
+        from repro.estimators.density_map import DEFAULT_BLOCK_SIZE, auto_block_size
+
+        assert auto_block_size(10**6, 10**6) == DEFAULT_BLOCK_SIZE
+
+    def test_auto_products_work(self):
+        from repro.estimators.density_map import DensityMapEstimator
+
+        estimator = DensityMapEstimator(block_size="auto")
+        a = random_sparse(128, 96, 0.1, seed=31)
+        b = random_sparse(96, 100, 0.1, seed=32)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 1.3 <= estimate <= truth * 1.3
+
+    def test_auto_improves_on_small_skewed_inputs(self):
+        # The Covertype failure mode: 54 columns vs a 256-block default.
+        from repro.estimators.density_map import DensityMapEstimator
+        from repro.matrix.random import one_hot_block
+        import numpy as np
+        import scipy.sparse as sp
+        from repro.matrix.conversion import as_csr
+        from repro.matrix.random import selection_matrix
+
+        rng = np.random.default_rng(33)
+        x = as_csr(sp.hstack([
+            sp.csr_matrix(as_csr(rng.random((2000, 10)) + 0.1)),
+            sp.csr_matrix(one_hot_block(2000, 44, seed=rng)),
+        ], format="csr"))
+        p = as_csr(selection_matrix(list(range(11, 51)), 54).transpose())
+        truth = mops.matmul(x, p).nnz
+        errors = {}
+        for label, block in (("auto", "auto"), ("default", 256)):
+            estimator = DensityMapEstimator(block_size=block)
+            estimate = estimator.estimate_nnz(
+                Op.MATMUL, [estimator.build(x), estimator.build(p)]
+            )
+            errors[label] = max(truth, estimate) / min(truth, estimate)
+        assert errors["auto"] <= errors["default"]
+
+    def test_invalid_block_size_string(self):
+        from repro.estimators.density_map import DensityMapEstimator
+
+        with pytest.raises(ValueError):
+            DensityMapEstimator(block_size="huge")

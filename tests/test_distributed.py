@@ -1,0 +1,107 @@
+"""Tests for distributed (partitioned) MNC sketch construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    merge_col_partitions,
+    merge_row_partitions,
+    sketch_partitioned,
+)
+from repro.core.sketch import MNCSketch
+from repro.errors import SketchError
+from repro.matrix.conversion import as_csr
+from repro.matrix.random import random_sparse
+
+
+def _split_rows(matrix, parts):
+    boundaries = np.linspace(0, matrix.shape[0], parts + 1).astype(int)
+    return [matrix[s:e] for s, e in zip(boundaries, boundaries[1:])]
+
+
+class TestRowMerge:
+    def test_counts_match_full_sketch(self):
+        matrix = random_sparse(60, 40, 0.1, seed=1)
+        shards = [MNCSketch.from_matrix(s) for s in _split_rows(matrix, 3)]
+        merged = merge_row_partitions(shards)
+        full = MNCSketch.from_matrix(matrix)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+        assert merged.total_nnz == full.total_nnz
+        assert merged.shape == full.shape
+
+    def test_hec_merges_exactly_when_present(self):
+        matrix = random_sparse(40, 30, 0.2, seed=2)
+        shards = [MNCSketch.from_matrix(s) for s in _split_rows(matrix, 2)]
+        merged = merge_row_partitions(shards)
+        full = MNCSketch.from_matrix(matrix)
+        if merged.hec is not None and full.hec is not None:
+            np.testing.assert_array_equal(merged.hec, full.hec)
+
+    def test_single_shard(self):
+        matrix = random_sparse(10, 8, 0.4, seed=3)
+        merged = merge_row_partitions([MNCSketch.from_matrix(matrix)])
+        assert merged.total_nnz == matrix.nnz
+
+    def test_mismatched_columns_rejected(self):
+        a = MNCSketch.from_matrix(np.ones((2, 3)))
+        b = MNCSketch.from_matrix(np.ones((2, 4)))
+        with pytest.raises(SketchError):
+            merge_row_partitions([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SketchError):
+            merge_row_partitions([])
+
+
+class TestColMerge:
+    def test_counts_match_full_sketch(self):
+        matrix = random_sparse(40, 60, 0.1, seed=4)
+        boundaries = np.linspace(0, 60, 4).astype(int)
+        shards = [
+            MNCSketch.from_matrix(as_csr(matrix[:, s:e]))
+            for s, e in zip(boundaries, boundaries[1:])
+        ]
+        merged = merge_col_partitions(shards)
+        full = MNCSketch.from_matrix(matrix)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+
+    def test_mismatched_rows_rejected(self):
+        a = MNCSketch.from_matrix(np.ones((2, 3)))
+        b = MNCSketch.from_matrix(np.ones((3, 3)))
+        with pytest.raises(SketchError):
+            merge_col_partitions([a, b])
+
+
+class TestSketchPartitioned:
+    @pytest.mark.parametrize("axis", [0, 1])
+    @pytest.mark.parametrize("parts", [1, 3, 7])
+    def test_equivalent_to_direct_construction(self, axis, parts):
+        matrix = random_sparse(50, 35, 0.15, seed=5)
+        distributed = sketch_partitioned(matrix, axis=axis, num_partitions=parts)
+        direct = MNCSketch.from_matrix(matrix)
+        np.testing.assert_array_equal(distributed.hr, direct.hr)
+        np.testing.assert_array_equal(distributed.hc, direct.hc)
+
+    def test_estimates_agree_with_direct(self):
+        from repro.core.estimate import estimate_product_nnz
+
+        a = random_sparse(60, 45, 0.1, seed=6)
+        b = random_sparse(45, 50, 0.1, seed=7)
+        direct = estimate_product_nnz(
+            MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        )
+        distributed = estimate_product_nnz(
+            sketch_partitioned(a, axis=0, num_partitions=4),
+            sketch_partitioned(b, axis=1, num_partitions=4),
+        )
+        # Counts match exactly; only extension availability can differ.
+        assert distributed == pytest.approx(direct, rel=0.05)
+
+    def test_invalid_arguments(self):
+        matrix = np.ones((4, 4))
+        with pytest.raises(SketchError):
+            sketch_partitioned(matrix, axis=2)
+        with pytest.raises(SketchError):
+            sketch_partitioned(matrix, num_partitions=0)

@@ -1,0 +1,287 @@
+"""Edge-case and internals tests across the library."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import (
+    EstimationError,
+    PlanError,
+    ReproError,
+    ShapeError,
+    SketchError,
+    UnsupportedOperationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ShapeError, SketchError, UnsupportedOperationError,
+                    EstimationError, PlanError):
+            assert issubclass(exc, ReproError)
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(ShapeError, ValueError)
+
+    def test_unsupported_is_not_implemented(self):
+        assert issubclass(UnsupportedOperationError, NotImplementedError)
+
+    def test_catchable_as_base(self):
+        from repro.matrix.ops import matmul
+
+        with pytest.raises(ReproError):
+            matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+
+class TestReconcileTotals:
+    def test_balances_row_excess(self, rng):
+        from repro.core.propagate import _reconcile_totals
+
+        hr = np.array([5, 3, 2], dtype=np.int64)
+        hc = np.array([4, 4], dtype=np.int64)
+        _reconcile_totals(hr, hc, rng)
+        assert hr.sum() == hc.sum() == 8
+
+    def test_balances_col_excess(self, rng):
+        from repro.core.propagate import _reconcile_totals
+
+        hr = np.array([2, 2], dtype=np.int64)
+        hc = np.array([5, 5], dtype=np.int64)
+        _reconcile_totals(hr, hc, rng)
+        assert hr.sum() == hc.sum() == 4
+        assert np.all(hc >= 0)
+
+    def test_already_balanced_untouched(self, rng):
+        from repro.core.propagate import _reconcile_totals
+
+        hr = np.array([3, 1], dtype=np.int64)
+        hc = np.array([2, 2], dtype=np.int64)
+        before = hr.copy()
+        _reconcile_totals(hr, hc, rng)
+        np.testing.assert_array_equal(hr, before)
+
+    def test_large_imbalance(self, rng):
+        from repro.core.propagate import _reconcile_totals
+
+        hr = np.full(100, 50, dtype=np.int64)
+        hc = np.full(100, 10, dtype=np.int64)
+        _reconcile_totals(hr, hc, rng)
+        assert hr.sum() == hc.sum() == 1000
+        assert np.all(hr >= 0)
+
+
+class TestDensityMapRegrid:
+    def test_aligned_rbind_is_exact(self):
+        from repro.estimators.density_map import _regrid_axis
+
+        counts_a = np.array([[4.0], [2.0]])
+        counts_b = np.array([[6.0]])
+        result = _regrid_axis(
+            [counts_a, counts_b], offsets=[0, 8], old_dims=[8, 4],
+            new_dim=12, block=4, axis=0,
+        )
+        np.testing.assert_allclose(result, [[4.0], [2.0], [6.0]])
+
+    def test_misaligned_preserves_mass(self):
+        from repro.estimators.density_map import _regrid_axis
+
+        counts_a = np.array([[4.0], [2.0]])
+        counts_b = np.array([[6.0]])
+        result = _regrid_axis(
+            [counts_a, counts_b], offsets=[0, 7], old_dims=[7, 4],
+            new_dim=11, block=4, axis=0,
+        )
+        assert result.sum() == pytest.approx(12.0)
+
+    def test_column_axis(self):
+        from repro.estimators.density_map import _regrid_axis
+
+        counts_a = np.array([[4.0, 2.0]])
+        counts_b = np.array([[6.0]])
+        result = _regrid_axis(
+            [counts_a, counts_b], offsets=[0, 8], old_dims=[8, 4],
+            new_dim=12, block=4, axis=1,
+        )
+        np.testing.assert_allclose(result, [[4.0, 2.0, 6.0]])
+
+
+class TestConversionDtypes:
+    def test_integer_dense_input(self):
+        from repro.matrix.conversion import as_csr
+
+        csr = as_csr(np.array([[1, 0], [0, 2]], dtype=np.int32))
+        assert csr.nnz == 2
+
+    def test_bool_dense_input(self):
+        from repro.matrix.conversion import as_csr
+
+        csr = as_csr(np.array([[True, False], [False, True]]))
+        assert csr.nnz == 2
+
+    def test_coo_input(self):
+        from repro.matrix.conversion import as_csr
+
+        coo = sp.coo_array(
+            (np.array([1.0]), (np.array([0]), np.array([1]))), shape=(2, 3)
+        )
+        assert as_csr(coo).shape == (2, 3)
+
+    def test_lil_input(self):
+        from repro.matrix.conversion import as_csr
+
+        lil = sp.lil_array((3, 3))
+        lil[1, 1] = 4.0
+        assert as_csr(lil).nnz == 1
+
+
+class TestEstimatorDeterminism:
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("meta_ac", {}),
+            ("meta_wc", {}),
+            ("bitset", {}),
+            ("density_map", {"block_size": 16}),
+            ("sampling", {"seed": 5}),
+            ("sampling_unbiased", {"seed": 5}),
+            ("hash", {"seed": 5}),
+            ("layered_graph", {"seed": 5}),
+            ("mnc", {"seed": 5}),
+        ],
+    )
+    def test_same_config_same_estimate(self, name, kwargs):
+        from repro.estimators import make_estimator
+        from repro.matrix.random import random_sparse
+        from repro.opcodes import Op
+
+        a = random_sparse(50, 40, 0.15, seed=1)
+        b = random_sparse(40, 45, 0.15, seed=2)
+        results = []
+        for _ in range(2):
+            estimator = make_estimator(name, **kwargs)
+            results.append(
+                estimator.estimate_nnz(
+                    Op.MATMUL, [estimator.build(a), estimator.build(b)]
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestUseCaseSemantics:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MNC_CACHE", str(tmp_path))
+
+    def test_b22_projection_extracts_dummy_columns(self):
+        from repro.ir.interpreter import evaluate
+        from repro.sparsest import get_use_case
+
+        root = get_use_case("B2.2").build(scale=0.02, seed=0)
+        result = evaluate(root)
+        # Projected columns are the one-hot groups: each row keeps at most
+        # its two one-hot indicator entries.
+        row_counts = np.diff(result.indptr)
+        assert row_counts.max() <= 2
+
+    def test_b25_mask_keeps_only_center(self):
+        from repro.ir.interpreter import evaluate
+        from repro.sparsest import get_use_case
+
+        root = get_use_case("B2.5").build(scale=0.02, seed=0)
+        result = evaluate(root)
+        columns = np.unique(result.tocoo().col)
+        grid = np.zeros(784, dtype=bool)
+        grid[columns] = True
+        image = grid.reshape(28, 28)
+        assert not image[:7, :].any()  # outside the 14x14 center
+        assert not image[:, :7].any()
+
+    def test_b33_powers_densify(self):
+        from repro.sparsest import get_use_case
+        from repro.sparsest.runner import true_nnz_of
+        from repro.ir.nodes import Expr
+
+        root = get_use_case("B3.3").build(scale=0.05, seed=0)
+        # Walk the left spine: PG, PGG, PGGG, PGGGG.
+        spine = []
+        node = root
+        while node.op.value == "matmul":
+            spine.append(node)
+            node = node.inputs[0]
+        counts = [true_nnz_of(n) for n in reversed(spine)]
+        assert counts == sorted(counts)  # monotone densification
+
+    def test_b34_mask_bounds_output(self):
+        from repro.sparsest import get_use_case
+        from repro.sparsest.runner import true_nnz_of
+        from repro.ir.interpreter import evaluate
+
+        root = get_use_case("B3.4").build(scale=0.05, seed=0)
+        known = root.inputs[0]
+        assert true_nnz_of(root) <= evaluate(known).nnz
+
+
+class TestAssumptionA2:
+    def test_nan_detected_in_dense(self):
+        from repro.matrix.conversion import check_assumptions
+
+        matrix = np.array([[1.0, np.nan], [0.0, 2.0]])
+        with pytest.raises(ShapeError):
+            check_assumptions(matrix)
+
+    def test_nan_detected_in_sparse(self):
+        from repro.matrix.conversion import as_csr, check_assumptions
+
+        csr = as_csr(np.array([[1.0, 2.0]]))
+        csr.data[0] = np.nan
+        with pytest.raises(ShapeError):
+            check_assumptions(csr)
+
+    def test_clean_matrix_passes(self):
+        from repro.matrix.conversion import check_assumptions
+
+        check_assumptions(np.array([[1.0, 0.0], [0.0, -2.0]]))
+
+    def test_integer_matrix_passes(self):
+        from repro.matrix.conversion import check_assumptions
+
+        check_assumptions(np.array([[1, 0], [0, 2]]))
+
+
+class TestMetaUltraSparse:
+    def test_first_order_formula(self):
+        from repro.estimators import make_estimator
+        from repro.matrix.random import random_sparse
+        from repro.opcodes import Op
+
+        estimator = make_estimator("meta_ultrasparse")
+        a = random_sparse(100, 80, 0.01, seed=50)
+        b = random_sparse(80, 90, 0.01, seed=51)
+        sa, sb = estimator.build(a), estimator.build(b)
+        expected = sa.sparsity_estimate * sb.sparsity_estimate * 80 * 100 * 90
+        assert estimator.estimate_nnz(Op.MATMUL, [sa, sb]) == pytest.approx(expected)
+
+    def test_close_to_meta_ac_when_ultrasparse(self):
+        from repro.estimators import make_estimator
+        from repro.matrix.random import random_sparse
+        from repro.opcodes import Op
+
+        a = random_sparse(200, 150, 0.005, seed=52)
+        b = random_sparse(150, 200, 0.005, seed=53)
+        estimates = {}
+        for name in ("meta_ultrasparse", "meta_ac"):
+            est = make_estimator(name)
+            estimates[name] = est.estimate_nnz(
+                Op.MATMUL, [est.build(a), est.build(b)]
+            )
+        assert estimates["meta_ultrasparse"] == pytest.approx(
+            estimates["meta_ac"], rel=0.02
+        )
+
+    def test_saturates_at_dense(self):
+        from repro.estimators import make_estimator
+        from repro.opcodes import Op
+
+        estimator = make_estimator("meta_ultrasparse")
+        a = estimator.build(np.ones((10, 10)))
+        assert estimator.estimate_nnz(Op.MATMUL, [a, a]) == 100.0

@@ -1,0 +1,118 @@
+"""Unit tests for the estimator interface, dispatch, and registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.estimators import available_estimators, make_estimator
+from repro.estimators.base import SparsityEstimator, Synopsis
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+class TestRegistry:
+    def test_all_paper_estimators_registered(self):
+        names = available_estimators()
+        for expected in [
+            "meta_ac", "meta_wc", "bitset", "density_map", "sampling",
+            "sampling_unbiased", "hash", "layered_graph", "mnc", "mnc_basic",
+            "exact",
+        ]:
+            assert expected in names
+
+    def test_make_estimator_with_kwargs(self):
+        estimator = make_estimator("density_map", block_size=64)
+        assert estimator.block_size == 64
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            make_estimator("does-not-exist")
+
+    def test_instances_are_fresh(self):
+        a = make_estimator("mnc")
+        b = make_estimator("mnc")
+        assert a is not b
+
+
+class TestDispatch:
+    def test_estimate_sparsity_wraps_nnz(self):
+        estimator = make_estimator("meta_ac")
+        a = estimator.build(random_sparse(10, 8, 0.5, seed=1))
+        b = estimator.build(random_sparse(8, 12, 0.5, seed=2))
+        nnz = estimator.estimate_nnz(Op.MATMUL, [a, b])
+        sparsity = estimator.estimate_sparsity(Op.MATMUL, [a, b])
+        assert sparsity == pytest.approx(nnz / (10 * 12))
+
+    def test_unsupported_op_raises(self):
+        estimator = make_estimator("layered_graph")
+        a = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.estimate_nnz(Op.EWISE_ADD, [a, a])
+
+    def test_supports_flags(self):
+        lgraph = make_estimator("layered_graph")
+        assert lgraph.supports(Op.MATMUL)
+        assert not lgraph.supports(Op.EWISE_MULT)
+        assert not lgraph.supports(Op.RESHAPE)
+        mnc = make_estimator("mnc")
+        for op in Op:
+            if op is Op.LEAF:
+                continue
+            assert mnc.supports(op), f"MNC should support {op}"
+            assert mnc.supports_propagation(op)
+
+    def test_biased_sampling_has_no_chain_propagation(self):
+        sampling = make_estimator("sampling")
+        a = sampling.build(random_sparse(6, 6, 0.5, seed=3))
+        with pytest.raises(UnsupportedOperationError):
+            sampling.propagate(Op.MATMUL, [a, a])
+
+
+class TestOutputShape:
+    @pytest.fixture
+    def synopses(self):
+        estimator = make_estimator("meta_ac")
+        return (
+            estimator.build(np.ones((4, 6))),
+            estimator.build(np.ones((6, 3))),
+        )
+
+    def test_matmul(self, synopses):
+        a, b = synopses
+        assert SparsityEstimator.output_shape(Op.MATMUL, [a, b]) == (4, 3)
+
+    def test_transpose(self, synopses):
+        a, _ = synopses
+        assert SparsityEstimator.output_shape(Op.TRANSPOSE, [a]) == (6, 4)
+
+    def test_reshape(self, synopses):
+        a, _ = synopses
+        assert SparsityEstimator.output_shape(Op.RESHAPE, [a], rows=8, cols=3) == (8, 3)
+
+    def test_diag(self, synopses):
+        estimator = make_estimator("meta_ac")
+        v = estimator.build(np.ones((5, 1)))
+        assert SparsityEstimator.output_shape(Op.DIAG_V2M, [v]) == (5, 5)
+        s = estimator.build(np.ones((5, 5)))
+        assert SparsityEstimator.output_shape(Op.DIAG_M2V, [s]) == (5, 1)
+
+    def test_binds(self, synopses):
+        estimator = make_estimator("meta_ac")
+        a = estimator.build(np.ones((2, 3)))
+        b = estimator.build(np.ones((4, 3)))
+        assert SparsityEstimator.output_shape(Op.RBIND, [a, b]) == (6, 3)
+        c = estimator.build(np.ones((2, 5)))
+        assert SparsityEstimator.output_shape(Op.CBIND, [a, c]) == (2, 8)
+
+
+class TestSynopsisDefaults:
+    def test_sparsity_estimate(self):
+        estimator = make_estimator("meta_ac")
+        synopsis = estimator.build(np.eye(4))
+        assert synopsis.sparsity_estimate == pytest.approx(0.25)
+        assert synopsis.cells == 16
+
+    def test_empty_shape_sparsity(self):
+        estimator = make_estimator("meta_ac")
+        synopsis = estimator.build(np.zeros((0, 4)))
+        assert synopsis.sparsity_estimate == 0.0

@@ -1,0 +1,52 @@
+"""Unit tests for the exact oracle estimator."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_structure_equal
+from repro.estimators import ExactOracle
+from repro.matrix import ops as mops
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+@pytest.fixture
+def oracle():
+    return ExactOracle()
+
+
+class TestOracle:
+    def test_every_op_matches_ground_truth(self, oracle):
+        square = random_sparse(10, 10, 0.3, seed=1)
+        vector = random_sparse(10, 1, 0.6, seed=2)
+        s = oracle.build(square)
+        v = oracle.build(vector)
+        expectations = [
+            (Op.MATMUL, [s, s], {}, mops.matmul(square, square).nnz),
+            (Op.EWISE_ADD, [s, s], {}, square.nnz),
+            (Op.EWISE_MULT, [s, s], {}, square.nnz),
+            (Op.TRANSPOSE, [s], {}, square.nnz),
+            (Op.RESHAPE, [s], {"rows": 5, "cols": 20}, square.nnz),
+            (Op.DIAG_V2M, [v], {}, vector.nnz),
+            (Op.DIAG_M2V, [s], {}, mops.diag_extract(square).nnz),
+            (Op.RBIND, [s, s], {}, 2 * square.nnz),
+            (Op.CBIND, [s, s], {}, 2 * square.nnz),
+            (Op.NEQ_ZERO, [s], {}, square.nnz),
+            (Op.EQ_ZERO, [s], {}, 100 - square.nnz),
+        ]
+        for op, operands, params, truth in expectations:
+            assert oracle.estimate_nnz(op, operands, **params) == truth, op
+
+    def test_propagation_materializes_structure(self, oracle):
+        a = random_sparse(8, 6, 0.4, seed=3)
+        b = random_sparse(6, 9, 0.4, seed=4)
+        result = oracle.propagate(Op.MATMUL, [oracle.build(a), oracle.build(b)])
+        assert_structure_equal(result.matrix, mops.matmul(a, b))
+
+    def test_synopsis_size_is_materialized_size(self, oracle):
+        synopsis = oracle.build(random_sparse(100, 100, 0.1, seed=5))
+        assert synopsis.size_bytes() > 0
+
+    def test_values_normalized_to_structure(self, oracle):
+        synopsis = oracle.build(np.array([[5.0, -2.0], [0.0, 0.1]]))
+        assert set(np.unique(synopsis.matrix.data)) == {1}

@@ -1,0 +1,79 @@
+"""Tests for the EXPLAIN plan reports."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import make_estimator
+from repro.ir import leaf, matmul, neq_zero, transpose
+from repro.matrix.random import random_sparse, single_nnz_per_row
+from repro.runtime import MatrixFormat, explain, explain_lines
+
+
+@pytest.fixture
+def nlp_dag():
+    tokens = single_nnz_per_row(500, 100, seed=1)
+    rng = np.random.default_rng(2)
+    embeddings = rng.random((100, 16))
+    return matmul(leaf(tokens, "X"), leaf(embeddings, "W"), name="XW")
+
+
+class TestExplainLines:
+    def test_one_line_per_node(self, nlp_dag):
+        lines = explain_lines(nlp_dag, make_estimator("mnc"))
+        assert len(lines) == 3  # X, W, XW
+
+    def test_leaf_line_matches_matrix(self, nlp_dag):
+        lines = explain_lines(nlp_dag, make_estimator("mnc"))
+        by_label = {line.label: line for line in lines}
+        x_line = by_label["X"]
+        assert x_line.op == "leaf"
+        assert x_line.shape == (500, 100)
+        assert x_line.sparsity == pytest.approx(500 / (500 * 100))
+        assert x_line.format is MatrixFormat.SPARSE
+
+    def test_product_line_has_flops(self, nlp_dag):
+        lines = explain_lines(nlp_dag, make_estimator("mnc"))
+        product = [line for line in lines if line.op == "matmul"][0]
+        assert product.flops is not None
+        assert product.flops > 0
+
+    def test_non_product_has_no_flops(self):
+        root = neq_zero(leaf(random_sparse(10, 10, 0.3, seed=3)))
+        lines = explain_lines(root, make_estimator("mnc"))
+        assert all(line.flops is None for line in lines)
+
+    def test_depths_root_zero(self, nlp_dag):
+        lines = explain_lines(nlp_dag, make_estimator("mnc"))
+        root_line = [line for line in lines if line.label == "XW"][0]
+        leaf_lines = [line for line in lines if line.op == "leaf"]
+        assert root_line.depth == 0
+        assert all(line.depth == 1 for line in leaf_lines)
+
+    def test_generic_estimator_flops_fallback(self, nlp_dag):
+        lines = explain_lines(nlp_dag, make_estimator("meta_ac"))
+        product = [line for line in lines if line.op == "matmul"][0]
+        assert product.flops is not None
+
+    def test_memory_positive(self, nlp_dag):
+        for line in explain_lines(nlp_dag, make_estimator("mnc")):
+            assert line.memory_bytes > 0
+
+
+class TestExplainRendering:
+    def test_contains_all_nodes(self, nlp_dag):
+        text = explain(nlp_dag, make_estimator("mnc"))
+        for label in ("XW", "X", "W"):
+            assert label in text
+
+    def test_header_names_estimator(self, nlp_dag):
+        text = explain(nlp_dag, make_estimator("meta_wc"))
+        assert "MetaWC" in text
+
+    def test_indentation_reflects_depth(self):
+        a = leaf(random_sparse(8, 8, 0.4, seed=4), "a")
+        root = neq_zero(transpose(a), name="top")
+        text = explain(root, make_estimator("mnc"))
+        lines = text.splitlines()
+        assert lines[1].startswith("top")
+        assert lines[2].startswith("  ")
+        assert lines[3].startswith("    a")

@@ -1,0 +1,121 @@
+"""Final coverage batch: chunk boundaries, interleaved empties, formulas."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from conftest import assert_structure_equal
+from repro.estimators import make_estimator
+from repro.estimators.bitset import _CHUNK_ROWS, pack_matrix
+from repro.estimators.layered_graph import propagate_frontier
+from repro.matrix import ops as mops
+from repro.matrix.conversion import as_csc, as_csr
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+class TestBitsetChunkBoundaries:
+    def test_matmul_across_row_chunks(self):
+        # More rows than the unpack chunk: the kernel must stitch chunks.
+        rows = _CHUNK_ROWS + 100
+        a = random_sparse(rows, 50, 0.05, seed=1)
+        b = random_sparse(50, 40, 0.2, seed=2)
+        estimator = make_estimator("bitset")
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == mops.matmul(a, b).nnz
+
+    def test_to_csr_across_chunks(self):
+        rows = _CHUNK_ROWS + 37
+        matrix = random_sparse(rows, 30, 0.1, seed=3)
+        assert_structure_equal(pack_matrix(matrix).to_csr(), matrix)
+
+
+class TestLayeredGraphInterleavedEmpties:
+    def test_empty_columns_between_nonempty(self):
+        # Columns 0 and 3 non-empty, 1 and 2 empty: the reduceat segments
+        # must not bleed across the empty columns.
+        structure = as_csc(np.array([
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [1, 0, 0, 1],
+        ]))
+        frontier = np.array([[5.0], [1.0], [3.0]])
+        result = propagate_frontier(frontier, structure)
+        assert result[0, 0] == 3.0  # min(5, 3)
+        assert np.isinf(result[1, 0])
+        assert np.isinf(result[2, 0])
+        assert result[3, 0] == 1.0  # min(1, 3)
+
+    def test_trailing_empty_column(self):
+        structure = as_csc(np.array([[1, 0], [1, 0]]))
+        frontier = np.array([[2.0], [4.0]])
+        result = propagate_frontier(frontier, structure)
+        assert result[0, 0] == 2.0
+        assert np.isinf(result[1, 0])
+
+
+class TestMetadataClosedForms:
+    @pytest.mark.parametrize("s_a,s_b,n", [(0.1, 0.2, 50), (0.01, 0.01, 500)])
+    def test_meta_ac_eq1(self, s_a, s_b, n):
+        from repro.estimators.metadata import MetaACEstimator
+
+        value = MetaACEstimator()._product_sparsity(s_a, s_b, n)
+        assert value == pytest.approx(1 - (1 - s_a * s_b) ** n, rel=1e-9)
+
+    @pytest.mark.parametrize("s_a,s_b,n", [(0.1, 0.2, 50), (0.001, 0.5, 100)])
+    def test_meta_wc_eq2(self, s_a, s_b, n):
+        from repro.estimators.metadata import MetaWCEstimator
+
+        value = MetaWCEstimator()._product_sparsity(s_a, s_b, n)
+        assert value == pytest.approx(min(1, s_a * n) * min(1, s_b * n))
+
+    def test_meta_ac_no_underflow_for_tiny_products(self):
+        from repro.estimators.metadata import MetaACEstimator
+
+        # Naive (1 - s)^n evaluation would lose the signal entirely.
+        value = MetaACEstimator()._product_sparsity(1e-9, 1e-9, 10**6)
+        assert value == pytest.approx(1e-12, rel=1e-3)
+
+
+class TestSparseInputForms:
+    def test_estimators_accept_csc_input(self):
+        csc = sp.csc_array(np.eye(8))
+        for name in ("mnc", "meta_ac", "bitset", "density_map"):
+            estimator = make_estimator(name)
+            synopsis = estimator.build(csc)
+            assert synopsis.nnz_estimate == 8
+
+    def test_estimators_accept_dense_input(self):
+        dense = np.eye(8)
+        for name in ("mnc", "quadtree_map", "layered_graph"):
+            estimator = make_estimator(name)
+            assert estimator.build(dense).nnz_estimate == 8
+
+
+class TestIrWithAllEstimators:
+    def test_leaf_root_estimation_every_estimator(self):
+        from repro.ir import leaf
+        from repro.ir.estimate import estimate_root_nnz
+
+        matrix = random_sparse(20, 15, 0.3, seed=4)
+        node = leaf(matrix)
+        for name in ("mnc", "meta_ac", "meta_wc", "meta_ultrasparse",
+                     "bitset", "density_map", "quadtree_map", "exact",
+                     "sampling", "sampling_unbiased", "hash", "layered_graph"):
+            estimator = make_estimator(name)
+            assert estimate_root_nnz(node, estimator) == matrix.nnz, name
+
+
+class TestReshapeSplitPath:
+    def test_wide_to_tall_propagation_matches_truth_totals(self, rng):
+        from repro.core.ops import propagate_reshape
+        from repro.core.sketch import MNCSketch
+
+        matrix = random_sparse(6, 24, 0.4, seed=5)
+        sketch = MNCSketch.from_matrix(matrix)
+        for rows, cols in ((12, 12), (24, 6), (72, 2)):
+            result = propagate_reshape(sketch, rows, cols, rng=rng)
+            truth = mops.reshape_rowwise(matrix, rows, cols)
+            assert result.total_nnz == truth.nnz

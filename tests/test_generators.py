@@ -1,0 +1,80 @@
+"""Unit tests for the B1 structured-input generators."""
+
+import numpy as np
+
+from repro.matrix import ops as mops
+from repro.matrix.properties import col_nnz, is_permutation, row_nnz, sparsity
+from repro.sparsest.generators import (
+    embeddings_matrix,
+    inner_pair,
+    nlp_pair,
+    outer_pair,
+    permutation_pair,
+    scale_pair,
+    scale_shift_matrix,
+)
+
+
+class TestEmbeddings:
+    def test_dense_except_last_row(self):
+        matrix = embeddings_matrix(50, 16, seed=1)
+        counts = row_nnz(matrix)
+        assert counts[-1] == 0
+        np.testing.assert_array_equal(counts[:-1], np.full(49, 16))
+
+
+class TestNlpPair:
+    def test_output_sparsity_is_known_fraction(self):
+        tokens, embeddings = nlp_pair(
+            rows=2000, vocab=300, dimensions=8, known_fraction=0.1, seed=2
+        )
+        product = mops.matmul(tokens, embeddings)
+        # Paper property: output sparsity ~= known_fraction independent of dims.
+        assert 0.06 < sparsity(product) < 0.14
+
+    def test_token_matrix_single_nnz_rows(self):
+        tokens, _ = nlp_pair(rows=500, vocab=100, seed=3)
+        np.testing.assert_array_equal(row_nnz(tokens), np.ones(500))
+
+    def test_unknown_column_dominates(self):
+        tokens, _ = nlp_pair(rows=1000, vocab=100, known_fraction=0.01, seed=4)
+        assert col_nnz(tokens)[-1] > 900
+
+
+class TestScaleAndPerm:
+    def test_scale_pair_structure_preserved(self):
+        scaling, x = scale_pair(n=200, cols=40, sparsity=0.1, seed=5)
+        product = mops.matmul(scaling, x)
+        assert product.nnz == x.nnz
+
+    def test_permutation_pair(self):
+        permutation, x = permutation_pair(n=150, cols=30, sparsity=0.4, seed=6)
+        assert is_permutation(permutation)
+        product = mops.matmul(permutation, x)
+        assert product.nnz == x.nnz
+
+
+class TestOuterInner:
+    def test_outer_fully_dense(self):
+        column, row = outer_pair(n=50)
+        assert mops.matmul(column, row).nnz == 50 * 50
+
+    def test_inner_single_nnz(self):
+        row, column = inner_pair(n=50)
+        assert mops.matmul(row, column).nnz == 1
+
+
+class TestScaleShift:
+    def test_structure(self):
+        s = scale_shift_matrix(20)
+        assert s.shape == (20, 20)
+        counts = col_nnz(s)
+        # Every column: diagonal + last-row entry (except last column which
+        # holds both in one cell).
+        np.testing.assert_array_equal(counts[:-1], np.full(19, 2))
+        assert counts[-1] == 1
+        assert s.nnz == 2 * 20 - 1
+
+    def test_last_row_dense(self):
+        s = scale_shift_matrix(12)
+        assert row_nnz(s)[-1] == 12

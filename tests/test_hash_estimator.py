@@ -1,0 +1,112 @@
+"""Unit tests for the hash/KMV estimator (Appendix A, reference [5])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.estimators.hashing import HashEstimator, _mix64
+from repro.matrix import ops as mops
+from repro.matrix.random import outer_product_pair, random_sparse
+from repro.opcodes import Op
+
+
+class TestMixer:
+    def test_uniform_range(self):
+        values = _mix64(np.arange(10_000, dtype=np.int64), salt=123)
+        assert values.min() >= 0.0
+        assert values.max() < 1.0
+        assert 0.45 < values.mean() < 0.55
+
+    def test_deterministic(self):
+        a = _mix64(np.arange(100, dtype=np.int64), salt=5)
+        b = _mix64(np.arange(100, dtype=np.int64), salt=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_salt_changes_hash(self):
+        a = _mix64(np.arange(100, dtype=np.int64), salt=5)
+        b = _mix64(np.arange(100, dtype=np.int64), salt=6)
+        assert not np.array_equal(a, b)
+
+
+class TestHashEstimator:
+    def test_accurate_on_uniform_data(self):
+        estimator = HashEstimator(buffer_size=512, fraction=0.3, seed=1)
+        a = random_sparse(300, 200, 0.05, seed=2)
+        b = random_sparse(200, 250, 0.05, seed=3)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 1.4 <= estimate <= truth * 1.4
+
+    def test_full_fraction_small_product_exact(self):
+        # With f = 1 and few distinct pairs, the estimator counts exactly.
+        estimator = HashEstimator(buffer_size=4096, fraction=1.0, seed=4)
+        a = random_sparse(30, 20, 0.2, seed=5)
+        b = random_sparse(20, 30, 0.2, seed=6)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == pytest.approx(truth)
+
+    def test_kmv_path_reasonable(self):
+        # Force the KMV path with a tiny buffer.
+        estimator = HashEstimator(buffer_size=64, fraction=1.0, seed=7)
+        a = random_sparse(120, 100, 0.1, seed=8)
+        b = random_sparse(100, 120, 0.1, seed=9)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 1.6 <= estimate <= truth * 1.6
+
+    def test_outer_product_case_exact(self):
+        # Table 4: the hash estimator handles B1.4 exactly — the one dense
+        # outer product's pairs all collapse to distinct sampled identities.
+        column, row = outer_product_pair(48)
+        estimator = HashEstimator(buffer_size=4096, fraction=1.0, seed=10)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(column), estimator.build(row)]
+        )
+        assert estimate == pytest.approx(48.0 * 48.0)
+
+    def test_empty_product(self):
+        estimator = HashEstimator(seed=11)
+        a = estimator.build(np.zeros((5, 4)))
+        b = estimator.build(np.ones((4, 3)))
+        assert estimator.estimate_nnz(Op.MATMUL, [a, b]) == 0.0
+
+    def test_adaptive_fraction_bounds_work(self):
+        # max_pairs tiny -> fraction shrinks, estimate still in the ballpark.
+        estimator = HashEstimator(buffer_size=256, fraction=1.0, max_pairs=2000, seed=12)
+        a = random_sparse(150, 100, 0.15, seed=13)
+        b = random_sparse(100, 150, 0.15, seed=14)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 3 <= estimate <= truth * 3
+
+    def test_no_chain_support(self):
+        estimator = HashEstimator(seed=15)
+        synopsis = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.propagate(Op.MATMUL, [synopsis, synopsis])
+
+    def test_no_elementwise_support(self):
+        estimator = HashEstimator(seed=16)
+        synopsis = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.estimate_nnz(Op.EWISE_MULT, [synopsis, synopsis])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HashEstimator(buffer_size=1)
+        with pytest.raises(ValueError):
+            HashEstimator(fraction=0.0)
+
+    def test_synopsis_size_is_buffer(self):
+        estimator = HashEstimator(buffer_size=100, seed=17)
+        synopsis = estimator.build(random_sparse(50, 50, 0.2, seed=18))
+        assert synopsis.size_bytes() == 100 * 8

@@ -1,0 +1,99 @@
+"""Integration: every estimator against every use case it can express.
+
+Complements test_integration_paper_claims (which checks the figure lineup)
+by sweeping the remaining estimators — hash, unbiased sampling, quad tree —
+through the SparsEst runner and checking the contract: a finite positive
+estimate or a clean 'unsupported' outcome, never an exception or a
+nonsensical value.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.estimators import make_estimator
+from repro.sparsest import all_use_cases, get_use_case, run_use_case
+
+SCALE = 0.03
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_cache(tmp_path_factory):
+    os.environ["REPRO_MNC_CACHE"] = str(tmp_path_factory.mktemp("cache"))
+    yield
+
+
+EXTRA_LINEUP = [
+    ("hash", {}),
+    ("sampling_unbiased", {}),
+    ("quadtree_map", {"leaf_nnz": 64, "min_block": 8}),
+    ("exact", {}),
+]
+
+
+class TestContract:
+    @pytest.mark.parametrize("name,kwargs", EXTRA_LINEUP)
+    def test_all_use_cases(self, name, kwargs):
+        estimator = make_estimator(name, **kwargs)
+        for case in all_use_cases():
+            outcome = run_use_case(case, estimator, scale=SCALE)
+            if outcome.status == "unsupported":
+                continue
+            assert outcome.ok, f"{case.id} x {name}: {outcome.status}"
+            assert outcome.estimated_nnz >= 0
+            assert math.isfinite(outcome.estimated_nnz)
+            m, n = case.build(scale=SCALE, seed=0).shape
+            assert outcome.estimated_nnz <= m * n + 1e-6
+
+    def test_exact_oracle_error_is_one_everywhere(self):
+        estimator = make_estimator("exact")
+        for case in all_use_cases():
+            outcome = run_use_case(case, estimator, scale=SCALE)
+            assert outcome.relative_error == pytest.approx(1.0), case.id
+
+
+class TestCoverageBoundaries:
+    def test_hash_covers_products_only(self):
+        estimator = make_estimator("hash")
+        products = run_use_case(get_use_case("B2.3"), estimator, scale=SCALE)
+        assert products.ok
+        elementwise = run_use_case(get_use_case("B2.5"), estimator, scale=SCALE)
+        assert elementwise.status == "unsupported"
+        chain = run_use_case(get_use_case("B3.3"), estimator, scale=SCALE)
+        assert chain.status == "unsupported"  # no propagation
+
+    def test_unbiased_sampling_covers_chains(self):
+        estimator = make_estimator("sampling_unbiased")
+        chain = run_use_case(get_use_case("B3.3"), estimator, scale=SCALE)
+        assert chain.ok
+
+    def test_quadtree_covers_elementwise_not_reshape(self):
+        estimator = make_estimator("quadtree_map", leaf_nnz=64, min_block=8)
+        mask = run_use_case(get_use_case("B2.5"), estimator, scale=SCALE)
+        assert mask.ok
+        reshape_case = run_use_case(get_use_case("B3.1"), estimator, scale=SCALE)
+        assert reshape_case.status == "unsupported"
+
+    def test_quadtree_reasonable_on_graph_product(self):
+        estimator = make_estimator("quadtree_map", leaf_nnz=64, min_block=8)
+        outcome = run_use_case(get_use_case("B2.4"), estimator, scale=SCALE)
+        assert outcome.ok
+        assert outcome.relative_error < 100
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("case_id", ["B1.1", "B2.3", "B3.5"])
+    def test_mnc_stable_across_data_seeds(self, case_id):
+        estimator = make_estimator("mnc")
+        errors = []
+        for seed in range(3):
+            outcome = run_use_case(
+                get_use_case(case_id), estimator, scale=SCALE, seed=seed
+            )
+            assert outcome.ok
+            errors.append(outcome.relative_error)
+        assert max(errors) < 3.0
+        # Error magnitudes stay in one regime across seeds.
+        assert max(errors) <= max(1.5 * min(errors), min(errors) + 0.5)

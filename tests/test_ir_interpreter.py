@@ -1,0 +1,65 @@
+"""Unit tests for ground-truth DAG evaluation."""
+
+import numpy as np
+
+from conftest import assert_structure_equal
+from repro.ir.interpreter import evaluate, evaluate_all
+from repro.ir.nodes import diag, eq_zero, leaf, neq_zero, rbind
+from repro.matrix import ops as mops
+from repro.matrix.random import random_sparse
+
+
+class TestEvaluate:
+    def test_leaf(self):
+        matrix = random_sparse(5, 6, 0.4, seed=1)
+        assert_structure_equal(evaluate(leaf(matrix)), matrix)
+
+    def test_product(self):
+        a = random_sparse(6, 5, 0.4, seed=2)
+        b = random_sparse(5, 7, 0.4, seed=3)
+        root = leaf(a) @ leaf(b)
+        assert_structure_equal(evaluate(root), mops.matmul(a, b))
+
+    def test_mixed_expression(self):
+        x = random_sparse(6, 6, 0.4, seed=4)
+        y = random_sparse(6, 6, 0.4, seed=5)
+        root = (leaf(x) @ leaf(y)).T * neq_zero(leaf(x))
+        expected = mops.ewise_mult(
+            mops.transpose(mops.matmul(x, y)), mops.not_equals_zero(x)
+        )
+        assert_structure_equal(evaluate(root), expected)
+
+    def test_reshape_and_binds(self):
+        a = random_sparse(4, 6, 0.5, seed=6)
+        b = random_sparse(2, 6, 0.5, seed=7)
+        root = rbind(leaf(a), leaf(b)).reshape(9, 4)
+        expected = mops.reshape_rowwise(mops.rbind(a, b), 9, 4)
+        assert_structure_equal(evaluate(root), expected)
+
+    def test_diag_and_complement(self):
+        v = np.array([[1.0], [0.0], [2.0]])
+        root = eq_zero(diag(leaf(v)))
+        expected = mops.equals_zero(mops.diag_matrix(v))
+        assert_structure_equal(evaluate(root), expected)
+
+
+class TestMemoization:
+    def test_shared_subexpression_evaluated_once(self):
+        x = leaf(random_sparse(10, 10, 0.3, seed=8), name="x")
+        shared = x @ x
+        root = shared + shared
+        results = evaluate_all(root)
+        # Every distinct node appears exactly once in the result map.
+        assert len(results) == 3  # x, shared, root
+
+    def test_all_nodes_present(self):
+        a = leaf(random_sparse(4, 4, 0.5, seed=9))
+        root = (a @ a).T
+        results = evaluate_all(root)
+        for node in root.postorder():
+            assert id(node) in results
+
+    def test_union_of_identical_structures_is_identity(self):
+        x = leaf(random_sparse(8, 8, 0.4, seed=10))
+        root = x + x
+        assert evaluate(root).nnz == x.matrix.nnz

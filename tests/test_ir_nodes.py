@@ -1,0 +1,141 @@
+"""Unit tests for the expression IR nodes and shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.nodes import (
+    Expr,
+    cbind,
+    diag,
+    eq_zero,
+    ewise_add,
+    ewise_mult,
+    leaf,
+    matmul,
+    neq_zero,
+    rbind,
+    reshape,
+    transpose,
+)
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+class TestLeaf:
+    def test_leaf_shape(self):
+        node = leaf(np.ones((3, 4)), name="A")
+        assert node.shape == (3, 4)
+        assert node.op is Op.LEAF
+        assert node.label == "A"
+
+    def test_leaf_without_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            Expr(Op.LEAF)
+
+    def test_unnamed_leaf_label(self):
+        node = leaf(np.ones((2, 2)))
+        assert "leaf" in node.label
+
+
+class TestShapeInference:
+    def test_matmul(self):
+        node = matmul(leaf(np.ones((3, 4))), leaf(np.ones((4, 5))))
+        assert node.shape == (3, 5)
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ShapeError):
+            matmul(leaf(np.ones((3, 4))), leaf(np.ones((5, 6))))
+
+    def test_ewise_shapes(self):
+        a, b = leaf(np.ones((3, 4))), leaf(np.ones((3, 4)))
+        assert ewise_add(a, b).shape == (3, 4)
+        assert ewise_mult(a, b).shape == (3, 4)
+        with pytest.raises(ShapeError):
+            ewise_add(a, leaf(np.ones((4, 3))))
+
+    def test_transpose(self):
+        assert transpose(leaf(np.ones((3, 5)))).shape == (5, 3)
+
+    def test_reshape(self):
+        assert reshape(leaf(np.ones((4, 6))), 8, 3).shape == (8, 3)
+        with pytest.raises(ShapeError):
+            reshape(leaf(np.ones((4, 6))), 5, 5)
+
+    def test_diag_dispatch(self):
+        assert diag(leaf(np.ones((4, 1)))).op is Op.DIAG_V2M
+        assert diag(leaf(np.ones((4, 4)))).op is Op.DIAG_M2V
+        with pytest.raises(ShapeError):
+            diag(leaf(np.ones((3, 4))))
+
+    def test_binds(self):
+        a, b = leaf(np.ones((2, 4))), leaf(np.ones((3, 4)))
+        assert rbind(a, b).shape == (5, 4)
+        c = leaf(np.ones((2, 6)))
+        assert cbind(a, c).shape == (2, 10)
+        with pytest.raises(ShapeError):
+            rbind(a, c)
+        with pytest.raises(ShapeError):
+            cbind(a, b)
+
+    def test_indicators(self):
+        a = leaf(np.ones((3, 4)))
+        assert neq_zero(a).shape == (3, 4)
+        assert eq_zero(a).shape == (3, 4)
+
+    def test_wrong_arity_rejected(self):
+        a = leaf(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            Expr(Op.MATMUL, (a,))
+        with pytest.raises(ShapeError):
+            Expr(Op.TRANSPOSE, (a, a))
+
+
+class TestOperatorSugar:
+    def test_matmul_operator(self):
+        a, b = leaf(np.ones((2, 3))), leaf(np.ones((3, 4)))
+        node = a @ b
+        assert node.op is Op.MATMUL
+        assert node.shape == (2, 4)
+
+    def test_add_and_mult_operators(self):
+        a, b = leaf(np.ones((2, 3))), leaf(np.ones((2, 3)))
+        assert (a + b).op is Op.EWISE_ADD
+        assert (a * b).op is Op.EWISE_MULT
+
+    def test_transpose_property(self):
+        a = leaf(np.ones((2, 5)))
+        assert a.T.op is Op.TRANSPOSE
+        assert a.T.shape == (5, 2)
+
+    def test_reshape_method(self):
+        a = leaf(np.ones((2, 6)))
+        assert a.reshape(3, 4).shape == (3, 4)
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        a = leaf(np.ones((2, 2)), name="a")
+        b = leaf(np.ones((2, 2)), name="b")
+        root = a @ b
+        order = list(root.postorder())
+        assert order.index(a) < order.index(root)
+        assert order.index(b) < order.index(root)
+
+    def test_shared_node_visited_once(self):
+        shared = leaf(random_sparse(4, 4, 0.5, seed=1), name="shared")
+        root = (shared @ shared) + (shared @ shared)
+        nodes = list(root.postorder())
+        assert nodes.count(shared) == 1
+
+    def test_leaves(self):
+        a = leaf(np.ones((2, 3)), name="a")
+        b = leaf(np.ones((3, 2)), name="b")
+        root = (a @ b).T
+        assert set(root.leaves()) == {a, b}
+
+    def test_repr_is_informative(self):
+        a = leaf(np.ones((2, 3)), name="A")
+        node = a.T
+        assert "transpose" in repr(node)
+        assert "A" in repr(node)

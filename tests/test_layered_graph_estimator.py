@@ -1,0 +1,144 @@
+"""Unit tests for Cohen's layered-graph estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.estimators.layered_graph import (
+    LayeredGraphEstimator,
+    frontier_column_estimates,
+    frontier_nnz_estimate,
+    propagate_frontier,
+)
+from repro.matrix import ops as mops
+from repro.matrix.conversion import as_csc
+from repro.matrix.random import permutation_matrix, random_sparse
+from repro.opcodes import Op
+
+
+class TestFrontierPropagation:
+    def test_min_semantics(self):
+        structure = as_csc(np.array([[1, 0], [1, 1]]))
+        frontier = np.array([[3.0, 5.0], [1.0, 9.0]])
+        result = propagate_frontier(frontier, structure)
+        np.testing.assert_array_equal(result[0], [1.0, 5.0])  # min of both rows
+        np.testing.assert_array_equal(result[1], [1.0, 9.0])  # only row 1
+
+    def test_empty_column_is_unreachable(self):
+        structure = as_csc(np.array([[1, 0], [1, 0]]))
+        frontier = np.ones((2, 3))
+        result = propagate_frontier(frontier, structure)
+        assert np.all(np.isinf(result[1]))
+
+    def test_inf_parents_ignored_when_finite_exists(self):
+        structure = as_csc(np.array([[1], [1]]))
+        frontier = np.array([[np.inf, np.inf], [2.0, 3.0]])
+        result = propagate_frontier(frontier, structure)
+        np.testing.assert_array_equal(result[0], [2.0, 3.0])
+
+    def test_shape_mismatch(self):
+        structure = as_csc(np.eye(3))
+        with pytest.raises(Exception):
+            propagate_frontier(np.ones((2, 4)), structure)
+
+
+class TestEstimates:
+    def test_reach_set_estimate_accuracy(self):
+        # A column reached by N leaves has min-exponential entries with
+        # rate N; the (r-1)/sum estimate should be close for large r.
+        rng = np.random.default_rng(1)
+        n_leaves, rounds = 500, 256
+        frontier = rng.exponential(1.0, size=(n_leaves, rounds)).min(axis=0)
+        estimate = frontier_nnz_estimate(frontier.reshape(1, rounds))
+        assert n_leaves / 1.25 <= estimate <= n_leaves * 1.25
+
+    def test_unreachable_contributes_zero(self):
+        frontier = np.full((3, 8), np.inf)
+        assert frontier_nnz_estimate(frontier) == 0.0
+
+    def test_column_estimates_vector(self):
+        frontier = np.vstack([
+            np.full(16, np.inf),
+            np.full(16, 0.5),
+        ])
+        estimates = frontier_column_estimates(frontier)
+        assert estimates[0] == 0.0
+        assert estimates[1] == pytest.approx(15 / 8.0)
+
+
+class TestEstimator:
+    def test_single_product_accuracy(self):
+        estimator = LayeredGraphEstimator(rounds=64, seed=2)
+        a = random_sparse(200, 150, 0.05, seed=3)
+        b = random_sparse(150, 180, 0.05, seed=4)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 1.3 <= estimate <= truth * 1.3
+
+    def test_permutation_product_near_exact(self):
+        estimator = LayeredGraphEstimator(rounds=128, seed=5)
+        p = permutation_matrix(150, seed=6)
+        x = random_sparse(150, 60, 0.2, seed=7)
+        truth = x.nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(p), estimator.build(x)]
+        )
+        assert truth / 1.15 <= estimate <= truth * 1.15
+
+    def test_chain_left_deep(self):
+        estimator = LayeredGraphEstimator(rounds=64, seed=8)
+        a = random_sparse(100, 80, 0.08, seed=9)
+        b = random_sparse(80, 90, 0.08, seed=10)
+        c = random_sparse(90, 70, 0.08, seed=11)
+        h_ab = estimator.propagate(Op.MATMUL, [estimator.build(a), estimator.build(b)])
+        estimate = estimator.estimate_nnz(Op.MATMUL, [h_ab, estimator.build(c)])
+        truth = mops.matmul(mops.matmul(a, b), c).nnz
+        assert truth / 1.5 <= estimate <= truth * 1.5
+
+    def test_right_operand_must_be_leaf(self):
+        estimator = LayeredGraphEstimator(seed=12)
+        a = random_sparse(20, 20, 0.2, seed=13)
+        h = estimator.build(a)
+        intermediate = estimator.propagate(Op.MATMUL, [h, h])
+        with pytest.raises(UnsupportedOperationError):
+            estimator.propagate(Op.MATMUL, [h, intermediate])
+
+    def test_more_rounds_reduce_error(self):
+        a = random_sparse(300, 200, 0.03, seed=14)
+        b = random_sparse(200, 250, 0.03, seed=15)
+        truth = mops.matmul(a, b).nnz
+        errors = {}
+        for rounds in (2, 128):
+            per_seed = []
+            for seed in range(8):
+                estimator = LayeredGraphEstimator(rounds=rounds, seed=seed)
+                estimate = estimator.estimate_nnz(
+                    Op.MATMUL, [estimator.build(a), estimator.build(b)]
+                )
+                per_seed.append(max(estimate, truth) / min(estimate, truth))
+            errors[rounds] = np.mean(per_seed)
+        assert errors[128] < errors[2]
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            LayeredGraphEstimator(rounds=1)
+
+    def test_no_elementwise(self):
+        estimator = LayeredGraphEstimator(seed=16)
+        synopsis = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.estimate_nnz(Op.EWISE_ADD, [synopsis, synopsis])
+
+    def test_size_linear_in_nnz_and_dims(self):
+        estimator = LayeredGraphEstimator(rounds=32, seed=17)
+        small = estimator.build(random_sparse(50, 50, 0.05, seed=18))
+        large = estimator.build(random_sparse(500, 500, 0.05, seed=19))
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_empty_product_estimates_zero(self):
+        estimator = LayeredGraphEstimator(seed=20)
+        a = estimator.build(np.zeros((10, 8)))
+        b = estimator.build(random_sparse(8, 6, 0.5, seed=21))
+        assert estimator.estimate_nnz(Op.MATMUL, [a, b]) == 0.0

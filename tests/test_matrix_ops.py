@@ -1,0 +1,181 @@
+"""Unit tests for the ground-truth structural operations."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_structure_equal
+from repro.errors import ShapeError
+from repro.matrix.conversion import as_csr
+from repro.matrix.ops import (
+    boolean_matmul,
+    cbind,
+    diag_extract,
+    diag_matrix,
+    equals_zero,
+    ewise_add,
+    ewise_mult,
+    matmul,
+    not_equals_zero,
+    rbind,
+    reshape_rowwise,
+    transpose,
+)
+from repro.matrix.random import random_sparse
+
+
+class TestMatmul:
+    def test_matches_numpy_boolean_product(self):
+        rng = np.random.default_rng(5)
+        a = (rng.random((12, 9)) < 0.3).astype(float)
+        b = (rng.random((9, 14)) < 0.3).astype(float)
+        expected = (a @ b) != 0
+        result = matmul(a, b)
+        np.testing.assert_array_equal(result.toarray() != 0, expected)
+
+    def test_no_cancellation(self):
+        # +1 and -1 would cancel numerically; structurally they must not.
+        a = np.array([[1.0, -1.0]])
+        b = np.array([[1.0], [1.0]])
+        assert matmul(a, b).nnz == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_identity(self):
+        x = random_sparse(20, 15, 0.2, seed=1)
+        assert_structure_equal(matmul(np.eye(20), x), x)
+
+    def test_empty_operand(self):
+        result = matmul(np.zeros((3, 4)), np.ones((4, 2)))
+        assert result.nnz == 0
+
+    def test_alias(self):
+        a = random_sparse(5, 6, 0.4, seed=2)
+        b = random_sparse(6, 7, 0.4, seed=3)
+        assert_structure_equal(matmul(a, b), boolean_matmul(a, b))
+
+
+class TestEwise:
+    def test_add_is_union(self):
+        a = np.array([[1, 0], [0, 1]])
+        b = np.array([[1, 1], [0, 0]])
+        assert_structure_equal(ewise_add(a, b), np.array([[1, 1], [0, 1]]))
+
+    def test_add_no_cancellation(self):
+        a = np.array([[2.0]])
+        b = np.array([[-2.0]])
+        assert ewise_add(a, b).nnz == 1
+
+    def test_mult_is_intersection(self):
+        a = np.array([[1, 0], [1, 1]])
+        b = np.array([[1, 1], [0, 1]])
+        assert_structure_equal(ewise_mult(a, b), np.array([[1, 0], [0, 1]]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ewise_add(np.ones((2, 2)), np.ones((3, 2)))
+        with pytest.raises(ShapeError):
+            ewise_mult(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_add_commutative(self):
+        a = random_sparse(10, 10, 0.3, seed=4)
+        b = random_sparse(10, 10, 0.3, seed=5)
+        assert_structure_equal(ewise_add(a, b), ewise_add(b, a))
+
+
+class TestTranspose:
+    def test_structure(self):
+        a = np.array([[1, 0, 2], [0, 3, 0]])
+        assert_structure_equal(transpose(a), a.T)
+
+    def test_involution(self):
+        a = random_sparse(8, 13, 0.2, seed=6)
+        assert_structure_equal(transpose(transpose(a)), a)
+
+
+class TestReshape:
+    def test_row_major_semantics(self):
+        a = np.arange(12.0).reshape(3, 4)
+        a[a % 3 == 0] = 0
+        assert_structure_equal(reshape_rowwise(a, 4, 3), a.reshape(4, 3))
+
+    def test_preserves_nnz(self):
+        a = random_sparse(10, 6, 0.3, seed=7)
+        assert reshape_rowwise(a, 5, 12).nnz == a.nnz
+
+    def test_identity_reshape(self):
+        a = random_sparse(4, 6, 0.5, seed=8)
+        assert_structure_equal(reshape_rowwise(a, 4, 6), a)
+
+    def test_bad_cell_count(self):
+        with pytest.raises(ShapeError):
+            reshape_rowwise(np.ones((2, 3)), 4, 2)
+
+
+class TestDiag:
+    def test_vector_to_matrix(self):
+        v = np.array([[1.0], [0.0], [2.0]])
+        expected = np.diag([1.0, 0.0, 2.0])
+        assert_structure_equal(diag_matrix(v), expected)
+
+    def test_vector_to_matrix_requires_column(self):
+        with pytest.raises(ShapeError):
+            diag_matrix(np.ones((2, 2)))
+
+    def test_matrix_to_vector(self):
+        a = np.array([[1, 2], [0, 0]])
+        result = diag_extract(a)
+        assert result.shape == (2, 1)
+        assert result.nnz == 1
+
+    def test_matrix_to_vector_requires_square(self):
+        with pytest.raises(ShapeError):
+            diag_extract(np.ones((2, 3)))
+
+    def test_roundtrip(self):
+        v = as_csr(np.array([[1.0], [0.0], [3.0]]))
+        assert_structure_equal(diag_extract(diag_matrix(v)), v)
+
+
+class TestBind:
+    def test_rbind(self):
+        a = np.array([[1, 0]])
+        b = np.array([[0, 2], [3, 0]])
+        assert_structure_equal(rbind(a, b), np.array([[1, 0], [0, 2], [3, 0]]))
+
+    def test_cbind(self):
+        a = np.array([[1], [0]])
+        b = np.array([[0, 2], [3, 0]])
+        assert_structure_equal(cbind(a, b), np.array([[1, 0, 2], [0, 3, 0]]))
+
+    def test_rbind_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            rbind(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_cbind_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            cbind(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_nnz_additivity(self):
+        a = random_sparse(5, 8, 0.3, seed=9)
+        b = random_sparse(7, 8, 0.3, seed=10)
+        assert rbind(a, b).nnz == a.nnz + b.nnz
+
+
+class TestIndicators:
+    def test_neq_zero(self):
+        a = np.array([[0.0, -5.0], [3.0, 0.0]])
+        assert_structure_equal(not_equals_zero(a), np.array([[0, 1], [1, 0]]))
+
+    def test_eq_zero_complement(self):
+        a = np.array([[0.0, 1.0], [2.0, 0.0]])
+        result = equals_zero(a)
+        assert_structure_equal(result, np.array([[1, 0], [0, 1]]))
+
+    def test_complement_partition(self):
+        a = random_sparse(6, 9, 0.4, seed=11)
+        assert not_equals_zero(a).nnz + equals_zero(a).nnz == 6 * 9
+
+    def test_eq_zero_of_empty_is_full(self):
+        assert equals_zero(np.zeros((3, 3))).nnz == 9

@@ -1,0 +1,119 @@
+"""Unit tests for the MetaAC / MetaWC metadata estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.estimators import MetaACEstimator, MetaWCEstimator
+from repro.matrix.ops import matmul
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+
+
+@pytest.fixture
+def ac():
+    return MetaACEstimator()
+
+
+@pytest.fixture
+def wc():
+    return MetaWCEstimator()
+
+
+class TestMetaAC:
+    def test_formula_eq1(self, ac):
+        a = ac.build(random_sparse(100, 80, 0.1, seed=1))
+        b = ac.build(random_sparse(80, 90, 0.2, seed=2))
+        s_a, s_b = a.sparsity_estimate, b.sparsity_estimate
+        expected = (1 - (1 - s_a * s_b) ** 80) * 100 * 90
+        assert ac.estimate_nnz(Op.MATMUL, [a, b]) == pytest.approx(expected, rel=1e-9)
+
+    def test_accurate_on_uniform_data(self, ac):
+        mat_a = random_sparse(300, 200, 0.05, seed=3)
+        mat_b = random_sparse(200, 250, 0.05, seed=4)
+        truth = matmul(mat_a, mat_b).nnz
+        estimate = ac.estimate_nnz(Op.MATMUL, [ac.build(mat_a), ac.build(mat_b)])
+        assert truth / 1.1 <= estimate <= truth * 1.1
+
+    def test_dense_product_saturates(self, ac):
+        a = ac.build(np.ones((5, 5)))
+        assert ac.estimate_nnz(Op.MATMUL, [a, a]) == pytest.approx(25.0)
+
+    def test_ewise_formulas(self, ac):
+        a = ac.build(random_sparse(50, 50, 0.2, seed=5))
+        b = ac.build(random_sparse(50, 50, 0.3, seed=6))
+        s_a, s_b = a.sparsity_estimate, b.sparsity_estimate
+        add = ac.estimate_nnz(Op.EWISE_ADD, [a, b])
+        mult = ac.estimate_nnz(Op.EWISE_MULT, [a, b])
+        assert add == pytest.approx((s_a + s_b - s_a * s_b) * 2500)
+        assert mult == pytest.approx(s_a * s_b * 2500)
+
+    def test_reorganizations_exact(self, ac):
+        matrix = random_sparse(20, 30, 0.2, seed=7)
+        synopsis = ac.build(matrix)
+        assert ac.estimate_nnz(Op.TRANSPOSE, [synopsis]) == matrix.nnz
+        assert ac.estimate_nnz(Op.RESHAPE, [synopsis], rows=30, cols=20) == matrix.nnz
+        assert ac.estimate_nnz(Op.NEQ_ZERO, [synopsis]) == matrix.nnz
+        assert ac.estimate_nnz(Op.EQ_ZERO, [synopsis]) == 600 - matrix.nnz
+
+    def test_binds_exact(self, ac):
+        a = random_sparse(5, 10, 0.4, seed=8)
+        b = random_sparse(7, 10, 0.4, seed=9)
+        sa, sb = ac.build(a), ac.build(b)
+        assert ac.estimate_nnz(Op.RBIND, [sa, sb]) == a.nnz + b.nnz
+
+    def test_propagation_carries_shape(self, ac):
+        a = ac.build(random_sparse(4, 6, 0.5, seed=10))
+        t = ac.propagate(Op.TRANSPOSE, [a])
+        assert t.shape == (6, 4)
+        d = ac.propagate(Op.DIAG_V2M, [ac.build(np.ones((5, 1)))])
+        assert d.shape == (5, 5)
+
+    def test_shape_validation(self, ac):
+        a = ac.build(np.ones((2, 3)))
+        b = ac.build(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            ac.estimate_nnz(Op.MATMUL, [a, b])
+        with pytest.raises(ShapeError):
+            ac.estimate_nnz(Op.RESHAPE, [a], rows=5, cols=5)
+
+    def test_synopsis_size_constant(self, ac):
+        small = ac.build(np.ones((2, 2)))
+        large = ac.build(random_sparse(1000, 1000, 0.01, seed=11))
+        assert small.size_bytes() == large.size_bytes()
+
+
+class TestMetaWC:
+    def test_formula_eq2(self, wc):
+        a = wc.build(random_sparse(100, 80, 0.1, seed=12))
+        b = wc.build(random_sparse(80, 90, 0.2, seed=13))
+        s_a, s_b = a.sparsity_estimate, b.sparsity_estimate
+        expected = min(1.0, s_a * 80) * min(1.0, s_b * 80) * 100 * 90
+        assert wc.estimate_nnz(Op.MATMUL, [a, b]) == pytest.approx(expected)
+
+    def test_upper_bounds_truth_on_random(self, wc):
+        for seed in range(4):
+            mat_a = random_sparse(60, 40, 0.15, seed=20 + seed)
+            mat_b = random_sparse(40, 70, 0.15, seed=30 + seed)
+            truth = matmul(mat_a, mat_b).nnz
+            estimate = wc.estimate_nnz(
+                Op.MATMUL, [wc.build(mat_a), wc.build(mat_b)]
+            )
+            assert estimate >= truth * 0.999
+
+    def test_ewise_bounds(self, wc):
+        a = wc.build(random_sparse(50, 50, 0.6, seed=14))
+        b = wc.build(random_sparse(50, 50, 0.7, seed=15))
+        add = wc.estimate_nnz(Op.EWISE_ADD, [a, b])
+        mult = wc.estimate_nnz(Op.EWISE_MULT, [a, b])
+        assert add == pytest.approx(2500.0)  # saturated min(1, sA+sB)
+        assert mult == pytest.approx(min(a.sparsity_estimate, b.sparsity_estimate) * 2500)
+
+    def test_outer_product_case(self, wc):
+        # B1.4: two ultra-sparse matrices with aligned dense column/row; the
+        # worst case estimator correctly predicts a dense output.
+        from repro.matrix.random import outer_product_pair
+
+        column, row = outer_product_pair(64)
+        estimate = wc.estimate_nnz(Op.MATMUL, [wc.build(column), wc.build(row)])
+        assert estimate == pytest.approx(64.0 * 64.0)

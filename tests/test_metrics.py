@@ -1,0 +1,59 @@
+"""Unit tests for the SparsEst metrics."""
+
+import math
+
+import pytest
+
+from repro.sparsest.metrics import (
+    absolute_ratio_error,
+    aggregate_relative_error,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_exact_is_one(self):
+        assert relative_error(10.0, 10.0) == 1.0
+
+    def test_symmetric(self):
+        assert relative_error(10.0, 20.0) == relative_error(20.0, 10.0) == 2.0
+
+    def test_bounded_below_by_one(self):
+        assert relative_error(3.0, 3.0001) >= 1.0
+
+    def test_both_zero(self):
+        assert relative_error(0.0, 0.0) == 1.0
+
+    def test_one_zero_is_infinite(self):
+        assert math.isinf(relative_error(0.0, 5.0))
+        assert math.isinf(relative_error(5.0, 0.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(-1.0, 2.0)
+
+
+class TestAbsoluteRatioError:
+    def test_exact(self):
+        assert absolute_ratio_error(10.0, 10.0) == 0.0
+
+    def test_asymmetric(self):
+        # Over-estimation by 2x gives ARE 1.0; under-estimation by 2x gives 0.5.
+        assert absolute_ratio_error(10.0, 20.0) == 1.0
+        assert absolute_ratio_error(10.0, 5.0) == 0.5
+
+    def test_zero_truth(self):
+        assert math.isinf(absolute_ratio_error(0.0, 1.0))
+        assert absolute_ratio_error(0.0, 0.0) == 0.0
+
+
+class TestAggregation:
+    def test_additive(self):
+        assert aggregate_relative_error([1.0, 3.0], [2.0, 2.0]) == 1.0
+
+    def test_over_estimate(self):
+        assert aggregate_relative_error([1.0, 1.0], [2.0, 2.0]) == 2.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_relative_error([1.0], [1.0, 2.0])

@@ -1,0 +1,130 @@
+"""Unit tests for the MNC estimator adapter (and MNC Basic)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import MNCBasicEstimator, MNCEstimator
+from repro.estimators.mnc import MNCSynopsis
+from repro.matrix import ops as mops
+from repro.matrix.random import (
+    outer_product_pair,
+    random_sparse,
+    single_nnz_per_row,
+)
+from repro.opcodes import Op
+
+
+@pytest.fixture
+def mnc():
+    return MNCEstimator(seed=1)
+
+
+@pytest.fixture
+def basic():
+    return MNCBasicEstimator(seed=1)
+
+
+class TestAdapters:
+    def test_build_wraps_sketch(self, mnc):
+        matrix = random_sparse(10, 12, 0.3, seed=2)
+        synopsis = mnc.build(matrix)
+        assert isinstance(synopsis, MNCSynopsis)
+        assert synopsis.nnz_estimate == matrix.nnz
+        assert synopsis.shape == (10, 12)
+
+    def test_basic_has_no_extensions(self, basic):
+        matrix = np.array([[1, 1], [1, 0]])
+        synopsis = basic.build(matrix)
+        assert not synopsis.sketch.has_extensions
+
+    def test_size_bytes_delegates(self, mnc):
+        synopsis = mnc.build(random_sparse(100, 50, 0.2, seed=3))
+        assert synopsis.size_bytes() == synopsis.sketch.size_bytes()
+
+
+class TestProductEstimates:
+    def test_theorem31_exact(self, mnc):
+        a = single_nnz_per_row(200, 40, seed=4)
+        b = random_sparse(40, 60, 0.2, seed=5)
+        estimate = mnc.estimate_nnz(Op.MATMUL, [mnc.build(a), mnc.build(b)])
+        assert estimate == mops.matmul(a, b).nnz
+
+    def test_full_beats_basic_on_inner_case(self, mnc, basic):
+        row, column = outer_product_pair(64)
+        truth = 1.0
+        full = mnc.estimate_nnz(Op.MATMUL, [mnc.build(column.T), mnc.build(row.T)])
+        basic_est = basic.estimate_nnz(
+            Op.MATMUL, [basic.build(column.T), basic.build(row.T)]
+        )
+        assert abs(full - truth) <= abs(basic_est - truth)
+
+    def test_propagation_returns_mnc_synopsis(self, mnc):
+        a = random_sparse(30, 20, 0.2, seed=6)
+        b = random_sparse(20, 25, 0.2, seed=7)
+        result = mnc.propagate(Op.MATMUL, [mnc.build(a), mnc.build(b)])
+        assert isinstance(result, MNCSynopsis)
+        assert result.shape == (30, 25)
+
+
+class TestAllOperations:
+    """MNC must handle every IR operation (estimate + propagate)."""
+
+    def test_full_op_coverage(self, mnc):
+        square = random_sparse(12, 12, 0.3, seed=8)
+        vector = random_sparse(12, 1, 0.6, seed=9)
+        synopsis = mnc.build(square)
+        vec_synopsis = mnc.build(vector)
+        cases = [
+            (Op.MATMUL, [synopsis, synopsis], {}),
+            (Op.EWISE_ADD, [synopsis, synopsis], {}),
+            (Op.EWISE_MULT, [synopsis, synopsis], {}),
+            (Op.TRANSPOSE, [synopsis], {}),
+            (Op.RESHAPE, [synopsis], {"rows": 6, "cols": 24}),
+            (Op.DIAG_V2M, [vec_synopsis], {}),
+            (Op.DIAG_M2V, [synopsis], {}),
+            (Op.RBIND, [synopsis, synopsis], {}),
+            (Op.CBIND, [synopsis, synopsis], {}),
+            (Op.NEQ_ZERO, [synopsis], {}),
+            (Op.EQ_ZERO, [synopsis], {}),
+        ]
+        for op, operands, params in cases:
+            nnz = mnc.estimate_nnz(op, operands, **params)
+            assert np.isfinite(nnz), f"estimate for {op} not finite"
+            propagated = mnc.propagate(op, operands, **params)
+            assert isinstance(propagated, MNCSynopsis), f"propagate {op}"
+
+    def test_reorg_estimates_exact(self, mnc):
+        matrix = random_sparse(15, 10, 0.3, seed=10)
+        synopsis = mnc.build(matrix)
+        assert mnc.estimate_nnz(Op.TRANSPOSE, [synopsis]) == matrix.nnz
+        assert mnc.estimate_nnz(Op.NEQ_ZERO, [synopsis]) == matrix.nnz
+        assert mnc.estimate_nnz(Op.EQ_ZERO, [synopsis]) == 150 - matrix.nnz
+        assert (
+            mnc.estimate_nnz(Op.RBIND, [synopsis, synopsis]) == 2 * matrix.nnz
+        )
+
+    def test_mask_pattern_exact(self, mnc):
+        # Column-structured mask: the Eq 13 estimate is exact (B2.5).
+        rng = np.random.default_rng(11)
+        data = (rng.random((60, 30)) < 0.4).astype(float)
+        mask = np.zeros((60, 30))
+        mask[:, 10:20] = 1.0
+        truth = mops.ewise_mult(mask, data).nnz
+        estimate = mnc.estimate_nnz(
+            Op.EWISE_MULT, [mnc.build(mask), mnc.build(data)]
+        )
+        assert estimate == pytest.approx(truth)
+
+
+class TestDeterminism:
+    def test_same_seed_same_propagation(self):
+        a = random_sparse(50, 40, 0.1, seed=12)
+        b = random_sparse(40, 45, 0.1, seed=13)
+        results = []
+        for _ in range(2):
+            estimator = MNCEstimator(seed=99)
+            synopsis = estimator.propagate(
+                Op.MATMUL, [estimator.build(a), estimator.build(b)]
+            )
+            results.append(synopsis.sketch.hr.copy())
+        np.testing.assert_array_equal(results[0], results[1])

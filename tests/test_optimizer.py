@@ -1,0 +1,175 @@
+"""Unit tests for the matrix-multiplication-chain optimizer (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import MNCSketch
+from repro.errors import PlanError
+from repro.matrix.random import diagonal_matrix, random_sparse
+from repro.optimizer import (
+    dense_matmul_flops,
+    enumerate_random_plans,
+    left_deep_plan,
+    optimize_chain_dense,
+    optimize_chain_sparse,
+    plan_cost_estimated,
+    plan_cost_true,
+    plan_to_string,
+    random_plan,
+    sparse_matmul_flops,
+)
+
+
+class TestCostModels:
+    def test_dense_flops(self):
+        assert dense_matmul_flops(2, 3, 4) == 24.0
+
+    def test_sparse_flops_formula(self):
+        a = random_sparse(10, 8, 0.3, seed=1)
+        b = random_sparse(8, 12, 0.3, seed=2)
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        expected = float(h_a.hc @ h_b.hr)
+        assert sparse_matmul_flops(h_a, h_b) == expected
+
+    def test_sparse_flops_shape_check(self):
+        h_a = MNCSketch.from_matrix(np.ones((2, 3)))
+        h_b = MNCSketch.from_matrix(np.ones((2, 3)))
+        with pytest.raises(PlanError):
+            sparse_matmul_flops(h_a, h_b)
+
+    def test_true_cost_leaf_is_free(self):
+        assert plan_cost_true(0, [np.eye(3)]) == 0.0
+
+    def test_estimated_close_to_true_on_uniform(self):
+        matrices = [
+            random_sparse(40, 30, 0.2, seed=3),
+            random_sparse(30, 50, 0.2, seed=4),
+            random_sparse(50, 20, 0.2, seed=5),
+        ]
+        sketches = [MNCSketch.from_matrix(m) for m in matrices]
+        plan = left_deep_plan(3)
+        true_cost = plan_cost_true(plan, matrices)
+        estimated = plan_cost_estimated(plan, sketches, rng=6)
+        assert true_cost / 1.5 <= estimated <= true_cost * 1.5
+
+    def test_malformed_plan_rejected(self):
+        sketches = [MNCSketch.from_matrix(np.eye(3))]
+        with pytest.raises(PlanError):
+            plan_cost_estimated((0, 1, 2), sketches)
+
+
+class TestPlans:
+    def test_left_deep(self):
+        assert left_deep_plan(1) == 0
+        assert left_deep_plan(3) == ((0, 1), 2)
+        assert plan_to_string(left_deep_plan(3)) == "((M1 M2) M3)"
+
+    def test_left_deep_requires_positive(self):
+        with pytest.raises(PlanError):
+            left_deep_plan(0)
+
+    def test_random_plan_covers_all_leaves(self):
+        plan = random_plan(6, rng=7)
+
+        def collect(node):
+            if isinstance(node, int):
+                return [node]
+            return collect(node[0]) + collect(node[1])
+
+        assert sorted(collect(plan)) == list(range(6))
+
+    def test_random_plans_vary(self):
+        plans = enumerate_random_plans(8, 50, rng=8)
+        assert len({plan_to_string(p) for p in plans}) > 5
+
+    def test_plan_to_string_with_names(self):
+        assert plan_to_string((0, 1), names=["A", "B"]) == "(A B)"
+
+
+class TestDenseDP:
+    def test_textbook_example(self):
+        # CLRS example: dims 30x35, 35x15, 15x5, 5x10, 10x20, 20x25
+        shapes = [(30, 35), (35, 15), (15, 5), (5, 10), (10, 20), (20, 25)]
+        solution = optimize_chain_dense(shapes)
+        assert solution.cost == 15125.0
+        assert plan_to_string(solution.plan) == "((M1 (M2 M3)) ((M4 M5) M6))"
+
+    def test_two_matrix_chain(self):
+        solution = optimize_chain_dense([(2, 3), (3, 4)])
+        assert solution.plan == (0, 1)
+        assert solution.cost == 24.0
+
+    def test_single_matrix(self):
+        solution = optimize_chain_dense([(5, 5)])
+        assert solution.plan == 0
+        assert solution.cost == 0.0
+
+    def test_mismatched_chain_rejected(self):
+        with pytest.raises(PlanError):
+            optimize_chain_dense([(2, 3), (4, 5)])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PlanError):
+            optimize_chain_dense([])
+
+
+class TestSparseDP:
+    def test_optimal_for_small_chain_by_exhaustion(self):
+        matrices = [
+            random_sparse(20, 25, 0.3, seed=9),
+            random_sparse(25, 15, 0.05, seed=10),
+            random_sparse(15, 30, 0.4, seed=11),
+            random_sparse(30, 10, 0.2, seed=12),
+        ]
+        sketches = [MNCSketch.from_matrix(m) for m in matrices]
+        solution = optimize_chain_sparse(sketches, rng=13)
+        # Exhaustively cost all 5 plans of a 4-chain with the same machinery.
+        all_plans = [
+            (((0, 1), 2), 3), ((0, (1, 2)), 3), ((0, 1), (2, 3)),
+            (0, ((1, 2), 3)), (0, (1, (2, 3))),
+        ]
+        costs = [plan_cost_estimated(p, sketches, rng=13) for p in all_plans]
+        assert solution.cost <= min(costs) * 1.2
+
+    def test_sparse_beats_dense_on_skewed_chain(self):
+        # Equal dimensions: the dense DP is indifferent between plans and
+        # defaults to left-deep, which multiplies the two dense matrices
+        # first. The sparsity-aware DP sees that starting from the
+        # ultra-sparse C keeps every intermediate sparse.
+        rng = np.random.default_rng(14)
+        matrices = [
+            random_sparse(40, 40, 0.005, seed=rng),
+            random_sparse(40, 40, 0.9, seed=rng),
+            random_sparse(40, 40, 0.9, seed=rng),
+        ]
+        sketches = [MNCSketch.from_matrix(m) for m in matrices]
+        dense_solution = optimize_chain_dense([m.shape for m in matrices])
+        sparse_solution = optimize_chain_sparse(sketches, rng=15)
+        # Equal dimensions: the dense DP ties and keeps its first split,
+        # multiplying the two dense matrices first — the bad plan.
+        assert dense_solution.plan == (0, (1, 2))
+        dense_true = plan_cost_true(dense_solution.plan, matrices)
+        sparse_true = plan_cost_true(sparse_solution.plan, matrices)
+        assert sparse_solution.plan == ((0, 1), 2)
+        assert sparse_true < dense_true
+
+    def test_diagonal_chain_exact_costs(self):
+        matrices = [
+            diagonal_matrix(30, seed=16),
+            random_sparse(30, 20, 0.2, seed=17),
+            diagonal_matrix(20, seed=18),
+        ]
+        sketches = [MNCSketch.from_matrix(m) for m in matrices]
+        solution = optimize_chain_sparse(sketches, rng=19)
+        assert solution.cost == plan_cost_true(solution.plan, matrices)
+
+    def test_solution_cost_matches_plan_cost(self):
+        matrices = [
+            random_sparse(25, 20, 0.2, seed=20),
+            random_sparse(20, 30, 0.2, seed=21),
+            random_sparse(30, 15, 0.2, seed=22),
+        ]
+        sketches = [MNCSketch.from_matrix(m) for m in matrices]
+        solution = optimize_chain_sparse(sketches, rng=23)
+        recomputed = plan_cost_estimated(solution.plan, sketches, rng=23)
+        assert solution.cost == pytest.approx(recomputed, rel=0.2)

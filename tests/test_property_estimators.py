@@ -1,0 +1,152 @@
+"""Property-based tests across all estimators and ground-truth operations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import make_estimator
+from repro.matrix import ops as mops
+from repro.matrix.conversion import as_csr
+from repro.opcodes import Op
+
+
+@st.composite
+def product_pairs(draw, max_dim=18):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    l = draw(st.integers(1, max_dim))
+    density_a = draw(st.floats(0.0, 1.0))
+    density_b = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = as_csr((rng.random((m, n)) < density_a).astype(np.int8))
+    b = as_csr((rng.random((n, l)) < density_b).astype(np.int8))
+    return a, b
+
+
+@st.composite
+def equal_shape_pairs(draw, max_dim=18):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = as_csr((rng.random((m, n)) < draw(st.floats(0.0, 1.0))).astype(np.int8))
+    b = as_csr((rng.random((m, n)) < draw(st.floats(0.0, 1.0))).astype(np.int8))
+    return a, b
+
+
+class TestExactEstimatorsAreExact:
+    @given(product_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_bitset_product_exact(self, pair):
+        a, b = pair
+        estimator = make_estimator("bitset")
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == mops.matmul(a, b).nnz
+
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_oracle_product(self, pair):
+        a, b = pair
+        estimator = make_estimator("exact")
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate == mops.matmul(a, b).nnz
+
+    @given(equal_shape_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_bitset_ewise_exact(self, pair):
+        a, b = pair
+        estimator = make_estimator("bitset")
+        sa, sb = estimator.build(a), estimator.build(b)
+        assert estimator.estimate_nnz(Op.EWISE_ADD, [sa, sb]) == mops.ewise_add(a, b).nnz
+        assert estimator.estimate_nnz(Op.EWISE_MULT, [sa, sb]) == mops.ewise_mult(a, b).nnz
+
+
+class TestEstimatorSanity:
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_product_estimates_in_physical_range(self, pair):
+        a, b = pair
+        cells = a.shape[0] * b.shape[1]
+        for name in ("meta_ac", "meta_wc", "mnc", "mnc_basic", "density_map",
+                     "sampling_unbiased", "hash"):
+            estimator = make_estimator(name)
+            estimate = estimator.estimate_nnz(
+                Op.MATMUL, [estimator.build(a), estimator.build(b)]
+            )
+            assert 0.0 <= estimate <= cells + 1e-6, name
+
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_meta_wc_upper_bounds_truth(self, pair):
+        a, b = pair
+        truth = mops.matmul(a, b).nnz
+        estimator = make_estimator("meta_wc")
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate >= truth - 1e-6
+
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_biased_sampling_lower_bounds_truth(self, pair):
+        a, b = pair
+        truth = mops.matmul(a, b).nnz
+        estimator = make_estimator("sampling", fraction=1.0)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate <= truth + 1e-6
+
+    @given(equal_shape_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_mnc_ewise_add_bounds(self, pair):
+        a, b = pair
+        estimator = make_estimator("mnc")
+        estimate = estimator.estimate_nnz(
+            Op.EWISE_ADD, [estimator.build(a), estimator.build(b)]
+        )
+        assert max(a.nnz, b.nnz) - 1e-6 <= estimate
+        assert estimate <= min(a.nnz + b.nnz, a.shape[0] * a.shape[1]) + 1e-6
+
+    @given(equal_shape_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_mnc_ewise_mult_upper_bound(self, pair):
+        a, b = pair
+        estimator = make_estimator("mnc")
+        estimate = estimator.estimate_nnz(
+            Op.EWISE_MULT, [estimator.build(a), estimator.build(b)]
+        )
+        assert 0.0 <= estimate <= min(a.nnz, b.nnz) + 1e-6
+
+
+class TestGroundTruthAlgebra:
+    @given(equal_shape_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_exclusion(self, pair):
+        a, b = pair
+        union = mops.ewise_add(a, b).nnz
+        intersection = mops.ewise_mult(a, b).nnz
+        assert union + intersection == a.nnz + b.nnz
+
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_product_transpose_identity(self, pair):
+        a, b = pair
+        left = mops.transpose(mops.matmul(a, b))
+        right = mops.matmul(mops.transpose(b), mops.transpose(a))
+        assert left.nnz == right.nnz
+        assert (left != right).nnz == 0
+
+    @given(product_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_roundtrip(self, pair):
+        a, _ = pair
+        m, n = a.shape
+        reshaped = mops.reshape_rowwise(a, 1, m * n)
+        back = mops.reshape_rowwise(reshaped, m, n)
+        assert (back != a).nnz == 0

@@ -1,0 +1,124 @@
+"""Property-based tests for sketch propagation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ops as core_ops
+from repro.core.propagate import propagate_product
+from repro.core.rounding import probabilistic_round
+from repro.core.sketch import MNCSketch
+from repro.matrix.conversion import as_csr
+
+
+@st.composite
+def matrices(draw, max_dim=16):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return as_csr((rng.random((m, n)) < draw(st.floats(0.0, 1.0))).astype(np.int8))
+
+
+@st.composite
+def product_pairs(draw, max_dim=16):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    l = draw(st.integers(1, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = as_csr((rng.random((m, n)) < draw(st.floats(0.0, 1.0))).astype(np.int8))
+    b = as_csr((rng.random((n, l)) < draw(st.floats(0.0, 1.0))).astype(np.int8))
+    return a, b
+
+
+class TestProductPropagation:
+    @given(product_pairs(), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_propagated_sketch_is_valid(self, pair, seed):
+        a, b = pair
+        sketch = propagate_product(
+            MNCSketch.from_matrix(a), MNCSketch.from_matrix(b),
+            rng=np.random.default_rng(seed),
+        )
+        # Constructing an MNCSketch revalidates every invariant; reaching
+        # here means hr/hc totals agree and all counts are in range.
+        assert sketch.shape == (a.shape[0], b.shape[1])
+        assert sketch.hr.sum() == sketch.hc.sum()
+        assert np.all(sketch.hr >= 0)
+        assert np.all(sketch.hr <= b.shape[1])
+        assert np.all(sketch.hc <= a.shape[0])
+
+
+class TestReorganizationPropagation:
+    @given(matrices(), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_reshape_total_preserved(self, matrix, seed):
+        m, n = matrix.shape
+        sketch = MNCSketch.from_matrix(matrix)
+        # Reshape to a single row: always valid.
+        reshaped = core_ops.propagate_reshape(
+            sketch, 1, m * n, rng=np.random.default_rng(seed)
+        )
+        assert reshaped.total_nnz == matrix.nnz
+
+    @given(matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_eq_zero_complements_total(self, matrix):
+        sketch = MNCSketch.from_matrix(matrix)
+        complement = core_ops.propagate_equals_zero(sketch)
+        m, n = matrix.shape
+        assert sketch.total_nnz + complement.total_nnz == m * n
+
+    @given(matrices(), matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rbind_requires_matching_or_raises(self, a, b):
+        from repro.errors import ShapeError
+
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        if a.shape[1] == b.shape[1]:
+            combined = core_ops.propagate_rbind(h_a, h_b)
+            assert combined.total_nnz == a.nnz + b.nnz
+        else:
+            try:
+                core_ops.propagate_rbind(h_a, h_b)
+                assert False, "expected ShapeError"
+            except ShapeError:
+                pass
+
+
+class TestEwisePropagation:
+    @given(matrices(), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_self_multiplication_valid(self, matrix, seed):
+        sketch = MNCSketch.from_matrix(matrix)
+        result = core_ops.propagate_ewise_mult(
+            sketch, sketch, rng=np.random.default_rng(seed)
+        )
+        assert result.total_nnz <= sketch.total_nnz
+        assert result.hr.sum() == result.hc.sum()
+
+    @given(matrices(), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_add_with_empty_is_identity_total(self, matrix, seed):
+        sketch = MNCSketch.from_matrix(matrix)
+        empty = MNCSketch.from_matrix(
+            as_csr(np.zeros(matrix.shape, dtype=np.int8))
+        )
+        result = core_ops.propagate_ewise_add(
+            sketch, empty, rng=np.random.default_rng(seed)
+        )
+        assert result.total_nnz == sketch.total_nnz
+
+
+class TestProbabilisticRounding:
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rounding_within_one(self, values, seed):
+        array = np.array(values)
+        rounded = probabilistic_round(array, rng=np.random.default_rng(seed))
+        assert np.all(rounded >= np.floor(array).astype(np.int64))
+        assert np.all(rounded <= np.ceil(array).astype(np.int64))

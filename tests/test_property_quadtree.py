@@ -1,0 +1,76 @@
+"""Property-based tests for the quad-tree synopsis invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.quadtree import QuadTreeEstimator
+from repro.matrix.conversion import as_csr
+
+
+@st.composite
+def matrices(draw, max_dim=48):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return as_csr((rng.random((m, n)) < density).astype(np.int8))
+
+
+@st.composite
+def estimators(draw):
+    leaf_nnz = draw(st.integers(1, 64))
+    min_block = draw(st.integers(1, 16))
+    return QuadTreeEstimator(leaf_nnz=leaf_nnz, min_block=min_block)
+
+
+class TestQuadTreeInvariants:
+    @given(matrices(), estimators())
+    @settings(max_examples=60, deadline=None)
+    def test_root_count_exact(self, matrix, estimator):
+        synopsis = estimator.build(matrix)
+        assert synopsis.nnz_estimate == matrix.nnz
+
+    @given(matrices(), estimators())
+    @settings(max_examples=60, deadline=None)
+    def test_leaves_partition_cells_and_counts(self, matrix, estimator):
+        synopsis = estimator.build(matrix)
+        leaves = synopsis.leaves()
+        assert sum(leaf.cells for leaf in leaves) == matrix.shape[0] * matrix.shape[1]
+        assert sum(leaf.nnz for leaf in leaves) == matrix.nnz
+
+    @given(matrices(), estimators())
+    @settings(max_examples=60, deadline=None)
+    def test_leaves_are_disjoint(self, matrix, estimator):
+        synopsis = estimator.build(matrix)
+        regions = [
+            (leaf.row_start, leaf.row_stop, leaf.col_start, leaf.col_stop)
+            for leaf in synopsis.leaves()
+        ]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                rows_overlap = a[0] < b[1] and b[0] < a[1]
+                cols_overlap = a[2] < b[3] and b[2] < a[3]
+                assert not (rows_overlap and cols_overlap)
+
+    @given(matrices(), estimators(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_rasterization_preserves_mass(self, matrix, estimator, block):
+        synopsis = estimator.build(matrix)
+        grid = synopsis.rasterize(block)
+        assert grid.nnz_estimate == np.float64(matrix.nnz).item() or (
+            abs(grid.nnz_estimate - matrix.nnz) < 1e-6 * max(matrix.nnz, 1)
+        )
+
+    @given(matrices(), estimators())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, matrix, estimator):
+        from repro.opcodes import Op
+
+        synopsis = estimator.build(matrix)
+        twice = estimator.propagate(
+            Op.TRANSPOSE, [estimator.propagate(Op.TRANSPOSE, [synopsis])]
+        )
+        assert twice.shape == synopsis.shape
+        assert twice.nnz_estimate == synopsis.nnz_estimate

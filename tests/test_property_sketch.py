@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for MNC sketch invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimate import (
+    estimate_product_nnz,
+    product_nnz_lower_bound,
+    product_nnz_upper_bound,
+)
+from repro.core.sketch import MNCSketch
+from repro.matrix.conversion import as_csr
+from repro.matrix.ops import matmul
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=24, min_rows=1, min_cols=1):
+    """Random small sparse 0/1 matrices with arbitrary structure."""
+    rows = draw(st.integers(min_rows, max_dim))
+    cols = draw(st.integers(min_cols, max_dim))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((rows, cols)) < density
+    return as_csr(mask.astype(np.int8))
+
+
+@st.composite
+def product_pairs(draw, max_dim=20):
+    """Pairs (A, B) with compatible inner dimensions."""
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    l = draw(st.integers(1, max_dim))
+    density_a = draw(st.floats(0.0, 1.0))
+    density_b = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = as_csr((rng.random((m, n)) < density_a).astype(np.int8))
+    b = as_csr((rng.random((n, l)) < density_b).astype(np.int8))
+    return a, b
+
+
+class TestSketchInvariants:
+    @given(sparse_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_counts_sum_to_nnz(self, matrix):
+        sketch = MNCSketch.from_matrix(matrix)
+        assert sketch.hr.sum() == matrix.nnz
+        assert sketch.hc.sum() == matrix.nnz
+        assert sketch.total_nnz == matrix.nnz
+
+    @given(sparse_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_counts_bounded_by_dimensions(self, matrix):
+        sketch = MNCSketch.from_matrix(matrix)
+        m, n = matrix.shape
+        assert np.all(sketch.hr <= n)
+        assert np.all(sketch.hc <= m)
+
+    @given(sparse_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_extensions_bounded_by_counts(self, matrix):
+        sketch = MNCSketch.from_matrix(matrix)
+        if sketch.her is not None:
+            assert np.all(sketch.her <= sketch.hr)
+            assert np.all(sketch.her >= 0)
+        if sketch.hec is not None:
+            assert np.all(sketch.hec <= sketch.hc)
+            assert np.all(sketch.hec >= 0)
+
+    @given(sparse_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_extension_totals_agree(self, matrix):
+        # sum(her) and sum(hec) both count structurally defined subsets;
+        # her total = non-zeros in single-nnz columns = number of single
+        # columns; hec total = number of single rows.
+        sketch = MNCSketch.from_matrix(matrix)
+        if sketch.her is not None:
+            assert sketch.her.sum() == sketch.cols_single
+        if sketch.hec is not None:
+            assert sketch.hec.sum() == sketch.rows_single
+
+    @given(sparse_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_summary_statistics_consistent(self, matrix):
+        sketch = MNCSketch.from_matrix(matrix)
+        assert sketch.nnz_rows == int((sketch.hr > 0).sum())
+        assert sketch.nnz_cols == int((sketch.hc > 0).sum())
+        assert sketch.rows_single <= sketch.nnz_rows
+        assert sketch.cols_single <= sketch.nnz_cols
+        assert 0.0 <= sketch.sparsity <= 1.0
+
+    @given(sparse_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_duality(self, matrix):
+        from repro.core.ops import propagate_transpose
+
+        sketch = MNCSketch.from_matrix(matrix)
+        direct = MNCSketch.from_matrix(as_csr(matrix.transpose()))
+        derived = propagate_transpose(sketch)
+        np.testing.assert_array_equal(derived.hr, direct.hr)
+        np.testing.assert_array_equal(derived.hc, direct.hc)
+
+
+class TestEstimateInvariants:
+    @given(product_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_within_theorem32_bounds(self, pair):
+        a, b = pair
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        estimate = estimate_product_nnz(h_a, h_b)
+        assert estimate >= product_nnz_lower_bound(h_a, h_b) - 1e-9
+        assert estimate <= product_nnz_upper_bound(h_a, h_b) + 1e-9
+
+    @given(product_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_true_nnz_within_theorem32_bounds(self, pair):
+        a, b = pair
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        truth = matmul(a, b).nnz
+        assert product_nnz_lower_bound(h_a, h_b) <= truth
+        assert truth <= product_nnz_upper_bound(h_a, h_b)
+
+    @given(product_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_theorem31_exactness(self, pair):
+        a, b = pair
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        if h_a.max_hr <= 1 or h_b.max_hc <= 1:
+            truth = matmul(a, b).nnz
+            assert estimate_product_nnz(h_a, h_b) == truth
+
+    @given(product_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_physical_range(self, pair):
+        a, b = pair
+        h_a, h_b = MNCSketch.from_matrix(a), MNCSketch.from_matrix(b)
+        estimate = estimate_product_nnz(h_a, h_b)
+        assert 0.0 <= estimate <= a.shape[0] * b.shape[1]
+
+    @given(product_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_basic_variant_also_in_physical_range(self, pair):
+        a, b = pair
+        h_a = MNCSketch.from_matrix(a, with_extensions=False)
+        h_b = MNCSketch.from_matrix(b, with_extensions=False)
+        estimate = estimate_product_nnz(
+            h_a, h_b, use_extensions=False, use_bounds=False
+        )
+        assert 0.0 <= estimate <= a.shape[0] * b.shape[1]

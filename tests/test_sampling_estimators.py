@@ -1,0 +1,137 @@
+"""Unit tests for the biased and unbiased sampling estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.estimators.sampling import (
+    SamplingEstimator,
+    SamplingSynopsis,
+    UnbiasedSamplingEstimator,
+)
+from repro.matrix import ops as mops
+from repro.matrix.random import outer_product_pair, random_sparse
+from repro.opcodes import Op
+
+
+class TestBiasedSampling:
+    def test_is_lower_bound_like(self):
+        # Eq 5 takes the max sampled outer product: it cannot exceed the
+        # truth when non-zeros overlap across slices.
+        estimator = SamplingEstimator(fraction=0.5, seed=1)
+        a = random_sparse(100, 80, 0.1, seed=2)
+        b = random_sparse(80, 90, 0.1, seed=3)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate <= truth
+
+    def test_full_sample_still_biased(self):
+        # Even |S| = n does not converge: the estimate is the largest single
+        # outer product, not the union.
+        estimator = SamplingEstimator(fraction=1.0, seed=4)
+        a = random_sparse(60, 40, 0.2, seed=5)
+        b = random_sparse(40, 60, 0.2, seed=6)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate < truth
+
+    def test_exact_on_inner_case(self):
+        # B1.5: single overlapping outer product -> the max IS the truth.
+        row, column = outer_product_pair(32)
+        estimator = SamplingEstimator(fraction=1.0, seed=7)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(row.T), estimator.build(column.T)]
+        )
+        assert estimate >= 1.0
+
+    def test_no_chain_support(self):
+        estimator = SamplingEstimator(seed=8)
+        synopsis = estimator.build(np.eye(4))
+        with pytest.raises(UnsupportedOperationError):
+            estimator.propagate(Op.MATMUL, [synopsis, synopsis])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SamplingEstimator(fraction=0.0)
+        with pytest.raises(ValueError):
+            SamplingEstimator(fraction=1.5)
+
+    def test_synopsis_size_is_sample_footprint(self):
+        estimator = SamplingEstimator(fraction=0.1, seed=9)
+        synopsis = estimator.build(random_sparse(100, 200, 0.1, seed=10))
+        assert synopsis.size_bytes() == round(0.1 * 200) * 8
+
+
+class TestUnbiasedSampling:
+    def test_close_on_uniform_data(self):
+        estimator = UnbiasedSamplingEstimator(fraction=0.3, seed=11)
+        a = random_sparse(300, 200, 0.05, seed=12)
+        b = random_sparse(200, 250, 0.05, seed=13)
+        truth = mops.matmul(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 1.2 <= estimate <= truth * 1.2
+
+    def test_full_sample_matches_density_fallback(self):
+        # For |S| = n, Eq 16 degenerates to the MNC fallback formula
+        # (Appendix A remark): same probabilistic union of outer products.
+        from repro.core.estimate import density_map_vector_estimate
+        from repro.matrix.properties import col_nnz, row_nnz
+
+        estimator = UnbiasedSamplingEstimator(fraction=1.0, seed=14)
+        a = random_sparse(50, 40, 0.2, seed=15)
+        b = random_sparse(40, 60, 0.2, seed=16)
+        estimate = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        expected = density_map_vector_estimate(
+            col_nnz(a).astype(float), row_nnz(b).astype(float), 50.0 * 60.0
+        )
+        assert estimate == pytest.approx(expected, rel=1e-6)
+
+    def test_chain_propagation_uses_uniform_counts(self):
+        estimator = UnbiasedSamplingEstimator(fraction=0.5, seed=17)
+        a = random_sparse(80, 60, 0.1, seed=18)
+        b = random_sparse(60, 70, 0.1, seed=19)
+        c = random_sparse(70, 50, 0.1, seed=20)
+        h_ab = estimator.propagate(
+            Op.MATMUL, [estimator.build(a), estimator.build(b)]
+        )
+        assert isinstance(h_ab, SamplingSynopsis)
+        assert h_ab.col_counts is None  # propagated: uniform assumption
+        estimate = estimator.estimate_nnz(Op.MATMUL, [h_ab, estimator.build(c)])
+        truth = mops.matmul(mops.matmul(a, b), c).nnz
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_empty_operand(self):
+        estimator = UnbiasedSamplingEstimator(seed=21)
+        a = estimator.build(np.zeros((5, 4)))
+        b = estimator.build(np.ones((4, 3)))
+        assert estimator.estimate_nnz(Op.MATMUL, [a, b]) == 0.0
+
+
+class TestEwiseSupport:
+    @pytest.mark.parametrize("cls", [SamplingEstimator, UnbiasedSamplingEstimator])
+    def test_ewise_mult_average_case(self, cls):
+        estimator = cls(fraction=0.5, seed=22)
+        a = random_sparse(100, 100, 0.2, seed=23)
+        b = random_sparse(100, 100, 0.2, seed=24)
+        truth = mops.ewise_mult(a, b).nnz
+        estimate = estimator.estimate_nnz(
+            Op.EWISE_MULT, [estimator.build(a), estimator.build(b)]
+        )
+        assert truth / 2 <= estimate <= truth * 2
+
+    def test_ewise_add_bounded_by_cells(self):
+        estimator = SamplingEstimator(fraction=0.5, seed=25)
+        a = random_sparse(20, 20, 0.9, seed=26)
+        b = random_sparse(20, 20, 0.9, seed=27)
+        estimate = estimator.estimate_nnz(
+            Op.EWISE_ADD, [estimator.build(a), estimator.build(b)]
+        )
+        assert estimate <= 400.0

@@ -1,0 +1,114 @@
+"""Tests for the triangular/symmetric/block-diagonal generators and probes,
+and how MNC handles those structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_product_nnz
+from repro.core.sketch import MNCSketch
+from repro.errors import ShapeError
+from repro.matrix import ops as mops
+from repro.matrix.properties import (
+    is_lower_triangular,
+    is_symmetric,
+    is_upper_triangular,
+)
+from repro.matrix.random import (
+    block_diagonal_matrix,
+    random_sparse,
+    symmetric_matrix,
+    triangular_matrix,
+)
+from repro.sparsest.metrics import relative_error
+
+
+class TestTriangular:
+    def test_lower_structure(self):
+        matrix = triangular_matrix(20, seed=1)
+        assert is_lower_triangular(matrix)
+        assert not is_upper_triangular(matrix)
+
+    def test_upper_structure(self):
+        matrix = triangular_matrix(20, upper=True, seed=2)
+        assert is_upper_triangular(matrix)
+
+    def test_dense_triangle_nnz(self):
+        matrix = triangular_matrix(10, sparsity=1.0, seed=3)
+        assert matrix.nnz == 10 * 11 // 2
+
+    def test_sparsity_within_triangle(self):
+        matrix = triangular_matrix(100, sparsity=0.3, seed=4)
+        full = 100 * 101 // 2
+        assert 0.2 * full < matrix.nnz < 0.4 * full
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ShapeError):
+            triangular_matrix(5, sparsity=2.0)
+
+    def test_probes_on_empty_and_diag(self):
+        assert is_lower_triangular(np.zeros((3, 3)))
+        assert is_upper_triangular(np.zeros((3, 3)))
+        assert is_lower_triangular(np.eye(3))
+        assert is_upper_triangular(np.eye(3))
+
+    def test_mnc_on_triangular_product(self):
+        # L @ L for dense lower-triangular: the result is again the dense
+        # triangle. Count vectors cannot see the triangular *alignment*
+        # (this is exactly the property Sparso would propagate explicitly,
+        # paper Section 7), so MNC over-estimates the upper half — bounded
+        # by a factor ~2, never more than the full square.
+        lower = triangular_matrix(60, seed=5)
+        truth = mops.matmul(lower, lower).nnz
+        h = MNCSketch.from_matrix(lower)
+        estimate = estimate_product_nnz(h, h)
+        assert truth <= estimate <= 2.2 * truth
+
+
+class TestSymmetric:
+    def test_structure(self):
+        matrix = symmetric_matrix(40, 0.2, seed=6)
+        assert is_symmetric(matrix)
+
+    def test_rectangular_not_symmetric(self):
+        assert not is_symmetric(np.ones((2, 3)))
+
+    def test_asymmetric_detected(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 1.0
+        assert not is_symmetric(matrix)
+
+    def test_values_ignored_structure_counts(self):
+        matrix = np.array([[0, 2.0], [5.0, 0]])
+        assert is_symmetric(matrix)
+
+    def test_gram_like_product_symmetric(self):
+        x = random_sparse(30, 20, 0.3, seed=7)
+        gram = mops.matmul(mops.transpose(x), x)
+        assert is_symmetric(gram)
+
+
+class TestBlockDiagonal:
+    def test_off_block_zero(self):
+        matrix = block_diagonal_matrix([4, 6], sparsity=1.0, seed=8)
+        dense = matrix.toarray()
+        assert dense[:4, 4:].sum() == 0
+        assert dense[4:, :4].sum() == 0
+
+    def test_shape(self):
+        matrix = block_diagonal_matrix([3, 5, 2], seed=9)
+        assert matrix.shape == (10, 10)
+
+    def test_product_stays_block_diagonal(self):
+        a = block_diagonal_matrix([8, 8], sparsity=0.8, seed=10)
+        product = mops.matmul(a, a)
+        dense = product.toarray()
+        assert dense[:8, 8:].sum() == 0
+
+    def test_mnc_close_on_block_diagonal_product(self):
+        a = block_diagonal_matrix([32, 32, 32], sparsity=0.4, seed=11)
+        truth = mops.matmul(a, a).nnz
+        h = MNCSketch.from_matrix(a)
+        estimate = estimate_product_nnz(h, h)
+        # Count vectors can't see the block alignment; the estimate is
+        # within a moderate factor (over-estimates cross-block collisions).
+        assert relative_error(truth, estimate) < 4.0

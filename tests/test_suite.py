@@ -1,0 +1,62 @@
+"""Tests for the one-call suite runner."""
+
+import pytest
+
+from repro.sparsest.suite import DEFAULT_LINEUP, SuiteResult, run_suite
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_MNC_CACHE", str(tmp_path))
+
+
+class TestRunSuite:
+    def test_subset_run(self):
+        result = run_suite(
+            estimator_names=("meta_ac", "mnc"),
+            case_ids=("B1.2", "B1.4"),
+            scale=0.02,
+        )
+        assert isinstance(result, SuiteResult)
+        assert len(result.outcomes) == 4
+        assert {summary.estimator for summary in result.summaries} == {
+            "MetaAC", "MNC"
+        }
+
+    def test_render_contains_all_tables(self):
+        result = run_suite(
+            estimator_names=("mnc",), case_ids=("B1.2",), scale=0.02
+        )
+        text = result.render()
+        assert "relative errors" in text
+        assert "Estimation time" in text
+        assert "Per-estimator summary" in text
+
+    def test_repetitions_aggregate(self):
+        result = run_suite(
+            estimator_names=("mnc",), case_ids=("B1.2",),
+            scale=0.02, repetitions=2,
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.relative_error == pytest.approx(1.0)
+        assert result.repetitions == 2
+
+    def test_default_lineup_names_resolve(self):
+        from repro.estimators import available_estimators
+
+        for name in DEFAULT_LINEUP:
+            assert name in available_estimators()
+
+    def test_mnc_dominates_small_subset(self):
+        result = run_suite(
+            estimator_names=("meta_wc", "mnc"),
+            case_ids=("B1.1", "B1.4", "B1.5"),
+            scale=0.02,
+        )
+        summaries = {summary.estimator: summary for summary in result.summaries}
+        assert summaries["MNC"].exact == 3
+        assert (
+            summaries["MNC"].geometric_mean_error
+            <= summaries["MetaWC"].geometric_mean_error
+        )

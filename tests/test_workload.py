@@ -1,0 +1,107 @@
+"""Tests for the random workload generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.interpreter import evaluate
+from repro.opcodes import Op
+from repro.sparsest.workload import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    workload_errors,
+)
+
+
+class TestGenerator:
+    def test_expressions_are_valid(self):
+        generator = WorkloadGenerator(seed=1)
+        for expression in generator.batch(10):
+            structure = evaluate(expression)  # raises on any inconsistency
+            assert structure.shape == expression.shape
+
+    def test_deterministic_given_seed(self):
+        first = WorkloadGenerator(seed=7).expression()
+        second = WorkloadGenerator(seed=7).expression()
+        assert repr(first) == repr(second)
+        assert evaluate(first).nnz == evaluate(second).nnz
+
+    def test_different_seeds_differ(self):
+        batch_a = WorkloadGenerator(seed=1).batch(5)
+        batch_b = WorkloadGenerator(seed=2).batch(5)
+        assert any(repr(x) != repr(y) for x, y in zip(batch_a, batch_b))
+
+    def test_depth_bounded(self):
+        config = WorkloadConfig(max_depth=2)
+        generator = WorkloadGenerator(config, seed=3)
+        for expression in generator.batch(20):
+            depth = _depth(expression)
+            # leaves sit at operation depth <= max_depth + 1
+            assert depth <= config.max_depth + 1
+
+    def test_leaf_kind_restriction(self):
+        config = WorkloadConfig(leaf_kinds=("single_nnz",), max_depth=2)
+        generator = WorkloadGenerator(config, seed=4)
+        for expression in generator.batch(5):
+            for node in expression.leaves():
+                assert "single_nnz" in node.label
+
+    def test_unknown_leaf_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(WorkloadConfig(leaf_kinds=("weird",)))
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(WorkloadConfig(max_depth=0))
+
+    def test_op_mix_contains_variety(self):
+        generator = WorkloadGenerator(WorkloadConfig(max_depth=5), seed=5)
+        ops = set()
+        for expression in generator.batch(30):
+            for node in expression.postorder():
+                ops.add(node.op)
+        assert Op.MATMUL in ops
+        assert Op.EWISE_ADD in ops or Op.EWISE_MULT in ops
+        assert any(op.is_reorganization for op in ops)
+
+
+class TestWorkloadErrors:
+    def test_exact_oracle_always_one(self):
+        generator = WorkloadGenerator(WorkloadConfig(max_depth=3), seed=6)
+        expressions = generator.batch(5)
+        errors = workload_errors(expressions, ["exact"])
+        assert all(error == pytest.approx(1.0) for error in errors["exact"])
+
+    def test_mnc_beats_meta_on_structured_workloads(self):
+        config = WorkloadConfig(
+            max_depth=3, leaf_kinds=("single_nnz", "power_law", "permutation")
+        )
+        generator = WorkloadGenerator(config, seed=7)
+        expressions = generator.batch(12)
+        errors = workload_errors(expressions, ["mnc", "meta_ac"])
+        assert len(errors["mnc"]) == len(expressions)
+
+        def geo_mean(values):
+            finite = [v for v in values if math.isfinite(v)]
+            return math.exp(sum(math.log(v) for v in finite) / len(finite))
+
+        assert geo_mean(errors["mnc"]) <= geo_mean(errors["meta_ac"]) * 1.05
+
+    def test_unsupported_estimators_skip_entries(self):
+        config = WorkloadConfig(max_depth=3, ewise_weight=5.0)
+        generator = WorkloadGenerator(config, seed=8)
+        expressions = generator.batch(10)
+        errors = workload_errors(expressions, ["layered_graph", "mnc"])
+        assert len(errors["mnc"]) == len(expressions)
+        assert len(errors["layered_graph"]) <= len(expressions)
+
+
+def _depth(expression):
+    depths = {}
+    for node in expression.postorder():
+        if not node.inputs:
+            depths[id(node)] = 1
+        else:
+            depths[id(node)] = 1 + max(depths[id(c)] for c in node.inputs)
+    return depths[id(expression)]
