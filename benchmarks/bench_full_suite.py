@@ -11,7 +11,7 @@ import math
 
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 from repro.sparsest.suite import run_suite
 
 
@@ -20,6 +20,33 @@ def test_full_suite(benchmark, scale):
         lambda: run_suite(scale=scale), rounds=1, iterations=1
     )
     write_result("full_suite", result.render())
+    write_bench_json("full_suite", {
+        "benchmark": "full_suite",
+        "scale": result.scale,
+        "repetitions": result.repetitions,
+        "outcomes": [
+            {
+                "name": f"{o.use_case}/{o.estimator}",
+                "use_case": o.use_case,
+                "estimator": o.estimator,
+                "seconds": o.seconds,
+                "rel_error": o.relative_error,
+                "status": o.status,
+            }
+            for o in result.outcomes
+        ],
+        "summaries": [
+            {
+                "estimator": s.estimator,
+                "geo_mean_error": s.geometric_mean_error,
+                "worst_error": s.worst_error,
+                "exact": s.exact,
+                "failures": s.failures,
+                "total_seconds": s.total_seconds,
+            }
+            for s in result.summaries
+        ],
+    })
 
     summaries = {summary.estimator: summary for summary in result.summaries}
     mnc = summaries["MNC"]

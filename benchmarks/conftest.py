@@ -2,6 +2,8 @@
 
 Every module regenerates one of the paper's tables or figures as an ASCII
 table, printed to the terminal and written to ``benchmarks/results/``.
+Modules that feed the cross-PR performance trajectory additionally emit
+machine-readable ``BENCH_<name>.json`` files via :func:`write_bench_json`.
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (default 0.2, i.e. datasets at ~1/25 of the paper's cell counts — see
 EXPERIMENTS.md for the exact dimensions this implies).
@@ -9,8 +11,11 @@ EXPERIMENTS.md for the exact dimensions this implies).
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from pathlib import Path
+from typing import Any
 
 import pytest
 
@@ -29,6 +34,38 @@ def write_result(name: str, content: str) -> None:
     path.write_text(content + "\n")
     print()
     print(content)
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats (JSON has no NaN/inf) and numpy scalars."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item) and not isinstance(value, (str, int, float, bool)):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            return str(value)
+    return value
+
+
+def write_bench_json(name: str, payload: Any) -> Path:
+    """Persist *payload* as ``benchmarks/results/BENCH_<name>.json``.
+
+    These files are the machine-readable counterpart of the ASCII tables:
+    per-benchmark name, seconds, and relative error, so the performance
+    trajectory can be diffed across PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(_json_safe(payload), indent=2, sort_keys=True) + "\n"
+    )
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,13 @@ Commands
   use cases and print the relative-error table.
 - ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
   random matrix chain with the dense and sparsity-aware DPs.
+- ``stats TRACE.jsonl`` — summarize a trace file: per-span aggregates
+  (count/total/mean/p95), counters, and the error-vs-time report.
+
+Every command except ``info``/``stats`` accepts ``--trace FILE`` to record
+an observability trace (spans from sketch construction, estimation,
+propagation, plus per-(use case, estimator) outcomes) as JSON lines; see
+``docs/OBSERVABILITY.md``.
 
 Matrices are exchanged in scipy ``.npz`` sparse format
 (:func:`repro.matrix.io.save_matrix`).
@@ -34,13 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Shared telemetry flag: accepted after any data subcommand, e.g.
+    # ``python -m repro sparsest --trace out.jsonl``.
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record an observability trace (JSON lines) to FILE",
+    )
+
     commands.add_parser("info", help="show version, estimators, use cases")
 
-    sketch_cmd = commands.add_parser("sketch", help="summarize a matrix's MNC sketch")
+    sketch_cmd = commands.add_parser(
+        "sketch", help="summarize a matrix's MNC sketch", parents=[tracing]
+    )
     sketch_cmd.add_argument("matrix", help="path to a .npz sparse matrix")
 
     estimate_cmd = commands.add_parser(
-        "estimate", help="estimate the sparsity of a product A @ B"
+        "estimate", help="estimate the sparsity of a product A @ B",
+        parents=[tracing],
     )
     estimate_cmd.add_argument("left", help="path to A (.npz)")
     estimate_cmd.add_argument("right", help="path to B (.npz)")
@@ -52,7 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compute the exact result and the relative error",
     )
 
-    sparsest_cmd = commands.add_parser("sparsest", help="run SparsEst use cases")
+    sparsest_cmd = commands.add_parser(
+        "sparsest", help="run SparsEst use cases", parents=[tracing]
+    )
     sparsest_cmd.add_argument(
         "--cases", default="",
         help="comma-separated use-case ids (default: all)",
@@ -65,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     sparsest_cmd.add_argument("--seed", type=int, default=0)
 
     optimize_cmd = commands.add_parser(
-        "optimize", help="optimize a random matrix-product chain"
+        "optimize", help="optimize a random matrix-product chain",
+        parents=[tracing],
     )
     optimize_cmd.add_argument(
         "--dims", required=True,
@@ -76,7 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated sparsity per matrix (k values)",
     )
     optimize_cmd.add_argument("--seed", type=int, default=0)
+
+    stats_cmd = commands.add_parser(
+        "stats", help="summarize a --trace JSONL file"
+    )
+    stats_cmd.add_argument("trace_file", help="path to a trace (.jsonl)")
     return parser
+
+
+def _maybe_record(estimator):
+    """Wrap *estimator* in the telemetry proxy when a trace is being taken."""
+    from repro.observability import RecordingEstimator, get_collector
+
+    if get_collector().enabled:
+        return RecordingEstimator(estimator)
+    return estimator
 
 
 def _cmd_info() -> int:
@@ -114,7 +149,7 @@ def _cmd_estimate(left: str, right: str, estimator_name: str, exact: bool) -> in
 
     a = load_matrix(left)
     b = load_matrix(right)
-    estimator = make_estimator(estimator_name)
+    estimator = _maybe_record(make_estimator(estimator_name))
     synopses = [estimator.build(a), estimator.build(b)]
     nnz = estimator.estimate_nnz(Op.MATMUL, synopses)
     cells = a.shape[0] * b.shape[1]
@@ -139,7 +174,10 @@ def _cmd_sparsest(cases: str, estimators: str, scale: float, seed: int) -> int:
         selected = [get_use_case(case_id.strip()) for case_id in cases.split(",")]
     else:
         selected = all_use_cases()
-    lineup = [make_estimator(name.strip()) for name in estimators.split(",")]
+    lineup = [
+        _maybe_record(make_estimator(name.strip()))
+        for name in estimators.split(",")
+    ]
     outcomes = run_estimators(selected, lineup, scale=scale, seed=seed)
     print(outcomes_table(outcomes, title=f"SparsEst relative errors (scale={scale})"))
     print()
@@ -188,9 +226,52 @@ def _cmd_optimize(dims: str, sparsities: str, seed: int) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _cmd_stats(trace_file: str) -> int:
+    from repro.observability import (
+        aggregate_spans,
+        error_time_table,
+        read_trace,
+        stats_table,
+    )
+
+    try:
+        data = read_trace(trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # json decode errors subclass ValueError
+        print(f"error: malformed trace file: {exc}", file=sys.stderr)
+        return 2
+    if not (data.spans or data.counters or data.histograms or data.outcomes):
+        print(f"trace file {trace_file} holds no records")
+        return 0
+    if data.spans:
+        print(stats_table(
+            aggregate_spans(data.spans),
+            title=f"Span aggregates ({len(data.spans)} spans)",
+        ))
+    if data.counters:
+        print()
+        print("Counters")
+        for name, value in sorted(data.counters.items()):
+            print(f"  {name} = {value:g}")
+    if data.histograms:
+        from repro.observability.export import percentile
+
+        print()
+        print("Histograms")
+        for name, values in sorted(data.histograms.items()):
+            print(f"  {name}: n={len(values)} mean={sum(values) / len(values):g} "
+                  f"p95={percentile(values, 95.0):g}")
+    if data.outcomes:
+        print()
+        print(error_time_table(
+            data.outcomes, title="Error vs time per (use case, estimator)"
+        ))
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "sketch":
@@ -201,7 +282,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sparsest(args.cases, args.estimators, args.scale, args.seed)
     if args.command == "optimize":
         return _cmd_optimize(args.dims, args.sparsities, args.seed)
+    if args.command == "stats":
+        return _cmd_stats(args.trace_file)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _dispatch(args)
+
+    from repro.observability import (
+        RecordingCollector,
+        using_collector,
+        write_trace,
+    )
+
+    collector = RecordingCollector()
+    with using_collector(collector):
+        code = _dispatch(args)
+    try:
+        records = write_trace(trace_path, collector)
+    except OSError as exc:
+        print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+        return code or 1
+    print(f"trace: {records} records -> {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.core.sketch import MNCSketch
+from repro.observability.trace import trace
 
 
 def _check_product_shapes(h_a: MNCSketch, h_b: MNCSketch) -> None:
@@ -114,37 +115,44 @@ def estimate_product_nnz(
     if m == 0 or l == 0 or h_a.total_nnz == 0 or h_b.total_nnz == 0:
         return 0.0
 
-    hc_a = h_a.hc.astype(np.float64)
-    hr_b = h_b.hr.astype(np.float64)
-    full_cells = float(m) * float(l)
-    if h_a.max_hr <= 1 or h_b.max_hc <= 1:
-        # Theorem 3.1: exact.
-        nnz = float(hc_a @ hr_b)
-    elif use_extensions and (h_a.hec is not None or h_b.her is not None):
-        hec_a = h_a.hec_or_zeros().astype(np.float64)
-        her_b = h_b.her_or_zeros().astype(np.float64)
-        exact_part = float(hec_a @ hr_b + (hc_a - hec_a) @ her_b)
-        if use_bounds:
-            residual_rows = h_a.nnz_rows - h_a.rows_single
-            residual_cols = h_b.nnz_cols - h_b.cols_single
-            cells = float(residual_rows) * float(residual_cols)
+    with trace(
+        "mnc.estimate.matmul",
+        operand_shapes=(h_a.shape, h_b.shape),
+        operand_nnz=(h_a.total_nnz, h_b.total_nnz),
+    ) as span:
+        hc_a = h_a.hc.astype(np.float64)
+        hr_b = h_b.hr.astype(np.float64)
+        full_cells = float(m) * float(l)
+        if h_a.max_hr <= 1 or h_b.max_hc <= 1:
+            # Theorem 3.1: exact.
+            nnz = float(hc_a @ hr_b)
+        elif use_extensions and (h_a.hec is not None or h_b.her is not None):
+            hec_a = h_a.hec_or_zeros().astype(np.float64)
+            her_b = h_b.her_or_zeros().astype(np.float64)
+            exact_part = float(hec_a @ hr_b + (hc_a - hec_a) @ her_b)
+            if use_bounds:
+                residual_rows = h_a.nnz_rows - h_a.rows_single
+                residual_cols = h_b.nnz_cols - h_b.cols_single
+                cells = float(residual_rows) * float(residual_cols)
+            else:
+                cells = full_cells
+            generic_part = density_map_vector_estimate(
+                hc_a - hec_a, hr_b - her_b, cells
+            )
+            nnz = exact_part + generic_part
         else:
-            cells = full_cells
-        generic_part = density_map_vector_estimate(
-            hc_a - hec_a, hr_b - her_b, cells
-        )
-        nnz = exact_part + generic_part
-    else:
-        if use_bounds:
-            cells = float(h_a.nnz_rows) * float(h_b.nnz_cols)
-        else:
-            cells = full_cells
-        nnz = density_map_vector_estimate(hc_a, hr_b, cells)
+            if use_bounds:
+                cells = float(h_a.nnz_rows) * float(h_b.nnz_cols)
+            else:
+                cells = full_cells
+            nnz = density_map_vector_estimate(hc_a, hr_b, cells)
 
-    if use_bounds:
-        nnz = max(nnz, float(product_nnz_lower_bound(h_a, h_b)))
-        nnz = min(nnz, float(product_nnz_upper_bound(h_a, h_b)))
-    return min(nnz, full_cells)
+        if use_bounds:
+            nnz = max(nnz, float(product_nnz_lower_bound(h_a, h_b)))
+            nnz = min(nnz, float(product_nnz_upper_bound(h_a, h_b)))
+        nnz = min(nnz, full_cells)
+        span.annotate(result_nnz=nnz)
+        return nnz
 
 
 def estimate_product_sparsity(

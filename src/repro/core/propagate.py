@@ -16,6 +16,7 @@ from repro.core.estimate import estimate_product_nnz
 from repro.core.rounding import SeedLike, probabilistic_round, resolve_rng
 from repro.core.sketch import MNCSketch
 from repro.errors import ShapeError
+from repro.observability.trace import trace
 
 
 def scale_histogram(
@@ -73,19 +74,25 @@ def propagate_product(
     if h_a.fully_diagonal and h_a.ncols == h_b.nrows:
         return h_b
 
-    generator = resolve_rng(rng)
-    m, l = h_a.nrows, h_b.ncols
-    nnz_estimate = estimate_product_nnz(
-        h_a, h_b, use_extensions=use_extensions, use_bounds=use_bounds
-    )
-    hr_c = scale_histogram(h_a.hr, nnz_estimate, maximum=l, rng=generator)
-    hc_c = scale_histogram(h_b.hc, nnz_estimate, maximum=m, rng=generator)
-    _reconcile_totals(hr_c, hc_c, generator)
-    exact = h_a.exact and h_b.exact and (h_a.max_hr <= 1 or h_b.max_hc <= 1)
-    return MNCSketch(
-        shape=(m, l), hr=hr_c, hc=hc_c, her=None, hec=None,
-        fully_diagonal=False, exact=exact,
-    )
+    with trace(
+        "mnc.propagate.matmul",
+        operand_shapes=(h_a.shape, h_b.shape),
+        operand_nnz=(h_a.total_nnz, h_b.total_nnz),
+    ) as span:
+        generator = resolve_rng(rng)
+        m, l = h_a.nrows, h_b.ncols
+        nnz_estimate = estimate_product_nnz(
+            h_a, h_b, use_extensions=use_extensions, use_bounds=use_bounds
+        )
+        hr_c = scale_histogram(h_a.hr, nnz_estimate, maximum=l, rng=generator)
+        hc_c = scale_histogram(h_b.hc, nnz_estimate, maximum=m, rng=generator)
+        _reconcile_totals(hr_c, hc_c, generator)
+        exact = h_a.exact and h_b.exact and (h_a.max_hr <= 1 or h_b.max_hc <= 1)
+        span.annotate(result_nnz=nnz_estimate)
+        return MNCSketch(
+            shape=(m, l), hr=hr_c, hc=hc_c, her=None, hec=None,
+            fully_diagonal=False, exact=exact,
+        )
 
 
 def _reconcile_totals(

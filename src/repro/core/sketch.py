@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import SketchError
 from repro.matrix.conversion import MatrixLike, as_csc, as_csr
+from repro.observability.trace import trace
 
 
 @dataclass(frozen=True)
@@ -129,33 +130,37 @@ class MNCSketch:
             with_extensions: set ``False`` to build the "MNC Basic" variant
                 used as an ablation in the paper's Figures 10–13.
         """
-        csr = as_csr(matrix)
-        csc = as_csc(csr)
-        m, n = csr.shape
-        hr = np.diff(csr.indptr).astype(np.int64)
-        hc = np.diff(csc.indptr).astype(np.int64)
-        her: Optional[np.ndarray] = None
-        hec: Optional[np.ndarray] = None
-        max_hr = int(hr.max()) if hr.size else 0
-        max_hc = int(hc.max()) if hc.size else 0
-        if with_extensions and (max_hr > 1 or max_hc > 1):
-            # her[i]: non-zeros of row i lying in single-non-zero columns.
-            single_cols = hc == 1
-            row_ids = np.repeat(np.arange(m), hr)
-            her = np.bincount(
-                row_ids[single_cols[csr.indices]], minlength=m
-            ).astype(np.int64)
-            # hec[j]: non-zeros of column j lying in single-non-zero rows.
-            single_rows = hr == 1
-            col_ids = np.repeat(np.arange(n), hc)
-            hec = np.bincount(
-                col_ids[single_rows[csc.indices]], minlength=n
-            ).astype(np.int64)
-        diagonal = bool(m == n and csr.nnz == m and _structure_is_diagonal(csr))
-        return cls(
-            shape=(m, n), hr=hr, hc=hc, her=her, hec=hec,
-            fully_diagonal=diagonal, exact=True,
-        )
+        with trace("mnc.sketch.build", with_extensions=with_extensions) as span:
+            csr = as_csr(matrix)
+            csc = as_csc(csr)
+            m, n = csr.shape
+            hr = np.diff(csr.indptr).astype(np.int64)
+            hc = np.diff(csc.indptr).astype(np.int64)
+            her: Optional[np.ndarray] = None
+            hec: Optional[np.ndarray] = None
+            max_hr = int(hr.max()) if hr.size else 0
+            max_hc = int(hc.max()) if hc.size else 0
+            if with_extensions and (max_hr > 1 or max_hc > 1):
+                # her[i]: non-zeros of row i lying in single-non-zero columns.
+                single_cols = hc == 1
+                row_ids = np.repeat(np.arange(m), hr)
+                her = np.bincount(
+                    row_ids[single_cols[csr.indices]], minlength=m
+                ).astype(np.int64)
+                # hec[j]: non-zeros of column j lying in single-non-zero rows.
+                single_rows = hr == 1
+                col_ids = np.repeat(np.arange(n), hc)
+                hec = np.bincount(
+                    col_ids[single_rows[csc.indices]], minlength=n
+                ).astype(np.int64)
+            diagonal = bool(
+                m == n and csr.nnz == m and _structure_is_diagonal(csr)
+            )
+            span.annotate(shape=(m, n), nnz=int(csr.nnz))
+            return cls(
+                shape=(m, n), hr=hr, hc=hc, her=her, hec=hec,
+                fully_diagonal=diagonal, exact=True,
+            )
 
     @classmethod
     def synthetic(

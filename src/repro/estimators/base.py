@@ -89,7 +89,7 @@ class SparsityEstimator(abc.ABC):
 
     def estimate_nnz(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
         """Estimate the non-zero count of ``op`` applied to *operands*."""
-        handler = self._handler("_estimate_", op)
+        handler = self._handler("estimate", op)
         return float(handler(*operands, **params))
 
     def estimate_sparsity(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
@@ -102,7 +102,7 @@ class SparsityEstimator(abc.ABC):
 
     def propagate(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> Synopsis:
         """Derive the synopsis of ``op`` applied to *operands*."""
-        handler = self._handler("_propagate_", op)
+        handler = self._handler("propagate", op)
         return handler(*operands, **params)
 
     def supports(self, op: Op) -> bool:
@@ -113,12 +113,15 @@ class SparsityEstimator(abc.ABC):
         """Whether this estimator can derive intermediate synopses for ``op``."""
         return hasattr(self, f"_propagate_{op.value}")
 
-    def _handler(self, prefix: str, op: Op) -> Callable[..., Any]:
-        handler = getattr(self, f"{prefix}{op.value}", None)
+    def _handler(self, kind: str, op: Op) -> Callable[..., Any]:
+        """Resolve the ``_<kind>_<op>`` handler method, *kind* being the
+        plain verb ``"estimate"`` or ``"propagate"`` (also used verbatim in
+        the error message)."""
+        handler = getattr(self, f"_{kind}_{op.value}", None)
         if handler is None:
             raise UnsupportedOperationError(
                 f"estimator {self.name!r} does not support "
-                f"{prefix.strip('_').rstrip('_')} of {op.value!r}"
+                f"{kind} of {op.value!r}"
             )
         return handler
 

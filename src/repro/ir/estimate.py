@@ -8,12 +8,12 @@ children's synopses instead of propagating a synopsis to it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.estimators.base import SparsityEstimator, Synopsis
 from repro.ir.nodes import Expr
+from repro.observability.trace import timed_span, trace
 from repro.opcodes import Op
 
 
@@ -38,16 +38,17 @@ def _propagate_dag(
 ) -> Dict[int, Synopsis]:
     """Memoized bottom-up synopsis propagation for every non-root node."""
     synopses: Dict[int, Synopsis] = {}
-    for node in root.postorder():
-        if node is root and node.op is not Op.LEAF:
-            continue  # roots are estimated directly, not propagated
-        if node.op is Op.LEAF:
-            synopses[id(node)] = estimator.build(node.matrix)
-        else:
-            children = [synopses[id(child)] for child in node.inputs]
-            synopses[id(node)] = estimator.propagate(
-                node.op, children, **node.params
-            )
+    with trace("dag.propagate", estimator=estimator.name):
+        for node in root.postorder():
+            if node is root and node.op is not Op.LEAF:
+                continue  # roots are estimated directly, not propagated
+            if node.op is Op.LEAF:
+                synopses[id(node)] = estimator.build(node.matrix)
+            else:
+                children = [synopses[id(child)] for child in node.inputs]
+                synopses[id(node)] = estimator.propagate(
+                    node.op, children, **node.params
+                )
     return synopses
 
 
@@ -86,14 +87,15 @@ def estimate_dag(
         ``seconds`` (wall-clock for build + propagation + estimation), and
         optionally ``intermediates`` (``id(node) -> NodeEstimate``).
     """
-    start = time.perf_counter()
-    synopses = _propagate_dag(root, estimator)
-    if root.op is Op.LEAF:
-        nnz = synopses[id(root)].nnz_estimate
-    else:
-        children = [synopses[id(child)] for child in root.inputs]
-        nnz = estimator.estimate_nnz(root.op, children, **root.params)
-    seconds = time.perf_counter() - start
+    with timed_span("dag.estimate", estimator=estimator.name) as span:
+        synopses = _propagate_dag(root, estimator)
+        if root.op is Op.LEAF:
+            nnz = synopses[id(root)].nnz_estimate
+        else:
+            children = [synopses[id(child)] for child in root.inputs]
+            nnz = estimator.estimate_nnz(root.op, children, **root.params)
+        span.annotate(result_nnz=float(nnz))
+    seconds = span.seconds
     m, n = root.shape
     result: Dict[str, object] = {
         "nnz": nnz,

@@ -1,0 +1,86 @@
+"""Estimator telemetry: tracing, metrics, and profiling hooks.
+
+The observability layer is the measurement substrate every performance PR
+reports against. It has four parts:
+
+- **Collectors** (:mod:`repro.observability.collector`): the pluggable sink
+  behind the tracing API. The process-wide default is a
+  :class:`NullCollector` whose spans cost one attribute check and *zero*
+  clock reads, so instrumented hot paths (sketch construction, product
+  estimation, propagation) stay as fast as uninstrumented code. Install a
+  :class:`RecordingCollector` — usually via :func:`using_collector` — to
+  accumulate spans, counters, histograms, and benchmark outcomes.
+- **Spans** (:mod:`repro.observability.trace`): ``trace(name, **attrs)`` is
+  both a context manager and a decorator; :class:`timed_span` additionally
+  always reads the clock and exposes ``.seconds``, which is the shared
+  timer the SparsEst runner and DAG estimator report from.
+- **Recording proxy** (:mod:`repro.observability.recording`):
+  :class:`RecordingEstimator` wraps any
+  :class:`~repro.estimators.base.SparsityEstimator` and records every
+  ``build``/``estimate_nnz``/``propagate`` call — op, operand shapes and
+  non-zero counts, result estimate, wall time — while returning bit-identical
+  results, so it is usable anywhere an estimator is accepted.
+- **Exporters** (:mod:`repro.observability.export`): JSON-lines trace dump
+  and re-load, per-span aggregate statistics (count/total/mean/p95), and
+  the per-(use case, estimator) error-vs-time report.
+
+CLI integration: every ``python -m repro`` subcommand accepts
+``--trace FILE`` to dump a JSONL trace, and ``python -m repro stats FILE``
+summarizes one. See ``docs/OBSERVABILITY.md`` for the span-name catalog.
+"""
+
+from repro.observability.collector import (
+    Collector,
+    NullCollector,
+    RecordingCollector,
+    SpanRecord,
+    get_collector,
+    set_collector,
+    using_collector,
+)
+from repro.observability.export import (
+    SpanStats,
+    aggregate_spans,
+    error_time_table,
+    read_trace,
+    stats_table,
+    write_trace,
+)
+from repro.observability.trace import count, observe, timed_span, trace
+
+# The recording proxy subclasses SparsityEstimator, and the estimators
+# package in turn imports repro.core (which is instrumented with this
+# package's spans). Resolving the proxy lazily keeps repro.observability a
+# leaf dependency for the core modules and breaks that cycle.
+_RECORDING_EXPORTS = ("EstimatorCall", "RecordingEstimator", "unwrap_estimator")
+
+
+def __getattr__(name: str):
+    if name in _RECORDING_EXPORTS:
+        from repro.observability import recording
+
+        return getattr(recording, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Collector",
+    "EstimatorCall",
+    "NullCollector",
+    "RecordingCollector",
+    "RecordingEstimator",
+    "SpanRecord",
+    "SpanStats",
+    "aggregate_spans",
+    "count",
+    "error_time_table",
+    "get_collector",
+    "observe",
+    "read_trace",
+    "set_collector",
+    "stats_table",
+    "timed_span",
+    "trace",
+    "unwrap_estimator",
+    "using_collector",
+    "write_trace",
+]

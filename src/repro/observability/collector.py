@@ -1,0 +1,165 @@
+"""Span collectors: the pluggable sink behind the tracing API.
+
+Exactly one collector is active per process at a time (swapped atomically
+under a lock, usually via the :func:`using_collector` context manager).
+The default :class:`NullCollector` advertises ``enabled = False``, which
+the tracing layer uses to skip clock reads entirely — instrumentation left
+in hot paths costs one attribute check per span when nobody is listening.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: span name (dotted, e.g. ``"estimator.build"``).
+        start: ``time.perf_counter()`` value at span entry (monotonic,
+            process-relative — useful for ordering, not wall-clock time).
+        seconds: elapsed wall time of the span body.
+        depth: nesting depth at entry (0 for top-level spans), derived from
+            the per-thread span stack.
+        attrs: free-form span attributes (operand shapes, estimator name,
+            result estimates, ...).
+    """
+
+    name: str
+    start: float
+    seconds: float
+    depth: int = 0
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Collector(abc.ABC):
+    """Sink for spans, counters, histograms, and benchmark outcomes.
+
+    ``enabled`` is the fast-path switch: when ``False``, instrumentation
+    skips timing and never calls the ``record_*`` methods.
+    """
+
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def record_span(self, record: SpanRecord) -> None:
+        """Store one completed span."""
+
+    @abc.abstractmethod
+    def increment(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to the counter *name*."""
+
+    @abc.abstractmethod
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to the histogram *name*."""
+
+    def record_outcome(self, outcome: Mapping[str, Any]) -> None:
+        """Store one benchmark outcome (error-vs-time report row)."""
+
+
+class NullCollector(Collector):
+    """The zero-overhead default: drops everything, disables timing."""
+
+    enabled = False
+
+    def record_span(self, record: SpanRecord) -> None:  # pragma: no cover
+        pass
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+class RecordingCollector(Collector):
+    """Accumulates spans, counters, histograms, and outcomes in memory.
+
+    Thread-safe: the SparsEst harness and the distributed-sketching helpers
+    may record from worker threads.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self.outcomes: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def record_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.histograms.setdefault(name, []).append(float(value))
+
+    def record_outcome(self, outcome: Mapping[str, Any]) -> None:
+        with self._lock:
+            self.outcomes.append(dict(outcome))
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.histograms.clear()
+            self.outcomes.clear()
+
+    def span_names(self) -> List[str]:
+        """Distinct span names in first-seen order."""
+        with self._lock:
+            seen: Dict[str, None] = {}
+            for span in self.spans:
+                seen.setdefault(span.name, None)
+            return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Active-collector management
+# ----------------------------------------------------------------------
+
+_ACTIVE: Collector = NullCollector()
+_SWAP_LOCK = threading.Lock()
+
+
+def get_collector() -> Collector:
+    """The currently active collector (a :class:`NullCollector` by default)."""
+    return _ACTIVE
+
+
+def set_collector(collector: Collector) -> Collector:
+    """Install *collector* as the process-wide sink; returns the previous one."""
+    global _ACTIVE
+    with _SWAP_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = collector
+    return previous
+
+
+@contextmanager
+def using_collector(collector: Collector) -> Iterator[Collector]:
+    """Scoped collector installation::
+
+        collector = RecordingCollector()
+        with using_collector(collector):
+            run_suite(...)
+        print(stats_table(aggregate_spans(collector.spans)))
+    """
+    previous = set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(previous)

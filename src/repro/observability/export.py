@@ -1,0 +1,231 @@
+"""Trace exporters: JSONL dump/load, span aggregates, error-vs-time report.
+
+The on-disk format is JSON lines, one record per line, discriminated by a
+``type`` field:
+
+- ``{"type": "span", "name", "start", "seconds", "depth", "attrs"}``
+- ``{"type": "counter", "name", "value"}``
+- ``{"type": "histogram", "name", "values"}``
+- ``{"type": "outcome", "use_case", "estimator", "relative_error",
+  "seconds", "status", ...}``
+
+``python -m repro stats FILE`` renders the aggregate tables from such a
+file; benchmarks can also consume traces programmatically via
+:func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.observability.collector import RecordingCollector, SpanRecord
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span attributes to JSON-serializable values."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    # numpy scalars expose .item(); anything else degrades to str.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+@dataclass
+class TraceData:
+    """Contents of a trace file (or a live collector), decoded."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def write_trace(path: PathLike, collector: RecordingCollector) -> int:
+    """Dump *collector* as JSON lines to *path*; returns the record count."""
+    records: List[Dict[str, Any]] = []
+    for span in collector.spans:
+        records.append({
+            "type": "span",
+            "name": span.name,
+            "start": span.start,
+            "seconds": span.seconds,
+            "depth": span.depth,
+            "attrs": _jsonable(dict(span.attrs)),
+        })
+    for name, value in sorted(collector.counters.items()):
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, values in sorted(collector.histograms.items()):
+        records.append({"type": "histogram", "name": name, "values": values})
+    for outcome in collector.outcomes:
+        records.append({"type": "outcome", **_jsonable(outcome)})
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_trace(path: PathLike) -> TraceData:
+    """Parse a JSONL trace file back into structured records.
+
+    Unknown record types are ignored (forward compatibility); blank lines
+    are skipped.
+    """
+    data = TraceData()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                data.spans.append(SpanRecord(
+                    name=record["name"],
+                    start=float(record.get("start") or 0.0),
+                    seconds=float(record.get("seconds") or 0.0),
+                    depth=int(record.get("depth", 0)),
+                    attrs=record.get("attrs", {}),
+                ))
+            elif kind == "counter":
+                data.counters[record["name"]] = float(record["value"])
+            elif kind == "histogram":
+                data.histograms[record["name"]] = [
+                    float(v) for v in record["values"]
+                ]
+            elif kind == "outcome":
+                data.outcomes.append({
+                    key: value for key, value in record.items()
+                    if key != "type"
+                })
+    return data
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate statistics for one (span name, estimator) group."""
+
+    name: str
+    estimator: Optional[str]
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    p95_seconds: float
+    max_seconds: float
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0-100) by linear interpolation."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def aggregate_spans(
+    spans: Sequence[SpanRecord], by_estimator: bool = True
+) -> List[SpanStats]:
+    """Group spans by name (and the ``estimator`` attribute, if present).
+
+    Returns one :class:`SpanStats` per group, sorted by total time
+    descending — the profile view: the top row is where the run spent its
+    time.
+    """
+    groups: Dict[tuple, List[float]] = {}
+    for span in spans:
+        estimator = span.attrs.get("estimator") if by_estimator else None
+        groups.setdefault((span.name, estimator), []).append(span.seconds)
+    stats = [
+        SpanStats(
+            name=name,
+            estimator=estimator,
+            count=len(durations),
+            total_seconds=sum(durations),
+            mean_seconds=sum(durations) / len(durations),
+            p95_seconds=percentile(durations, 95.0),
+            max_seconds=max(durations),
+        )
+        for (name, estimator), durations in groups.items()
+    ]
+    stats.sort(key=lambda s: (-s.total_seconds, s.name, s.estimator or ""))
+    return stats
+
+
+def stats_table(stats: Sequence[SpanStats], title: str = "") -> str:
+    """Render span aggregates as the fixed-width profile table."""
+    from repro.sparsest.report import simple_table  # deferred: heavy package
+
+    rows = [
+        [
+            entry.name,
+            entry.estimator or "-",
+            entry.count,
+            f"{entry.total_seconds:.6f}",
+            f"{entry.mean_seconds:.6f}",
+            f"{entry.p95_seconds:.6f}",
+            f"{entry.max_seconds:.6f}",
+        ]
+        for entry in stats
+    ]
+    return simple_table(
+        ["span", "estimator", "count", "total [s]", "mean [s]", "p95 [s]",
+         "max [s]"],
+        rows,
+        title=title,
+    )
+
+
+def error_time_table(
+    outcomes: Sequence[Dict[str, Any]], title: str = ""
+) -> str:
+    """Render the per-(use case, estimator) error-vs-time report."""
+    from repro.sparsest.report import simple_table  # deferred: heavy package
+
+    rows = []
+    for outcome in outcomes:
+        error = outcome.get("relative_error")
+        if isinstance(error, str):  # non-finite values round-trip as repr()
+            rendered_error = error
+        elif error is None or (isinstance(error, float) and math.isnan(error)):
+            rendered_error = "x"
+        else:
+            rendered_error = f"{float(error):.4f}"
+        rows.append([
+            str(outcome.get("use_case", "?")),
+            str(outcome.get("estimator", "?")),
+            rendered_error,
+            f"{float(outcome.get('seconds', 0.0)):.6f}",
+            str(outcome.get("status", "ok")),
+        ])
+    return simple_table(
+        ["use case", "estimator", "rel-error", "seconds", "status"],
+        rows,
+        title=title,
+    )

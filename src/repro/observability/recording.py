@@ -1,0 +1,154 @@
+"""A transparent telemetry proxy around any sparsity estimator.
+
+:class:`RecordingEstimator` wraps a
+:class:`~repro.estimators.base.SparsityEstimator` and records every
+``build`` / ``estimate_nnz`` / ``propagate`` call — operation, operand
+shapes and non-zero counts, the resulting estimate, and wall time — both
+into its own ``calls`` log and as spans on the active collector. It
+delegates everything else, so the wrapped estimator produces bit-identical
+estimates and can be used anywhere an estimator is accepted (the SparsEst
+runner, DAG estimation, the allocation executor, the chain optimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimators.base import SparsityEstimator, Synopsis
+from repro.matrix.conversion import MatrixLike
+from repro.observability.trace import timed_span
+from repro.opcodes import Op
+
+#: Span names emitted by the proxy, in estimator life-cycle order.
+SPAN_BUILD = "estimator.build"
+SPAN_ESTIMATE = "estimator.estimate"
+SPAN_PROPAGATE = "estimator.propagate"
+
+
+@dataclass(frozen=True)
+class EstimatorCall:
+    """One recorded estimator invocation."""
+
+    method: str  # "build" | "estimate_nnz" | "propagate"
+    estimator: str
+    op: Optional[str]
+    operand_shapes: Tuple[Tuple[int, int], ...]
+    operand_nnz: Tuple[float, ...]
+    result_nnz: Optional[float]
+    seconds: float
+
+
+def _matrix_stats(matrix: MatrixLike) -> Tuple[Tuple[int, int], float]:
+    """Shape and non-zero count of a matrix-like input, computed cheaply."""
+    shape = tuple(int(d) for d in matrix.shape)
+    nnz = getattr(matrix, "nnz", None)
+    if nnz is None:
+        nnz = int(np.count_nonzero(np.asarray(matrix)))
+    return shape, float(nnz)  # type: ignore[return-value]
+
+
+class RecordingEstimator(SparsityEstimator):
+    """Record every call to *inner* while returning its results unchanged.
+
+    Args:
+        inner: any estimator instance. Its ``name`` is preserved so tables
+            and reports are unaffected by wrapping.
+
+    Attributes:
+        inner: the wrapped estimator.
+        calls: chronological :class:`EstimatorCall` log.
+    """
+
+    def __init__(self, inner: SparsityEstimator) -> None:
+        if isinstance(inner, RecordingEstimator):
+            inner = inner.inner  # never stack proxies
+        self.inner = inner
+        self.name = inner.name
+        self.calls: List[EstimatorCall] = []
+
+    # ------------------------------------------------------------------
+    # Recorded entry points
+    # ------------------------------------------------------------------
+
+    def build(self, matrix: MatrixLike) -> Synopsis:
+        shape, nnz = _matrix_stats(matrix)
+        with timed_span(
+            SPAN_BUILD, estimator=self.name, shape=shape, nnz=nnz
+        ) as span:
+            synopsis = self.inner.build(matrix)
+            span.annotate(result_nnz=float(synopsis.nnz_estimate))
+        self.calls.append(EstimatorCall(
+            method="build", estimator=self.name, op=None,
+            operand_shapes=(shape,), operand_nnz=(nnz,),
+            result_nnz=float(synopsis.nnz_estimate), seconds=span.seconds,
+        ))
+        return synopsis
+
+    def estimate_nnz(
+        self, op: Op, operands: Sequence[Synopsis], **params: Any
+    ) -> float:
+        shapes = tuple(operand.shape for operand in operands)
+        nnzs = tuple(float(operand.nnz_estimate) for operand in operands)
+        with timed_span(
+            SPAN_ESTIMATE, estimator=self.name, op=op.value,
+            operand_shapes=shapes, operand_nnz=nnzs,
+        ) as span:
+            estimate = self.inner.estimate_nnz(op, operands, **params)
+            span.annotate(result_nnz=float(estimate))
+        self.calls.append(EstimatorCall(
+            method="estimate_nnz", estimator=self.name, op=op.value,
+            operand_shapes=shapes, operand_nnz=nnzs,
+            result_nnz=float(estimate), seconds=span.seconds,
+        ))
+        return estimate
+
+    def propagate(
+        self, op: Op, operands: Sequence[Synopsis], **params: Any
+    ) -> Synopsis:
+        shapes = tuple(operand.shape for operand in operands)
+        nnzs = tuple(float(operand.nnz_estimate) for operand in operands)
+        with timed_span(
+            SPAN_PROPAGATE, estimator=self.name, op=op.value,
+            operand_shapes=shapes, operand_nnz=nnzs,
+        ) as span:
+            synopsis = self.inner.propagate(op, operands, **params)
+            span.annotate(result_nnz=float(synopsis.nnz_estimate))
+        self.calls.append(EstimatorCall(
+            method="propagate", estimator=self.name, op=op.value,
+            operand_shapes=shapes, operand_nnz=nnzs,
+            result_nnz=float(synopsis.nnz_estimate), seconds=span.seconds,
+        ))
+        return synopsis
+
+    # ------------------------------------------------------------------
+    # Transparent delegation
+    # ------------------------------------------------------------------
+
+    def supports(self, op: Op) -> bool:
+        return self.inner.supports(op)
+
+    def supports_propagation(self, op: Op) -> bool:
+        return self.inner.supports_propagation(op)
+
+    def __getattr__(self, attribute: str) -> Any:
+        # Estimator-specific knobs (block sizes, sample fractions, ...)
+        # resolve on the wrapped instance. Only called for misses on the
+        # proxy itself.
+        return getattr(self.inner, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordingEstimator({self.inner!r}, calls={len(self.calls)})"
+
+
+def unwrap_estimator(estimator: SparsityEstimator) -> SparsityEstimator:
+    """The underlying estimator, with any recording proxy removed.
+
+    Use before ``isinstance`` checks on concrete estimator classes (e.g.
+    the SparsEst runner's bitset out-of-memory guard).
+    """
+    if isinstance(estimator, RecordingEstimator):
+        return estimator.inner
+    return estimator

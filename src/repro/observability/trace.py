@@ -1,0 +1,135 @@
+"""The span API: ``trace`` context manager/decorator and the shared timer.
+
+``trace("name", key=value)`` marks a span. With the default
+:class:`~repro.observability.collector.NullCollector` it performs one
+attribute check and *no* clock reads, so it is safe to leave in hot paths
+(sketch construction runs millions of times in the DP benchmarks).
+
+:class:`timed_span` is the shared timer: it always reads the clock and
+exposes ``.seconds`` after exit, replacing the ad-hoc ``perf_counter``
+pairs that used to live in the SparsEst runner and the DAG estimator —
+and it additionally records a span whenever a collector is listening.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, List, Optional, TypeVar
+
+from repro.observability.collector import SpanRecord, get_collector
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_LOCAL = threading.local()
+
+
+def _span_stack() -> List[str]:
+    try:
+        return _LOCAL.stack
+    except AttributeError:
+        _LOCAL.stack = []
+        return _LOCAL.stack
+
+
+class trace:
+    """A named span, usable as a context manager or a decorator.
+
+    Context manager::
+
+        with trace("mnc.estimate.matmul", shape=(m, l)) as span:
+            nnz = ...
+            span.annotate(result_nnz=nnz)
+
+    Decorator (a fresh span per call)::
+
+        @trace("executor.decide")
+        def plan_allocation(...): ...
+
+    Attributes set after exit:
+        seconds: elapsed wall time, or ``None`` when nothing was listening
+            (subclasses may always time, see :class:`timed_span`).
+    """
+
+    __slots__ = ("name", "attrs", "seconds", "_collector", "_start", "_depth")
+
+    #: Subclass hook: read the clock even without an enabled collector.
+    _always_time = False
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.seconds: Optional[float] = None
+        self._collector = None
+        self._start: Optional[float] = None
+        self._depth = 0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach additional attributes (e.g. results known only mid-span)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "trace":
+        collector = get_collector()
+        if collector.enabled:
+            self._collector = collector
+            stack = _span_stack()
+            self._depth = len(stack)
+            stack.append(self.name)
+            self._start = time.perf_counter()
+        elif self._always_time:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._start is not None:
+            self.seconds = time.perf_counter() - self._start
+        collector = self._collector
+        if collector is not None:
+            self._collector = None
+            stack = _span_stack()
+            if stack and stack[-1] == self.name:
+                stack.pop()
+            collector.record_span(SpanRecord(
+                name=self.name,
+                start=self._start,
+                seconds=self.seconds,
+                depth=self._depth,
+                attrs=dict(self.attrs),
+            ))
+        return False
+
+    def __call__(self, fn: F) -> F:
+        name, attrs, cls = self.name, self.attrs, type(self)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with cls(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+
+class timed_span(trace):
+    """A span that always times, even under the :class:`NullCollector`.
+
+    The shared timer for harness code that needs elapsed wall time *as
+    data* (the paper's M2 metric) regardless of whether a trace is being
+    collected: ``.seconds`` is guaranteed to be set after exit.
+    """
+
+    __slots__ = ()
+
+    _always_time = True
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Increment the counter *name* on the active collector."""
+    get_collector().increment(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation on the active collector."""
+    collector = get_collector()
+    if collector.enabled:
+        collector.observe(name, value)

@@ -16,6 +16,7 @@ from repro.estimators.base import SparsityEstimator
 from repro.ir.estimate import _propagate_dag
 from repro.ir.interpreter import evaluate_all
 from repro.ir.nodes import Expr
+from repro.observability.trace import trace
 from repro.opcodes import Op
 from repro.runtime.allocator import AllocationReport, plan_allocation
 
@@ -62,19 +63,24 @@ def execute_with_decisions(
             scales).
         estimator: any registered estimator instance.
     """
-    synopses = _propagate_dag(root, estimator)
-    truths = evaluate_all(root)
-    report = AllocationReport()
-    for node in root.postorder():
-        if node.op is Op.LEAF:
-            continue
-        if node is root:
-            children = [synopses[id(child)] for child in node.inputs]
-            estimated = estimator.estimate_nnz(node.op, children, **node.params)
-        else:
-            estimated = synopses[id(node)].nnz_estimate
-        truth = float(truths[id(node)].nnz)
-        report.add(
-            plan_allocation(node.label, node.shape, estimated, truth)
-        )
+    with trace("executor.run", estimator=estimator.name):
+        synopses = _propagate_dag(root, estimator)
+        with trace("executor.evaluate"):
+            truths = evaluate_all(root)
+        with trace("executor.decide", estimator=estimator.name):
+            report = AllocationReport()
+            for node in root.postorder():
+                if node.op is Op.LEAF:
+                    continue
+                if node is root:
+                    children = [synopses[id(child)] for child in node.inputs]
+                    estimated = estimator.estimate_nnz(
+                        node.op, children, **node.params
+                    )
+                else:
+                    estimated = synopses[id(node)].nnz_estimate
+                truth = float(truths[id(node)].nnz)
+                report.add(
+                    plan_allocation(node.label, node.shape, estimated, truth)
+                )
     return DecisionSummary(estimator=estimator.name, report=report)

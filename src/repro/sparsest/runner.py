@@ -12,9 +12,8 @@ out-of-memory bitset cases) yield ``oom``.
 from __future__ import annotations
 
 import math
-import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, MutableMapping, Sequence
 
 from repro.errors import UnsupportedOperationError
@@ -23,6 +22,9 @@ from repro.estimators.bitset import BitsetEstimator
 from repro.ir.estimate import estimate_root_nnz
 from repro.ir.interpreter import evaluate
 from repro.ir.nodes import Expr
+from repro.observability.collector import get_collector
+from repro.observability.recording import unwrap_estimator
+from repro.observability.trace import timed_span
 from repro.opcodes import Op
 from repro.sparsest.metrics import relative_error
 from repro.sparsest.usecases import UseCase
@@ -51,6 +53,14 @@ class EstimateOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+def _record_outcome(outcome: EstimateOutcome) -> EstimateOutcome:
+    """Report *outcome* to the active collector (error-vs-time telemetry)."""
+    collector = get_collector()
+    if collector.enabled:
+        collector.record_outcome(asdict(outcome))
+    return outcome
 
 
 def true_nnz_of(root: Expr) -> float:
@@ -83,25 +93,27 @@ def run_use_case(
     """
     root = use_case.build(scale=scale, seed=seed)
     truth = true_nnz_of(root)
-    if isinstance(estimator, BitsetEstimator) and _bitset_would_oom(
-        root, memory_budget_bytes
+    if isinstance(unwrap_estimator(estimator), BitsetEstimator) and (
+        _bitset_would_oom(root, memory_budget_bytes)
     ):
-        return EstimateOutcome(
+        return _record_outcome(EstimateOutcome(
             use_case.id, estimator.name, truth, math.nan, math.inf, 0.0, "oom"
-        )
-    start = time.perf_counter()
-    try:
-        estimate = estimate_root_nnz(root, estimator)
-    except UnsupportedOperationError:
-        return EstimateOutcome(
-            use_case.id, estimator.name, truth, math.nan, math.inf, 0.0,
-            "unsupported",
-        )
-    seconds = time.perf_counter() - start
+        ))
+    with timed_span(
+        "sparsest.run", use_case=use_case.id, estimator=estimator.name
+    ) as span:
+        try:
+            estimate = estimate_root_nnz(root, estimator)
+        except UnsupportedOperationError:
+            return _record_outcome(EstimateOutcome(
+                use_case.id, estimator.name, truth, math.nan, math.inf, 0.0,
+                "unsupported",
+            ))
+    seconds = span.seconds
     error = relative_error(truth, estimate)
-    return EstimateOutcome(
+    return _record_outcome(EstimateOutcome(
         use_case.id, estimator.name, truth, estimate, error, seconds, "ok"
-    )
+    ))
 
 
 def run_repeated(

@@ -113,6 +113,95 @@ class TestDot:
         assert "s~" in dot
 
 
+class TestCliTrace:
+    def test_sparsest_trace_and_stats(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MNC_CACHE", str(tmp_path))
+        trace_file = tmp_path / "out.jsonl"
+        code = main([
+            "sparsest", "--cases", "B1.2,B1.4",
+            "--estimators", "meta_ac,mnc", "--scale", "0.02",
+            "--trace", str(trace_file),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert trace_file.exists()
+
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        # Per-span aggregate table with build/estimate spans per estimator.
+        assert "Span aggregates" in out
+        assert "estimator.build" in out
+        assert "estimator.estimate" in out
+        assert "sparsest.run" in out
+        assert "MNC" in out and "MetaAC" in out
+        assert "p95 [s]" in out
+        # The error-vs-time report covers every (use case, estimator) pair.
+        assert "Error vs time per (use case, estimator)" in out
+        assert "B1.2" in out and "B1.4" in out
+
+    def test_estimate_trace(self, stored_pair, capsys, tmp_path):
+        path_a, path_b = stored_pair
+        trace_file = tmp_path / "estimate.jsonl"
+        assert main([
+            "estimate", path_a, path_b, "--trace", str(trace_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "estimator.build" in out
+        assert "estimator.estimate" in out
+
+    def test_trace_file_is_valid_jsonl(self, stored_pair, tmp_path):
+        import json
+
+        path_a, path_b = stored_pair
+        trace_file = tmp_path / "estimate.jsonl"
+        assert main([
+            "estimate", path_a, path_b, "--trace", str(trace_file),
+        ]) == 0
+        lines = trace_file.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert "type" in record
+
+    def test_untraced_run_leaves_null_collector(self, capsys):
+        from repro.observability import NullCollector, get_collector
+
+        assert main(["info"]) == 0
+        capsys.readouterr()
+        assert isinstance(get_collector(), NullCollector)
+
+    def test_unwritable_trace_path_reports_cleanly(self, stored_pair, capsys):
+        path_a, path_b = stored_pair
+        code = main([
+            "estimate", path_a, path_b,
+            "--trace", "/nonexistent-dir/out.jsonl",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "MNC estimate" in captured.out  # the command itself ran
+        assert "cannot write trace file" in captured.err
+
+    def test_stats_missing_file(self, capsys, tmp_path):
+        code = main(["stats", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stats_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        code = main(["stats", str(bad)])
+        assert code == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_stats_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 0
+        assert "no records" in capsys.readouterr().out
+
+
 class TestCliParseErrors:
     def test_optimize_unparseable_dims(self, capsys):
         code = main([

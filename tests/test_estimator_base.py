@@ -67,6 +67,26 @@ class TestDispatch:
         with pytest.raises(UnsupportedOperationError):
             sampling.propagate(Op.MATMUL, [a, a])
 
+    def test_unsupported_estimate_message(self):
+        """Regression: the error must name the verb cleanly, not a mangled
+        handler prefix."""
+        estimator = make_estimator("layered_graph")
+        a = estimator.build(np.eye(4))
+        with pytest.raises(
+            UnsupportedOperationError,
+            match=r"estimator 'LGraph' does not support estimate of 'ewise_mult'",
+        ):
+            estimator.estimate_nnz(Op.EWISE_MULT, [a, a])
+
+    def test_unsupported_propagate_message(self):
+        estimator = make_estimator("layered_graph")
+        a = estimator.build(np.eye(4))
+        with pytest.raises(
+            UnsupportedOperationError,
+            match=r"estimator 'LGraph' does not support propagate of 'ewise_add'",
+        ):
+            estimator.propagate(Op.EWISE_ADD, [a, a])
+
 
 class TestOutputShape:
     @pytest.fixture
