@@ -1,0 +1,101 @@
+"""Cold-vs-warm estimation through the sketch catalog (docs/CATALOG.md).
+
+The serving scenario the catalog targets: matrices are registered once,
+then structurally identical expressions are estimated over and over (an
+optimizer enumerating plans, repeated requests against the same inputs).
+Cold runs pay full sketch construction and propagation; warm runs are pure
+fingerprint lookups against the memoized root estimate.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_catalog.py``) or
+under pytest; either way it emits ``benchmarks/results/BENCH_catalog.json``
+with the cold/warm timings and the speedup, and fails if the warm path is
+not at least 10x faster than cold.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import bench_scale, write_bench_json
+from repro.catalog import EstimationService
+from repro.ir.nodes import leaf, matmul
+from repro.matrix.random import random_sparse
+
+#: Acceptance threshold: warm (memoized) estimates must beat cold by this.
+MIN_SPEEDUP = 10.0
+
+COLD_ROUNDS = 5
+WARM_ROUNDS = 50
+
+
+def _chain_matrices(scale: float):
+    """A matmul chain at benchmark scale (~1k-square at the default 0.2)."""
+    side = max(200, int(5000 * scale))
+    seeds = range(6)
+    dims = [side + 37 * i for i in range(len(seeds) + 1)]
+    return [
+        random_sparse(dims[i], dims[i + 1], 0.01, seed=seed)
+        for i, seed in enumerate(seeds)
+    ]
+
+
+def _build_expr(matrices):
+    root = leaf(matrices[0])
+    for matrix in matrices[1:]:
+        root = matmul(root, leaf(matrix))
+    return root
+
+
+def run_catalog_benchmark(scale: float | None = None) -> dict:
+    """Measure cold and warm estimate latency; returns the JSON payload."""
+    scale = bench_scale() if scale is None else scale
+    matrices = _chain_matrices(scale)
+
+    cold_times = []
+    for _ in range(COLD_ROUNDS):
+        service = EstimationService()  # fresh caches: a true cold start
+        start = time.perf_counter()
+        cold_result = service.estimate(_build_expr(matrices))
+        cold_times.append(time.perf_counter() - start)
+
+    service = EstimationService()
+    service.estimate(_build_expr(matrices))  # populate the catalog once
+    warm_times = []
+    for _ in range(WARM_ROUNDS):
+        start = time.perf_counter()
+        warm_result = service.estimate(_build_expr(matrices))
+        warm_times.append(time.perf_counter() - start)
+
+    cold_seconds = statistics.median(cold_times)
+    warm_seconds = statistics.median(warm_times)
+    assert warm_result["cached"]
+    assert warm_result["nnz"] == cold_result["nnz"]
+    return {
+        "benchmark": "catalog_cold_vs_warm",
+        "scale": scale,
+        "chain_length": len(matrices),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "estimated_nnz": cold_result["nnz"],
+        "service_stats": service.stats(),
+    }
+
+
+def test_warm_catalog_at_least_10x_faster():
+    payload = run_catalog_benchmark()
+    write_bench_json("catalog", payload)
+    print(
+        f"catalog cold {payload['cold_seconds'] * 1e3:.2f} ms, "
+        f"warm {payload['warm_seconds'] * 1e6:.1f} us, "
+        f"speedup {payload['speedup']:.0f}x"
+    )
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"warm catalog estimate only {payload['speedup']:.1f}x faster than "
+        f"cold (need >= {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_warm_catalog_at_least_10x_faster()

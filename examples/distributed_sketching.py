@@ -9,9 +9,11 @@ example plays both roles in one process:
 
 1. "workers" sketch row shards of a large matrix independently and
    serialize their sketches to disk;
-2. the "driver" loads and merges the shard sketches — exactly — and runs
-   product estimation plus a confidence interval without ever seeing the
-   data.
+2. the "driver" warm-starts a :class:`~repro.catalog.store.SketchStore`
+   from the shard directory (the catalog keys sketches by filename, in
+   sorted order, so ``worker-0 .. worker-N`` come back in shard order),
+   merges them — exactly — and runs product estimation plus a confidence
+   interval without ever seeing the data.
 """
 
 from __future__ import annotations
@@ -21,12 +23,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.catalog import SketchStore
 from repro.core import (
     MNCSketch,
     estimate_product_interval,
     merge_row_partitions,
 )
-from repro.core.serialize import load_sketch, save_sketch
+from repro.core.serialize import save_sketch
 from repro.matrix import matmul, random_sparse
 
 
@@ -48,9 +51,13 @@ def main() -> None:
                   f"-> {sketch.size_bytes():,} bytes on disk")
 
         # --- driver side: merge, never touching the data -------------------
-        shards = [
-            load_sketch(root / f"worker-{worker}.npz") for worker in range(workers)
-        ]
+        # The catalog loads every shard sketch in sorted filename order, so
+        # worker-0 .. worker-3 arrive in top-to-bottom shard order.
+        store = SketchStore()
+        shard_keys = store.warm_start(root)
+        shards = [store.get(key) for key in shard_keys]
+        print(f"\ndriver: warm-started catalog with {len(shard_keys)} shard "
+              f"sketch(es), {store.bytes_used:,} bytes resident")
         merged = merge_row_partitions(shards)
         direct = MNCSketch.from_matrix(matrix_a)
         assert (merged.hr == direct.hr).all() and (merged.hc == direct.hc).all()

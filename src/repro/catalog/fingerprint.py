@@ -1,0 +1,205 @@
+"""Stable structural fingerprints for matrices, sketches, and DAG nodes.
+
+A fingerprint is a short hex digest of the *structure* an estimator sees:
+matrix shape plus the CSR index arrays (cell values are irrelevant to
+structural sparsity estimation and are deliberately excluded), sketch count
+vectors plus flags, and — recursively — expression DAGs (operation, sorted
+parameters, child fingerprints in order). Two matrices with the same
+non-zero pattern fingerprint identically, as do two independently rebuilt
+but structurally identical expressions; this is what lets the catalog
+(:mod:`repro.catalog.store`, :mod:`repro.catalog.memo`) reuse sketches and
+estimates across requests, processes, and expression rebuilds.
+
+Stability guarantees (see ``docs/CATALOG.md``):
+
+- fingerprints depend only on shape and non-zero *positions* (inputs are
+  canonicalized through :func:`~repro.matrix.conversion.as_csr` first, so
+  explicit zeros and duplicate entries never perturb the digest);
+- leaf expression nodes fingerprint identically to their wrapped matrix,
+  so a matrix registered directly and one wrapped via ``leaf()`` share
+  catalog entries;
+- node ``name`` labels are cosmetic and excluded; operation parameters
+  (e.g. reshape dimensions) are included in sorted key order;
+- digests are versioned: any change to the scheme bumps
+  :data:`FINGERPRINT_VERSION`, which is mixed into every digest, so stale
+  on-disk catalogs can never alias new-scheme keys.
+
+Fingerprints of :class:`~repro.ir.nodes.Expr` objects and of sparse
+matrices are memoized weakly on the object, so repeated fingerprinting of a
+long-lived DAG (the service's hot path) costs one dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from typing import Dict, MutableMapping, Optional
+
+import numpy as np
+
+from repro.matrix.conversion import MatrixLike, as_csr
+from repro.opcodes import Op
+
+#: Scheme version, mixed into every digest. Bump on any format change.
+FINGERPRINT_VERSION = 1
+
+#: Digest size in bytes; 20 bytes (40 hex chars) matches git-style ids.
+_DIGEST_SIZE = 20
+
+_LOCK = threading.Lock()
+# Weak per-object memos: entries die with the fingerprinted object, so a
+# recycled id() can never alias a stale digest (same reasoning as the old
+# runner truth cache). Expr nodes are hashable-by-identity and weakly
+# referenceable, so a WeakKeyDictionary works directly; sparse matrices are
+# *unhashable* (element-wise ``__eq__``), so their memo is keyed by ``id``
+# with a weakref callback evicting the entry when the matrix dies — the
+# identity check on read makes a recycled id harmless even for objects
+# that reject weak references (those simply never enter the memo).
+_EXPR_MEMO: MutableMapping[object, str] = weakref.WeakKeyDictionary()
+_MATRIX_MEMO: Dict[int, tuple] = {}
+
+
+def _matrix_memo_get(matrix: object) -> Optional[str]:
+    with _LOCK:
+        entry = _MATRIX_MEMO.get(id(matrix))
+    if entry is None:
+        return None
+    ref, fingerprint = entry
+    return fingerprint if ref() is matrix else None
+
+
+def _matrix_memo_put(matrix: object, fingerprint: str) -> None:
+    key = id(matrix)
+    try:
+        ref = weakref.ref(
+            matrix, lambda _, key=key: _MATRIX_MEMO.pop(key, None)
+        )
+    except TypeError:  # object does not support weak references
+        return
+    with _LOCK:
+        _MATRIX_MEMO[key] = (ref, fingerprint)
+
+
+def _hasher() -> "hashlib.blake2b":
+    return hashlib.blake2b(
+        digest_size=_DIGEST_SIZE, person=b"repro-catalog"
+    )
+
+
+def _digest(kind: str, *chunks: bytes) -> str:
+    hasher = _hasher()
+    hasher.update(f"v{FINGERPRINT_VERSION}:{kind}".encode())
+    for chunk in chunks:
+        # Length-prefix every chunk so concatenations cannot collide.
+        hasher.update(len(chunk).to_bytes(8, "little"))
+        hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _array_bytes(array: Optional[np.ndarray]) -> bytes:
+    """Canonical byte view of an index/count vector (``None`` -> marker)."""
+    if array is None:
+        return b"\xff:absent"
+    return np.ascontiguousarray(array, dtype=np.int64).tobytes()
+
+
+def _memo_get(memo: MutableMapping[object, str], key: object) -> Optional[str]:
+    try:
+        with _LOCK:
+            return memo.get(key)
+    except TypeError:  # object does not support weak references
+        return None
+
+
+def _memo_put(memo: MutableMapping[object, str], key: object, value: str) -> None:
+    try:
+        with _LOCK:
+            memo[key] = value
+    except TypeError:
+        pass
+
+
+def fingerprint_matrix(matrix: MatrixLike) -> str:
+    """Structural fingerprint of a matrix: shape + CSR indptr/indices.
+
+    Values are ignored; the digest identifies the non-zero *pattern*, which
+    is the only thing sketches and estimators consume.
+    """
+    cached = _matrix_memo_get(matrix)
+    if cached is not None:
+        return cached
+    csr = as_csr(matrix)
+    fingerprint = _digest(
+        "matrix",
+        _array_bytes(np.asarray(csr.shape, dtype=np.int64)),
+        _array_bytes(csr.indptr),
+        _array_bytes(csr.indices),
+    )
+    _matrix_memo_put(matrix, fingerprint)
+    if matrix is not csr:
+        _matrix_memo_put(csr, fingerprint)
+    return fingerprint
+
+
+def fingerprint_sketch(sketch) -> str:
+    """Fingerprint of an :class:`~repro.core.sketch.MNCSketch`.
+
+    Covers shape, both count vectors, both extension vectors (presence and
+    contents), and the two flags — everything serialization round-trips.
+    """
+    flags = np.array(
+        [int(sketch.fully_diagonal), int(sketch.exact)], dtype=np.int64
+    )
+    return _digest(
+        "sketch",
+        _array_bytes(np.asarray(sketch.shape, dtype=np.int64)),
+        _array_bytes(sketch.hr),
+        _array_bytes(sketch.hc),
+        _array_bytes(sketch.her),
+        _array_bytes(sketch.hec),
+        _array_bytes(flags),
+    )
+
+
+def _params_bytes(params: Dict[str, object]) -> bytes:
+    if not params:
+        return b""
+    return repr(sorted(params.items())).encode()
+
+
+def fingerprint_dag(root) -> Dict[int, str]:
+    """Fingerprint every node of an expression DAG.
+
+    Returns ``id(node) -> fingerprint`` for each distinct node reachable
+    from *root* (the mapping the DAG estimator uses to key per-node catalog
+    lookups). Leaves fingerprint as their matrix; inner nodes as
+    ``(op, params, child fingerprints)`` — structurally identical DAGs built
+    from different objects produce identical fingerprints.
+    """
+    fingerprints: Dict[int, str] = {}
+    for node in root.postorder():
+        cached = _memo_get(_EXPR_MEMO, node)
+        if cached is not None:
+            fingerprints[id(node)] = cached
+            continue
+        if node.op is Op.LEAF:
+            fingerprint = fingerprint_matrix(node.matrix)
+        else:
+            children = b"".join(
+                fingerprints[id(child)].encode() for child in node.inputs
+            )
+            fingerprint = _digest(
+                "expr", node.op.value.encode(), _params_bytes(node.params), children
+            )
+        fingerprints[id(node)] = fingerprint
+        _memo_put(_EXPR_MEMO, node, fingerprint)
+    return fingerprints
+
+
+def fingerprint_expr(root) -> str:
+    """Fingerprint of a single expression DAG root (see :func:`fingerprint_dag`)."""
+    cached = _memo_get(_EXPR_MEMO, root)
+    if cached is not None:
+        return cached
+    return fingerprint_dag(root)[id(root)]

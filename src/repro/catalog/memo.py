@@ -1,0 +1,146 @@
+"""Memoized estimation results keyed on structural fingerprints.
+
+:class:`EstimateMemo` is the catalog's second table: while the
+:class:`~repro.catalog.store.SketchStore` holds *synopses*, the memo holds
+*results* — per-node non-zero estimates, root estimates, ground-truth
+counts — keyed on ``(fingerprint, estimator, tag)``. Because fingerprints
+are structural (:mod:`repro.catalog.fingerprint`), a memoized result
+survives rebuilding the expression from scratch: the SparsEst runner uses
+exactly this to keep ground-truth nnz across per-seed DAG reconstructions.
+
+The memo is thread-safe, LRU-bounded by entry count (results are scalars or
+small objects; a byte budget would be overkill), and supports explicit
+invalidation by fingerprint and/or estimator — the hook for workloads where
+a registered matrix is replaced under the same logical name.
+
+Hits and misses are mirrored onto the observability counters
+(``catalog.memo.hit`` / ``catalog.memo.miss``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.observability.trace import count
+
+#: Default entry bound; estimates are tiny, so this is ~megabytes.
+DEFAULT_MAX_ENTRIES = 65536
+
+_MISSING = object()
+
+MemoKey = Tuple[str, str, str]
+
+
+class EstimateMemo:
+    """Thread-safe LRU memo of estimation results.
+
+    Keys are ``(fingerprint, estimator, tag)`` triples: the structural
+    fingerprint of the node or DAG, the estimator identity (its
+    :attr:`~repro.estimators.base.SparsityEstimator.name`, or ``"exact"``
+    for ground truth), and a tag naming what was memoized (``"nnz"``,
+    ``"synopsis"``, ...).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[MemoKey, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    def get(
+        self, fingerprint: str, estimator: str, tag: str, default: Any = None
+    ) -> Any:
+        """The memoized value, or *default*; hits refresh LRU recency."""
+        key = (fingerprint, estimator, tag)
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                count("catalog.memo.miss")
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            count("catalog.memo.hit")
+            return value
+
+    def put(self, fingerprint: str, estimator: str, tag: str, value: Any) -> None:
+        """Memoize *value*, evicting the LRU entry beyond the bound."""
+        key = (fingerprint, estimator, tag)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def memoize(
+        self, fingerprint: str, estimator: str, tag: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the memoized value, computing and storing it on a miss.
+
+        ``compute`` runs outside the lock, so concurrent misses on the same
+        key may compute twice — both arrive at the same structural result,
+        and neither update is lost.
+        """
+        value = self.get(fingerprint, estimator, tag, default=_MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(fingerprint, estimator, tag, value)
+        return value
+
+    def invalidate(
+        self,
+        fingerprint: Optional[str] = None,
+        estimator: Optional[str] = None,
+    ) -> int:
+        """Drop entries matching the given fingerprint and/or estimator.
+
+        With both ``None`` this clears everything. Returns the number of
+        entries removed.
+        """
+        with self._lock:
+            if fingerprint is None and estimator is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [
+                    key
+                    for key in self._entries
+                    if (fingerprint is None or key[0] == fingerprint)
+                    and (estimator is None or key[1] == estimator)
+                ]
+                for key in doomed:
+                    del self._entries[key]
+                removed = len(doomed)
+            self._invalidations += removed
+        if removed:
+            count("catalog.memo.invalidation", removed)
+        return removed
+
+    def clear(self) -> None:
+        """Drop every memoized result (counters are kept)."""
+        self.invalidate()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: MemoKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for reporting."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }

@@ -1,0 +1,283 @@
+"""The :class:`EstimationService` facade: register once, estimate many times.
+
+The paper's serving story — compute the MNC sketch once (possibly on a
+cluster), then consult it throughout optimization — becomes an object here:
+
+>>> service = EstimationService()                    # MNC by default
+>>> service.register(matrix_x, name="X")
+>>> cold = service.estimate(expr)                    # builds + caches
+>>> warm = service.estimate(rebuilt_expr)            # pure cache hits
+>>> warm["cached"]
+True
+
+The service composes the three catalog tables:
+
+- leaf sketches live in a byte-budgeted :class:`~repro.catalog.store.SketchStore`
+  (the canonical, persistable artifacts — warm-startable from a catalog
+  directory, spillable to disk);
+- propagated synopses and root results live in an
+  :class:`~repro.catalog.memo.EstimateMemo` keyed on
+  ``(fingerprint, estimator, tag)``, so structurally identical sub-DAGs are
+  estimated once *across* requests, not just within one DAG walk;
+- fingerprints come from :mod:`repro.catalog.fingerprint` and are purely
+  structural, so a rebuilt-but-identical expression hits every cache.
+
+One caveat worth knowing: cache identity is the estimator's ``name``. Two
+instances of the same estimator class configured differently (e.g. density
+maps with different block sizes) share a name — give them separate services
+rather than sharing one catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.catalog.fingerprint import fingerprint_expr, fingerprint_matrix
+from repro.catalog.memo import EstimateMemo
+from repro.catalog.store import SketchStore
+from repro.core.sketch import MNCSketch
+from repro.errors import SketchError
+from repro.estimators.base import SparsityEstimator, Synopsis, make_estimator
+from repro.estimators.mnc import MNCEstimator, MNCSynopsis
+from repro.ir.nodes import Expr
+from repro.matrix.conversion import MatrixLike
+from repro.observability.recording import unwrap_estimator
+from repro.observability.trace import count, timed_span
+from repro.opcodes import Op
+
+
+class EstimationService:
+    """Memoized sparsity estimation over a shared sketch catalog.
+
+    Args:
+        estimator: a registered estimator name or instance (default MNC).
+        store: sketch store to use/share; a fresh in-memory
+            :class:`SketchStore` by default.
+        memo: result memo to use/share; fresh by default.
+    """
+
+    def __init__(
+        self,
+        estimator: Union[str, SparsityEstimator] = "mnc",
+        store: Optional[SketchStore] = None,
+        memo: Optional[EstimateMemo] = None,
+    ):
+        if isinstance(estimator, str):
+            estimator = make_estimator(estimator)
+        self.estimator = estimator
+        self.store = store if store is not None else SketchStore()
+        self.memo = memo if memo is not None else EstimateMemo()
+        #: Logical name -> fingerprint for matrices registered with a name.
+        self.names: Dict[str, str] = {}
+        self._requests = 0
+        self._hits = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, matrix: MatrixLike, name: Optional[str] = None) -> str:
+        """Fingerprint *matrix* and cache its leaf synopsis eagerly.
+
+        Returns the fingerprint; with *name* given, the mapping is kept in
+        :attr:`names` so later calls can resolve the logical name.
+        """
+        fingerprint = fingerprint_matrix(matrix)
+        if name is not None:
+            self.names[name] = fingerprint
+        if self._builds_canonical_sketch(self.estimator):
+            self.sketch_for(matrix)
+        else:
+            key = self._estimator_key(self.estimator)
+            if self.memo.get(fingerprint, key, "synopsis") is None:
+                self.memo.put(
+                    fingerprint, key, "synopsis", self.estimator.build(matrix)
+                )
+        return fingerprint
+
+    def sketch_for(self, matrix: MatrixLike) -> MNCSketch:
+        """The canonical MNC sketch of *matrix*, built at most once.
+
+        Goes through the store, so repeated calls — and the chain optimizer
+        wired through :func:`~repro.optimizer.mmchain.optimize_chain_matrices`
+        — reuse one sketch per distinct non-zero pattern.
+        """
+        fingerprint = fingerprint_matrix(matrix)
+        sketch = self.store.get(fingerprint)
+        if sketch is None:
+            sketch = MNCSketch.from_matrix(matrix)
+            self.store.put(fingerprint, sketch)
+        return sketch
+
+    def resolve(self, name: str) -> str:
+        """Fingerprint registered under logical *name*."""
+        try:
+            return self.names[name]
+        except KeyError:
+            raise SketchError(f"no matrix registered under name {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self, expr: Expr, include_intermediates: bool = False
+    ) -> Dict[str, Any]:
+        """Estimate the root sparsity of *expr*, reusing every cached piece.
+
+        Returns the :func:`~repro.ir.estimate.estimate_dag` result dict plus
+        ``fingerprint`` (the root's structural fingerprint) and ``cached``
+        (``True`` when the root estimate itself was memoized — the warm
+        path performs no synopsis work at all).
+        """
+        from repro.ir.estimate import estimate_dag
+
+        root_fingerprint = fingerprint_expr(expr)
+        estimator_key = self._estimator_key(self.estimator)
+        self._requests += 1
+        with timed_span(
+            "catalog.service.estimate", estimator=estimator_key
+        ) as span:
+            nnz = (
+                None
+                if include_intermediates
+                else self.memo.get(root_fingerprint, estimator_key, "nnz")
+            )
+            intermediates = None
+            if nnz is None:
+                full = estimate_dag(
+                    expr,
+                    self.estimator,
+                    include_intermediates=include_intermediates,
+                    catalog=self,
+                )
+                nnz = full["nnz"]
+                intermediates = full.get("intermediates")
+                self.memo.put(root_fingerprint, estimator_key, "nnz", nnz)
+                cached = False
+                count("catalog.service.miss")
+            else:
+                self._hits += 1
+                cached = True
+                count("catalog.service.hit")
+            span.annotate(cached=cached, result_nnz=float(nnz))
+        m, n = expr.shape
+        result: Dict[str, Any] = {
+            "nnz": nnz,
+            "sparsity": nnz / (m * n) if m and n else 0.0,
+            "seconds": span.seconds,
+            "fingerprint": root_fingerprint,
+            "cached": cached,
+        }
+        if intermediates is not None:
+            result["intermediates"] = intermediates
+        return result
+
+    def estimate_many(self, exprs: Sequence[Expr]) -> List[Dict[str, Any]]:
+        """Batched :meth:`estimate`: later requests in the batch reuse
+        synopses and results cached by earlier ones."""
+        with timed_span("catalog.service.batch", size=len(exprs)):
+            return [self.estimate(expr) for expr in exprs]
+
+    def optimize_chain(self, matrices: Sequence[MatrixLike], rng=None):
+        """Sparsity-aware chain optimization over catalog-cached sketches."""
+        from repro.optimizer.mmchain import optimize_chain_matrices
+
+        return optimize_chain_matrices(matrices, rng=rng, catalog=self)
+
+    # ------------------------------------------------------------------
+    # Catalog protocol (used by repro.ir.estimate during DAG walks)
+    # ------------------------------------------------------------------
+
+    def node_synopsis_get(
+        self, fingerprint: str, node: Expr, estimator: SparsityEstimator
+    ) -> Optional[Synopsis]:
+        """Cached synopsis for a DAG node, or ``None``."""
+        key = self._estimator_key(estimator)
+        synopsis = self.memo.get(fingerprint, key, "synopsis")
+        if synopsis is not None:
+            return synopsis
+        if node.op is Op.LEAF and self._builds_canonical_sketch(estimator):
+            sketch = self.store.get(fingerprint)
+            if sketch is not None:
+                return MNCSynopsis(sketch)
+        return None
+
+    def node_synopsis_put(
+        self,
+        fingerprint: str,
+        node: Expr,
+        estimator: SparsityEstimator,
+        synopsis: Synopsis,
+    ) -> None:
+        """Cache a freshly built/propagated synopsis for a DAG node.
+
+        Canonical leaf sketches go to the byte-budgeted store (persistable,
+        spillable); everything else — propagated synopses and non-MNC leaf
+        synopses — goes to the entry-bounded memo.
+        """
+        if (
+            node.op is Op.LEAF
+            and self._builds_canonical_sketch(estimator)
+            and isinstance(synopsis, MNCSynopsis)
+        ):
+            self.store.put(fingerprint, synopsis.sketch)
+            return
+        self.memo.put(
+            fingerprint, self._estimator_key(estimator), "synopsis", synopsis
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def warm(self, directory) -> List[str]:
+        """Warm-start the store from a catalog directory of sketch files."""
+        return self.store.warm_start(directory)
+
+    def persist(self, directory=None) -> int:
+        """Write resident sketches out as a catalog directory."""
+        return self.store.persist(directory)
+
+    def invalidate(self, target: Union[str, MatrixLike]) -> None:
+        """Forget everything cached for a matrix, fingerprint, or name."""
+        if isinstance(target, str):
+            fingerprint = self.names.get(target, target)
+        else:
+            fingerprint = fingerprint_matrix(target)
+        self.store.discard(fingerprint)
+        self.memo.invalidate(fingerprint=fingerprint)
+
+    def clear(self) -> None:
+        """Drop all cached sketches and results (names are kept)."""
+        self.store.clear()
+        self.memo.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Combined service/store/memo cache-effectiveness counters."""
+        return {
+            "service": {
+                "requests": self._requests,
+                "hits": self._hits,
+                "hit_rate": self._hits / self._requests if self._requests else 0.0,
+            },
+            "store": self.store.stats().as_dict(),
+            "memo": self.memo.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _estimator_key(estimator: SparsityEstimator) -> str:
+        return estimator.name
+
+    @staticmethod
+    def _builds_canonical_sketch(estimator: SparsityEstimator) -> bool:
+        """Whether *estimator* builds the full-extension MNC leaf sketch the
+        store treats as the canonical shareable artifact."""
+        inner = unwrap_estimator(estimator)
+        return isinstance(inner, MNCEstimator) and getattr(
+            inner, "use_extensions", False
+        )

@@ -6,8 +6,13 @@ Commands
 - ``info`` — library version, registered estimators, use cases.
 - ``sketch FILE.npz`` — build and summarize the MNC sketch of a stored
   matrix.
-- ``estimate A.npz B.npz [--estimator NAME]`` — estimate the sparsity of
-  the product ``A B`` (optionally comparing against the exact result).
+- ``estimate A.npz B.npz [--estimator NAME] [--catalog DIR]`` — estimate
+  the sparsity of the product ``A B`` (optionally comparing against the
+  exact result); with ``--catalog`` sketches are reused from and persisted
+  to an on-disk sketch catalog.
+- ``catalog {stats,warm,clear} DIR`` — inspect, pre-populate, or empty an
+  on-disk sketch catalog (``<fingerprint>.npz`` files, see
+  ``docs/CATALOG.md``).
 - ``sparsest [--cases ...] [--estimators ...] [--scale S]`` — run SparsEst
   use cases and print the relative-error table.
 - ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
@@ -69,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--exact", action="store_true",
         help="also compute the exact result and the relative error",
     )
+    estimate_cmd.add_argument(
+        "--catalog", metavar="DIR", default=None,
+        help="reuse/persist MNC sketches through an on-disk catalog directory",
+    )
 
     sparsest_cmd = commands.add_parser(
         "sparsest", help="run SparsEst use cases", parents=[tracing]
@@ -102,6 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarize a --trace JSONL file"
     )
     stats_cmd.add_argument("trace_file", help="path to a trace (.jsonl)")
+
+    catalog_cmd = commands.add_parser(
+        "catalog", help="manage an on-disk sketch catalog directory"
+    )
+    catalog_sub = catalog_cmd.add_subparsers(dest="catalog_command", required=True)
+    catalog_stats = catalog_sub.add_parser(
+        "stats", help="summarize the sketches stored in a catalog"
+    )
+    catalog_stats.add_argument("directory", help="catalog directory")
+    catalog_warm = catalog_sub.add_parser(
+        "warm", help="sketch matrices into a catalog (skips cached entries)"
+    )
+    catalog_warm.add_argument("directory", help="catalog directory")
+    catalog_warm.add_argument(
+        "matrices", nargs="+", help=".npz sparse matrices to sketch"
+    )
+    catalog_clear = catalog_sub.add_parser(
+        "clear", help="delete every sketch in a catalog"
+    )
+    catalog_clear.add_argument("directory", help="catalog directory")
     return parser
 
 
@@ -142,7 +171,13 @@ def _cmd_sketch(path: str) -> int:
     return 0
 
 
-def _cmd_estimate(left: str, right: str, estimator_name: str, exact: bool) -> int:
+def _cmd_estimate(
+    left: str,
+    right: str,
+    estimator_name: str,
+    exact: bool,
+    catalog_dir: Optional[str] = None,
+) -> int:
     from repro.estimators import make_estimator
     from repro.matrix.io import load_matrix
     from repro.opcodes import Op
@@ -150,8 +185,21 @@ def _cmd_estimate(left: str, right: str, estimator_name: str, exact: bool) -> in
     a = load_matrix(left)
     b = load_matrix(right)
     estimator = _maybe_record(make_estimator(estimator_name))
-    synopses = [estimator.build(a), estimator.build(b)]
-    nnz = estimator.estimate_nnz(Op.MATMUL, synopses)
+    if catalog_dir:
+        from repro.catalog import EstimationService, SketchStore
+        from repro.ir.nodes import leaf
+
+        service = EstimationService(
+            estimator, store=SketchStore(spill_dir=catalog_dir)
+        )
+        nnz = service.estimate(leaf(a) @ leaf(b))["nnz"]
+        stored = service.persist(catalog_dir)
+        store_stats = service.store.stats()
+        print(f"catalog: {store_stats.disk_hits} sketch(es) reused from "
+              f"{catalog_dir}, {stored} persisted")
+    else:
+        synopses = [estimator.build(a), estimator.build(b)]
+        nnz = estimator.estimate_nnz(Op.MATMUL, synopses)
     cells = a.shape[0] * b.shape[1]
     print(f"{estimator.name} estimate: nnz ~ {nnz:,.0f}, "
           f"sparsity ~ {nnz / cells:.6g}")
@@ -271,19 +319,99 @@ def _cmd_stats(trace_file: str) -> int:
     return 0
 
 
+def _cmd_catalog_stats(directory: str) -> int:
+    from pathlib import Path
+
+    from repro.core.serialize import load_sketch
+
+    root = Path(directory)
+    if not root.is_dir():
+        print(f"error: catalog directory {directory} does not exist",
+              file=sys.stderr)
+        return 2
+    files = sorted(root.glob("*.npz"))
+    if not files:
+        print(f"catalog {directory}: empty")
+        return 0
+    total_bytes = 0
+    total_nnz = 0
+    for path in files:
+        sketch = load_sketch(path)
+        total_bytes += sketch.size_bytes()
+        total_nnz += sketch.total_nnz
+        print(f"  {path.stem[:16]:<16}  {sketch.nrows:>8} x {sketch.ncols:<8} "
+              f"nnz {sketch.total_nnz:>12,}  {sketch.size_bytes():>10,} B"
+              + ("  +ext" if sketch.has_extensions else ""))
+    print(f"catalog {directory}: {len(files)} sketch(es), "
+          f"{total_bytes:,} bytes, {total_nnz:,} summarized non-zeros")
+    return 0
+
+
+def _cmd_catalog_warm(directory: str, matrices: Sequence[str]) -> int:
+    from pathlib import Path
+
+    from repro.catalog import fingerprint_matrix
+    from repro.core.serialize import save_sketch
+    from repro.core.sketch import MNCSketch
+    from repro.matrix.io import load_matrix
+
+    root = Path(directory)
+    built = cached = 0
+    for source in matrices:
+        matrix = load_matrix(source)
+        fingerprint = fingerprint_matrix(matrix)
+        target = root / f"{fingerprint}.npz"
+        if target.exists():
+            cached += 1
+            print(f"  {source}: already cataloged ({fingerprint[:16]})")
+            continue
+        sketch = MNCSketch.from_matrix(matrix)
+        save_sketch(target, sketch)
+        built += 1
+        print(f"  {source}: sketched {sketch.nrows}x{sketch.ncols} "
+              f"-> {fingerprint[:16]} ({sketch.size_bytes():,} B)")
+    print(f"catalog {directory}: {built} built, {cached} already cached")
+    return 0
+
+
+def _cmd_catalog_clear(directory: str) -> int:
+    from pathlib import Path
+
+    root = Path(directory)
+    if not root.is_dir():
+        print(f"error: catalog directory {directory} does not exist",
+              file=sys.stderr)
+        return 2
+    removed = 0
+    for path in root.glob("*.npz"):
+        path.unlink()
+        removed += 1
+    print(f"catalog {directory}: removed {removed} sketch(es)")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "sketch":
         return _cmd_sketch(args.matrix)
     if args.command == "estimate":
-        return _cmd_estimate(args.left, args.right, args.estimator, args.exact)
+        return _cmd_estimate(
+            args.left, args.right, args.estimator, args.exact, args.catalog
+        )
     if args.command == "sparsest":
         return _cmd_sparsest(args.cases, args.estimators, args.scale, args.seed)
     if args.command == "optimize":
         return _cmd_optimize(args.dims, args.sparsities, args.seed)
     if args.command == "stats":
         return _cmd_stats(args.trace_file)
+    if args.command == "catalog":
+        if args.catalog_command == "stats":
+            return _cmd_catalog_stats(args.directory)
+        if args.catalog_command == "warm":
+            return _cmd_catalog_warm(args.directory, args.matrices)
+        if args.catalog_command == "clear":
+            return _cmd_catalog_clear(args.directory)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -39,20 +39,35 @@ def sketch_to_arrays(sketch: MNCSketch) -> Dict[str, np.ndarray]:
 
 
 def sketch_from_arrays(arrays) -> MNCSketch:
-    """Decode a sketch from the dict produced by :func:`sketch_to_arrays`."""
+    """Decode a sketch from the dict produced by :func:`sketch_to_arrays`.
+
+    The version field is validated *before* any other field is touched: a
+    payload written by a newer build may have renamed or re-typed fields,
+    and decoding it anyway would either fail with a misleading
+    "missing field" error or silently misinterpret the data.
+    """
     try:
         version = int(np.asarray(arrays["version"]).ravel()[0])
+    except KeyError:
+        raise SketchError("serialized sketch missing field 'version'") from None
+    if version > _FORMAT_VERSION:
+        raise SketchError(
+            f"sketch format version {version} is newer than this build "
+            f"supports (reads up to version {_FORMAT_VERSION}); "
+            "refusing to decode a payload from a future format"
+        )
+    if version != _FORMAT_VERSION:
+        raise SketchError(
+            f"unsupported sketch format version {version} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    try:
         shape = tuple(int(d) for d in np.asarray(arrays["shape"]).ravel())
         hr = np.asarray(arrays["hr"], dtype=np.int64)
         hc = np.asarray(arrays["hc"], dtype=np.int64)
         flags = np.asarray(arrays["flags"]).ravel()
     except KeyError as missing:
         raise SketchError(f"serialized sketch missing field {missing}") from None
-    if version != _FORMAT_VERSION:
-        raise SketchError(
-            f"unsupported sketch format version {version} "
-            f"(this build reads version {_FORMAT_VERSION})"
-        )
     if len(shape) != 2:
         raise SketchError(f"serialized shape must have two entries, got {shape}")
     her = np.asarray(arrays["her"], dtype=np.int64) if "her" in arrays else None

@@ -4,6 +4,14 @@ Propagates any estimator's synopses bottom-up through the DAG with
 memoization (shared sub-expressions are sketched once), and — following the
 paper's implementation detail — estimates the *root* directly from its
 children's synopses instead of propagating a synopsis to it.
+
+All entry points accept an optional ``catalog`` (usually an
+:class:`~repro.catalog.service.EstimationService`): when given, every node
+is keyed by its structural fingerprint and looked up before any synopsis
+work happens, so sub-DAGs shared *across* estimation calls — not just
+within one DAG — are sketched exactly once. The catalog is duck-typed: any
+object with ``node_synopsis_get(fingerprint, node, estimator)`` and
+``node_synopsis_put(fingerprint, node, estimator, synopsis)`` works.
 """
 
 from __future__ import annotations
@@ -34,45 +42,74 @@ class NodeEstimate:
 
 
 def _propagate_dag(
-    root: Expr, estimator: SparsityEstimator
+    root: Expr, estimator: SparsityEstimator, catalog: Optional[object] = None
 ) -> Dict[int, Synopsis]:
-    """Memoized bottom-up synopsis propagation for every non-root node."""
+    """Memoized bottom-up synopsis propagation for every non-root node.
+
+    With a *catalog*, nodes are additionally keyed by structural
+    fingerprint and reused across calls: cached nodes skip their entire
+    sub-DAG's build/propagate work.
+    """
     synopses: Dict[int, Synopsis] = {}
+    fingerprints: Dict[int, str] = {}
+    if catalog is not None:
+        from repro.catalog.fingerprint import fingerprint_dag
+
+        fingerprints = fingerprint_dag(root)
     with trace("dag.propagate", estimator=estimator.name):
         for node in root.postorder():
             if node is root and node.op is not Op.LEAF:
                 continue  # roots are estimated directly, not propagated
+            if catalog is not None:
+                cached = catalog.node_synopsis_get(
+                    fingerprints[id(node)], node, estimator
+                )
+                if cached is not None:
+                    synopses[id(node)] = cached
+                    continue
             if node.op is Op.LEAF:
-                synopses[id(node)] = estimator.build(node.matrix)
+                synopsis = estimator.build(node.matrix)
             else:
                 children = [synopses[id(child)] for child in node.inputs]
-                synopses[id(node)] = estimator.propagate(
-                    node.op, children, **node.params
+                synopsis = estimator.propagate(node.op, children, **node.params)
+            synopses[id(node)] = synopsis
+            if catalog is not None:
+                catalog.node_synopsis_put(
+                    fingerprints[id(node)], node, estimator, synopsis
                 )
     return synopses
 
 
-def estimate_root_nnz(root: Expr, estimator: SparsityEstimator) -> float:
+def estimate_root_nnz(
+    root: Expr,
+    estimator: SparsityEstimator,
+    catalog: Optional[object] = None,
+) -> float:
     """Estimate the non-zero count of the DAG root with *estimator*."""
-    synopses = _propagate_dag(root, estimator)
+    synopses = _propagate_dag(root, estimator, catalog=catalog)
     if root.op is Op.LEAF:
         return synopses[id(root)].nnz_estimate
     children = [synopses[id(child)] for child in root.inputs]
     return estimator.estimate_nnz(root.op, children, **root.params)
 
 
-def estimate_root_sparsity(root: Expr, estimator: SparsityEstimator) -> float:
+def estimate_root_sparsity(
+    root: Expr,
+    estimator: SparsityEstimator,
+    catalog: Optional[object] = None,
+) -> float:
     """Estimate the sparsity of the DAG root with *estimator*."""
     m, n = root.shape
     if m == 0 or n == 0:
         return 0.0
-    return estimate_root_nnz(root, estimator) / (m * n)
+    return estimate_root_nnz(root, estimator, catalog=catalog) / (m * n)
 
 
 def estimate_dag(
     root: Expr,
     estimator: SparsityEstimator,
     include_intermediates: bool = False,
+    catalog: Optional[object] = None,
 ) -> Dict[str, object]:
     """Full DAG estimation with timing.
 
@@ -81,6 +118,8 @@ def estimate_dag(
         estimator: any registered estimator instance.
         include_intermediates: also report per-node estimates (used by the
             Figure 15 style all-intermediates experiments).
+        catalog: optional sketch catalog (see module docstring); shared
+            sub-DAGs cached there are not re-estimated.
 
     Returns:
         A dict with keys ``nnz`` (root estimate), ``sparsity``,
@@ -88,7 +127,7 @@ def estimate_dag(
         optionally ``intermediates`` (``id(node) -> NodeEstimate``).
     """
     with timed_span("dag.estimate", estimator=estimator.name) as span:
-        synopses = _propagate_dag(root, estimator)
+        synopses = _propagate_dag(root, estimator, catalog=catalog)
         if root.op is Op.LEAF:
             nnz = synopses[id(root)].nnz_estimate
         else:

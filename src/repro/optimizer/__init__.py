@@ -20,6 +20,7 @@ from repro.optimizer.mmchain import (
     enumerate_random_plans,
     left_deep_plan,
     optimize_chain_dense,
+    optimize_chain_matrices,
     optimize_chain_sparse,
     plan_to_string,
     random_plan,
@@ -32,6 +33,7 @@ __all__ = [
     "enumerate_random_plans",
     "left_deep_plan",
     "optimize_chain_dense",
+    "optimize_chain_matrices",
     "optimize_chain_sparse",
     "plan_cost_estimated",
     "plan_cost_true",

@@ -108,6 +108,28 @@ def optimize_chain_sparse(
     return ChainSolution(plan=_extract_plan(splits, 0, n - 1), cost=float(costs[0, n - 1]))
 
 
+def optimize_chain_matrices(
+    matrices: Sequence,
+    rng: SeedLike = None,
+    catalog: Optional[object] = None,
+) -> ChainSolution:
+    """Sparsity-aware chain DP straight from concrete matrices.
+
+    Args:
+        matrices: the chain matrices (matrix-like, inner dims matching).
+        rng: randomness for probabilistic rounding during propagation.
+        catalog: optional :class:`~repro.catalog.service.EstimationService`
+            (or anything with ``sketch_for``); when given, leaf sketches
+            come from the catalog — matrices already registered there (or
+            optimized before) are never re-sketched.
+    """
+    if catalog is not None:
+        sketches = [catalog.sketch_for(matrix) for matrix in matrices]
+    else:
+        sketches = [MNCSketch.from_matrix(matrix) for matrix in matrices]
+    return optimize_chain_sparse(sketches, rng=rng)
+
+
 def left_deep_plan(n: int) -> Plan:
     """The left-deep plan ``((((M1 M2) M3) ...) Mn)``."""
     if n < 1:

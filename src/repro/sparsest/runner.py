@@ -1,7 +1,8 @@
 """SparsEst execution harness.
 
-Runs estimators over use-case DAGs, computes ground truth once per DAG
-(memoized on the expression object), and reports the paper's M1/M2 metrics.
+Runs estimators over use-case DAGs, computes ground truth once per distinct
+expression structure (memoized on catalog fingerprints, so truths survive
+expression rebuilds across seeds), and reports the paper's M1/M2 metrics.
 Estimators that cannot express an operation (e.g. the layered graph on
 element-wise operations, Table 1) yield an ``unsupported`` outcome, which
 the report renders as the "x" the paper's figures show. Estimators whose
@@ -12,10 +13,11 @@ out-of-memory bitset cases) yield ``oom``.
 from __future__ import annotations
 
 import math
-import weakref
 from dataclasses import asdict, dataclass
-from typing import Iterable, List, MutableMapping, Sequence
+from typing import Iterable, List, Sequence
 
+from repro.catalog.fingerprint import fingerprint_expr
+from repro.catalog.memo import EstimateMemo
 from repro.errors import UnsupportedOperationError
 from repro.estimators.base import SparsityEstimator
 from repro.estimators.bitset import BitsetEstimator
@@ -33,9 +35,14 @@ from repro.sparsest.usecases import UseCase
 #: the paper's 8 TB / 7.8 TB bitset failures at benchmark scale.
 DEFAULT_MEMORY_BUDGET_BYTES = 2 * 1024**3
 
-# Keyed weakly by the Expr object itself: entries die with their DAGs, so a
-# recycled id() can never resurrect a stale ground truth.
-_TRUTH_CACHE: MutableMapping[Expr, float] = weakref.WeakKeyDictionary()
+# Keyed by structural expression fingerprints (not object identity), so a
+# ground truth computed for one DAG instance is reused when the expression
+# is rebuilt — e.g. across per-seed reconstructions at the same scale. The
+# memo is LRU-bounded, so long sweeps cannot grow it without limit.
+_TRUTH_MEMO = EstimateMemo(max_entries=4096)
+
+#: Estimator key under which ground truths are memoized.
+_TRUTH_KEY = "exact"
 
 
 @dataclass(frozen=True)
@@ -64,10 +71,17 @@ def _record_outcome(outcome: EstimateOutcome) -> EstimateOutcome:
 
 
 def true_nnz_of(root: Expr) -> float:
-    """Ground-truth non-zero count of a DAG root (memoized per object)."""
-    if root not in _TRUTH_CACHE:
-        _TRUTH_CACHE[root] = float(evaluate(root).nnz)
-    return _TRUTH_CACHE[root]
+    """Ground-truth non-zero count of a DAG root.
+
+    Memoized on the expression's structural fingerprint: rebuilding the
+    same expression (even from different objects, as the per-seed use-case
+    builders do) reuses the evaluated truth instead of re-running the full
+    sparse computation.
+    """
+    fingerprint = fingerprint_expr(root)
+    return _TRUTH_MEMO.memoize(
+        fingerprint, _TRUTH_KEY, "nnz", lambda: float(evaluate(root).nnz)
+    )
 
 
 def _bitset_would_oom(root: Expr, budget_bytes: int) -> bool:
@@ -191,4 +205,4 @@ def supports_use_case(estimator: SparsityEstimator, root: Expr) -> bool:
 
 def clear_truth_cache() -> None:
     """Drop memoized ground-truth counts (mainly for tests)."""
-    _TRUTH_CACHE.clear()
+    _TRUTH_MEMO.clear()

@@ -1,0 +1,135 @@
+"""Tests for structural fingerprints (repro.catalog.fingerprint)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.catalog.fingerprint import (
+    fingerprint_dag,
+    fingerprint_expr,
+    fingerprint_matrix,
+    fingerprint_sketch,
+)
+from repro.core.sketch import MNCSketch
+from repro.ir.nodes import leaf, matmul, reshape, transpose
+from repro.matrix.random import random_sparse
+
+
+class TestMatrixFingerprint:
+    def test_deterministic_across_objects(self):
+        a = random_sparse(50, 40, 0.1, seed=7)
+        b = random_sparse(50, 40, 0.1, seed=7)
+        assert a is not b
+        assert fingerprint_matrix(a) == fingerprint_matrix(b)
+
+    def test_structure_only_values_ignored(self):
+        a = random_sparse(30, 30, 0.2, seed=1)
+        doubled = a * 2.0
+        assert fingerprint_matrix(a) == fingerprint_matrix(doubled)
+
+    def test_different_patterns_differ(self):
+        a = random_sparse(30, 30, 0.2, seed=1)
+        b = random_sparse(30, 30, 0.2, seed=2)
+        assert fingerprint_matrix(a) != fingerprint_matrix(b)
+
+    def test_shape_is_part_of_identity(self):
+        empty_a = sp.csr_array((5, 6))
+        empty_b = sp.csr_array((6, 5))
+        assert fingerprint_matrix(empty_a) != fingerprint_matrix(empty_b)
+
+    def test_explicit_zeros_do_not_perturb(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        with_explicit = sp.csr_array(
+            (np.array([1.0, 0.0, 2.0]), np.array([0, 1, 1]),
+             np.array([0, 2, 3])),
+            shape=(2, 2),
+        )
+        assert fingerprint_matrix(dense) == fingerprint_matrix(with_explicit)
+
+    def test_dense_input_accepted(self):
+        dense = np.eye(4)
+        assert fingerprint_matrix(dense) == fingerprint_matrix(sp.csr_array(dense))
+
+    def test_memoized_per_object(self):
+        a = random_sparse(20, 20, 0.3, seed=3)
+        assert fingerprint_matrix(a) == fingerprint_matrix(a)
+
+
+class TestSketchFingerprint:
+    def test_round_trip_stable(self):
+        sketch = MNCSketch.from_matrix(random_sparse(40, 30, 0.2, seed=4))
+        rebuilt = MNCSketch(
+            shape=sketch.shape, hr=sketch.hr.copy(), hc=sketch.hc.copy(),
+            her=None if sketch.her is None else sketch.her.copy(),
+            hec=None if sketch.hec is None else sketch.hec.copy(),
+            fully_diagonal=sketch.fully_diagonal, exact=sketch.exact,
+        )
+        assert fingerprint_sketch(sketch) == fingerprint_sketch(rebuilt)
+
+    def test_extensions_part_of_identity(self):
+        sketch = MNCSketch.from_matrix(random_sparse(40, 30, 0.2, seed=4))
+        if sketch.has_extensions:
+            assert fingerprint_sketch(sketch) != fingerprint_sketch(
+                sketch.without_extensions()
+            )
+
+    def test_flags_part_of_identity(self):
+        sketch = MNCSketch.from_matrix(np.eye(6))
+        relaxed = MNCSketch(
+            shape=sketch.shape, hr=sketch.hr, hc=sketch.hc,
+            her=sketch.her, hec=sketch.hec,
+            fully_diagonal=False, exact=sketch.exact,
+        )
+        assert fingerprint_sketch(sketch) != fingerprint_sketch(relaxed)
+
+
+class TestExprFingerprint:
+    def test_leaf_equals_matrix_fingerprint(self):
+        a = random_sparse(25, 25, 0.2, seed=5)
+        assert fingerprint_expr(leaf(a)) == fingerprint_matrix(a)
+
+    def test_rebuilt_dag_matches(self):
+        a = random_sparse(25, 20, 0.2, seed=5)
+        b = random_sparse(20, 30, 0.2, seed=6)
+        first = matmul(leaf(a), leaf(b))
+        second = matmul(leaf(a.copy()), leaf(b.copy()))
+        assert fingerprint_expr(first) == fingerprint_expr(second)
+
+    def test_operand_order_matters(self):
+        a = random_sparse(20, 20, 0.2, seed=5)
+        b = random_sparse(20, 20, 0.2, seed=6)
+        assert fingerprint_expr(matmul(leaf(a), leaf(b))) != fingerprint_expr(
+            matmul(leaf(b), leaf(a))
+        )
+
+    def test_op_part_of_identity(self):
+        a = random_sparse(20, 20, 0.2, seed=5)
+        assert fingerprint_expr(transpose(leaf(a))) != fingerprint_expr(leaf(a))
+
+    def test_params_part_of_identity(self):
+        a = random_sparse(12, 10, 0.3, seed=5)
+        assert fingerprint_expr(reshape(leaf(a), 10, 12)) != fingerprint_expr(
+            reshape(leaf(a), 4, 30)
+        )
+
+    def test_names_are_cosmetic(self):
+        a = random_sparse(20, 20, 0.2, seed=5)
+        assert fingerprint_expr(leaf(a, name="X")) == fingerprint_expr(
+            leaf(a, name="Y")
+        )
+
+    def test_dag_yields_every_node(self):
+        a = random_sparse(15, 15, 0.2, seed=5)
+        x = leaf(a)
+        root = matmul(x, transpose(x))
+        fingerprints = fingerprint_dag(root)
+        assert set(fingerprints) == {id(node) for node in root.postorder()}
+
+    def test_shared_subdag_fingerprints_once(self):
+        a = random_sparse(15, 15, 0.2, seed=5)
+        x = leaf(a)
+        shared = matmul(x, x)
+        root = matmul(shared, shared)
+        fingerprints = fingerprint_dag(root)
+        # The same structural key is reused wherever the node appears.
+        assert fingerprints[id(shared)] == fingerprint_expr(matmul(x, x))

@@ -1,0 +1,132 @@
+"""Tests for the memoized estimation results table (repro.catalog.memo)."""
+
+import threading
+
+import pytest
+
+from repro.catalog.memo import EstimateMemo
+
+
+class TestBasics:
+    def test_get_put_round_trip(self):
+        memo = EstimateMemo()
+        memo.put("fp1", "MNC", "nnz", 123.0)
+        assert memo.get("fp1", "MNC", "nnz") == 123.0
+        assert len(memo) == 1
+
+    def test_miss_returns_default(self):
+        memo = EstimateMemo()
+        assert memo.get("fp", "MNC", "nnz") is None
+        assert memo.get("fp", "MNC", "nnz", default=-1.0) == -1.0
+
+    def test_zero_is_a_valid_cached_value(self):
+        memo = EstimateMemo()
+        memo.put("fp", "MNC", "nnz", 0.0)
+        assert memo.get("fp", "MNC", "nnz", default=-1.0) == 0.0
+
+    def test_keys_are_triples(self):
+        memo = EstimateMemo()
+        memo.put("fp", "MNC", "nnz", 1.0)
+        memo.put("fp", "MNC Basic", "nnz", 2.0)
+        memo.put("fp", "MNC", "synopsis", "s")
+        assert memo.get("fp", "MNC", "nnz") == 1.0
+        assert memo.get("fp", "MNC Basic", "nnz") == 2.0
+        assert memo.get("fp", "MNC", "synopsis") == "s"
+
+    def test_memoize_computes_once(self):
+        memo = EstimateMemo()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7.0
+
+        assert memo.memoize("fp", "exact", "nnz", compute) == 7.0
+        assert memo.memoize("fp", "exact", "nnz", compute) == 7.0
+        assert len(calls) == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            EstimateMemo(max_entries=0)
+
+
+class TestLruBound:
+    def test_entry_bound_enforced(self):
+        memo = EstimateMemo(max_entries=3)
+        for index in range(5):
+            memo.put(f"fp{index}", "MNC", "nnz", float(index))
+        assert len(memo) == 3
+        assert memo.get("fp0", "MNC", "nnz") is None
+        assert memo.get("fp4", "MNC", "nnz") == 4.0
+
+    def test_get_refreshes_recency(self):
+        memo = EstimateMemo(max_entries=2)
+        memo.put("a", "MNC", "nnz", 1.0)
+        memo.put("b", "MNC", "nnz", 2.0)
+        memo.get("a", "MNC", "nnz")
+        memo.put("c", "MNC", "nnz", 3.0)  # evicts "b", not "a"
+        assert memo.get("a", "MNC", "nnz") == 1.0
+        assert memo.get("b", "MNC", "nnz") is None
+
+
+class TestInvalidation:
+    def _seeded(self):
+        memo = EstimateMemo()
+        memo.put("fp1", "MNC", "nnz", 1.0)
+        memo.put("fp1", "DMap", "nnz", 2.0)
+        memo.put("fp2", "MNC", "nnz", 3.0)
+        return memo
+
+    def test_invalidate_by_fingerprint(self):
+        memo = self._seeded()
+        assert memo.invalidate(fingerprint="fp1") == 2
+        assert memo.get("fp1", "MNC", "nnz") is None
+        assert memo.get("fp2", "MNC", "nnz") == 3.0
+
+    def test_invalidate_by_estimator(self):
+        memo = self._seeded()
+        assert memo.invalidate(estimator="MNC") == 2
+        assert memo.get("fp1", "DMap", "nnz") == 2.0
+
+    def test_invalidate_by_both(self):
+        memo = self._seeded()
+        assert memo.invalidate(fingerprint="fp1", estimator="MNC") == 1
+        assert memo.get("fp1", "DMap", "nnz") == 2.0
+        assert memo.get("fp2", "MNC", "nnz") == 3.0
+
+    def test_clear(self):
+        memo = self._seeded()
+        memo.clear()
+        assert len(memo) == 0
+
+    def test_stats(self):
+        memo = self._seeded()
+        memo.get("fp1", "MNC", "nnz")
+        memo.get("nope", "MNC", "nnz")
+        stats = memo.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 3
+
+
+class TestConcurrency:
+    def test_parallel_memoize_no_lost_updates(self):
+        memo = EstimateMemo()
+        barrier = threading.Barrier(4)
+        results = []
+
+        def worker(worker_id):
+            barrier.wait()
+            for index in range(100):
+                value = memo.memoize(
+                    f"fp{index % 10}", "MNC", "nnz", lambda: float(index % 10)
+                )
+                results.append(value == float(index % 10))
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results) and len(results) == 400
+        assert len(memo) == 10

@@ -1,0 +1,253 @@
+"""Tests for the memoized estimation service (repro.catalog.service)."""
+
+import numpy as np
+import pytest
+
+import repro.sparsest.runner as runner_module
+from repro.catalog import EstimationService, SketchStore
+from repro.catalog.fingerprint import fingerprint_matrix
+from repro.errors import SketchError
+from repro.ir.interpreter import evaluate
+from repro.ir.nodes import leaf, matmul, transpose
+from repro.matrix.random import random_sparse
+from repro.sparsest.runner import clear_truth_cache, true_nnz_of
+
+
+@pytest.fixture
+def matrices():
+    a = random_sparse(40, 30, 0.15, seed=1)
+    b = random_sparse(30, 35, 0.15, seed=2)
+    return a, b
+
+
+def build_expr(a, b):
+    return matmul(leaf(a), leaf(b))
+
+
+class TestRegistration:
+    def test_register_returns_fingerprint_and_caches_sketch(self, matrices):
+        a, _ = matrices
+        service = EstimationService()
+        fingerprint = service.register(a, name="A")
+        assert fingerprint == fingerprint_matrix(a)
+        assert service.resolve("A") == fingerprint
+        assert service.store.get(fingerprint) is not None
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(SketchError):
+            EstimationService().resolve("nope")
+
+    def test_sketch_for_builds_once(self, matrices):
+        a, _ = matrices
+        service = EstimationService()
+        first = service.sketch_for(a)
+        second = service.sketch_for(a)
+        assert first is second
+
+
+class TestEstimate:
+    def test_cold_then_warm(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        cold = service.estimate(build_expr(a, b))
+        warm = service.estimate(build_expr(a, b))  # rebuilt, same structure
+        assert not cold["cached"]
+        assert warm["cached"]
+        assert warm["nnz"] == cold["nnz"]
+        assert warm["fingerprint"] == cold["fingerprint"]
+
+    def test_matches_uncached_estimator(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        from repro.ir.estimate import estimate_root_nnz
+
+        expr = build_expr(a, b)
+        assert service.estimate(expr)["nnz"] == pytest.approx(
+            estimate_root_nnz(build_expr(a, b), service.estimator)
+        )
+
+    def test_estimate_many_shares_cache(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        results = service.estimate_many(
+            [build_expr(a, b), build_expr(a, b), build_expr(a, b)]
+        )
+        assert [r["cached"] for r in results] == [False, True, True]
+
+    def test_include_intermediates_bypasses_root_memo(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        service.estimate(build_expr(a, b))
+        detailed = service.estimate(build_expr(a, b), include_intermediates=True)
+        assert not detailed["cached"]
+        assert "intermediates" in detailed
+
+    def test_register_then_estimate_reuses_leaf_sketches(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        service.register(a)
+        service.register(b)
+        puts_before = service.store.stats().puts
+        service.estimate(build_expr(a, b))
+        # The DAG walk found both leaf sketches in the store; no new puts.
+        assert service.store.stats().puts == puts_before
+
+    def test_shared_subdag_cached_across_requests(self, matrices):
+        a, _ = matrices
+        service = EstimationService()
+        gram = matmul(transpose(leaf(a)), leaf(a))
+        service.estimate(gram)
+        # A different root over the same sub-structure reuses its synopsis.
+        bigger = matmul(matmul(transpose(leaf(a)), leaf(a)), leaf(a.T.tocsr()))
+        result = service.estimate(bigger)
+        assert not result["cached"]  # new root ...
+        hits = service.memo.stats()["hits"]
+        assert hits >= 1  # ... but the shared gram synopsis was a memo hit
+
+
+class TestSynopsisRouting:
+    def test_mnc_leaf_sketches_live_in_store(self, matrices):
+        a, b = matrices
+        service = EstimationService("mnc")
+        service.estimate(build_expr(a, b))
+        assert fingerprint_matrix(a) in service.store
+        assert fingerprint_matrix(b) in service.store
+
+    def test_non_canonical_estimator_uses_memo_not_store(self, matrices):
+        a, b = matrices
+        service = EstimationService("mnc_basic")
+        service.estimate(build_expr(a, b))
+        assert len(service.store) == 0
+        assert len(service.memo) > 0
+
+    def test_density_map_estimator_round_trips(self, matrices):
+        a, b = matrices
+        service = EstimationService("density_map")
+        cold = service.estimate(build_expr(a, b))
+        warm = service.estimate(build_expr(a, b))
+        assert warm["cached"] and warm["nnz"] == cold["nnz"]
+        assert len(service.store) == 0
+
+
+class TestLifecycle:
+    def test_invalidate_by_matrix(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        service.estimate(build_expr(a, b))
+        service.invalidate(a)
+        assert fingerprint_matrix(a) not in service.store
+        assert fingerprint_matrix(b) in service.store
+
+    def test_invalidate_by_name(self, matrices):
+        a, _ = matrices
+        service = EstimationService()
+        service.register(a, name="A")
+        service.invalidate("A")
+        assert fingerprint_matrix(a) not in service.store
+
+    def test_clear(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        service.register(a, name="A")
+        service.estimate(build_expr(a, b))
+        service.clear()
+        assert len(service.store) == 0 and len(service.memo) == 0
+        assert service.names == {"A": fingerprint_matrix(a)}
+
+    def test_persist_and_warm(self, matrices, tmp_path):
+        a, b = matrices
+        service = EstimationService()
+        service.register(a)
+        service.register(b)
+        assert service.persist(tmp_path) == 2
+
+        fresh = EstimationService(store=SketchStore())
+        keys = fresh.warm(tmp_path)
+        assert sorted(keys) == sorted(
+            [fingerprint_matrix(a), fingerprint_matrix(b)]
+        )
+        puts_before = fresh.store.stats().puts
+        fresh.estimate(build_expr(a, b))
+        assert fresh.store.stats().puts == puts_before  # warm sketches reused
+
+    def test_stats_shape(self, matrices):
+        a, b = matrices
+        service = EstimationService()
+        service.estimate(build_expr(a, b))
+        service.estimate(build_expr(a, b))
+        stats = service.stats()
+        assert stats["service"]["requests"] == 2
+        assert stats["service"]["hits"] == 1
+        assert stats["service"]["hit_rate"] == 0.5
+        assert "hit_rate" in stats["store"]
+        assert "entries" in stats["memo"]
+
+
+class TestOptimizeChain:
+    def test_chain_through_catalog_reuses_sketches(self):
+        chain = [
+            random_sparse(30, 25, 0.2, seed=10),
+            random_sparse(25, 40, 0.1, seed=11),
+            random_sparse(40, 20, 0.15, seed=12),
+        ]
+        service = EstimationService()
+        first = service.optimize_chain(chain, rng=np.random.default_rng(0))
+        puts_after_first = service.store.stats().puts
+        second = service.optimize_chain(chain, rng=np.random.default_rng(0))
+        assert service.store.stats().puts == puts_after_first
+        assert first.plan == second.plan
+
+    def test_chain_matches_uncatalogued(self):
+        from repro.optimizer.mmchain import optimize_chain_matrices
+
+        chain = [
+            random_sparse(30, 25, 0.2, seed=10),
+            random_sparse(25, 40, 0.1, seed=11),
+            random_sparse(40, 20, 0.15, seed=12),
+        ]
+        direct = optimize_chain_matrices(chain, rng=np.random.default_rng(0))
+        via_catalog = EstimationService().optimize_chain(
+            chain, rng=np.random.default_rng(0)
+        )
+        assert direct.plan == via_catalog.plan
+        assert direct.cost == pytest.approx(via_catalog.cost)
+
+
+class TestTruthMemo:
+    """Satellite: the runner's truth cache now survives expression rebuilds."""
+
+    def test_truth_survives_rebuild(self, matrices, monkeypatch):
+        a, b = matrices
+        clear_truth_cache()
+        calls = []
+
+        def counting_evaluate(root):
+            calls.append(root)
+            return evaluate(root)
+
+        monkeypatch.setattr(runner_module, "evaluate", counting_evaluate)
+        first = true_nnz_of(build_expr(a, b))
+        second = true_nnz_of(build_expr(a, b))  # new objects, same structure
+        assert first == second
+        assert len(calls) == 1
+
+    def test_clear_truth_cache_forces_recompute(self, matrices, monkeypatch):
+        a, b = matrices
+        clear_truth_cache()
+        calls = []
+
+        def counting_evaluate(root):
+            calls.append(root)
+            return evaluate(root)
+
+        monkeypatch.setattr(runner_module, "evaluate", counting_evaluate)
+        true_nnz_of(build_expr(a, b))
+        clear_truth_cache()
+        true_nnz_of(build_expr(a, b))
+        assert len(calls) == 2
+
+    def test_truth_matches_direct_evaluation(self, matrices):
+        a, b = matrices
+        clear_truth_cache()
+        expr = build_expr(a, b)
+        assert true_nnz_of(expr) == float(evaluate(expr).nnz)

@@ -1,0 +1,215 @@
+"""Tests for the byte-budgeted LRU sketch store (repro.catalog.store)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.catalog.store import SketchStore
+from repro.core.serialize import save_sketch
+from repro.core.sketch import MNCSketch
+from repro.errors import SketchError
+from repro.matrix.random import random_sparse
+
+
+def _sketch(seed, m=30, n=24, sparsity=0.2):
+    return MNCSketch.from_matrix(random_sparse(m, n, sparsity, seed=seed))
+
+
+class TestBasicCache:
+    def test_put_get_round_trip(self):
+        store = SketchStore()
+        sketch = _sketch(1)
+        store.put("k1", sketch)
+        assert store.get("k1") is sketch
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_miss_returns_none(self):
+        store = SketchStore()
+        assert store.get("absent") is None
+        stats = store.stats()
+        assert stats.misses == 1 and stats.hits == 0
+
+    def test_put_same_key_replaces(self):
+        store = SketchStore()
+        store.put("k", _sketch(1))
+        replacement = _sketch(2)
+        store.put("k", replacement)
+        assert store.get("k") is replacement
+        assert len(store) == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(SketchError):
+            SketchStore(budget_bytes=0)
+
+    def test_discard(self):
+        store = SketchStore()
+        store.put("k", _sketch(1))
+        assert store.discard("k")
+        assert store.get("k") is None
+        assert not store.discard("k")
+        assert store.bytes_used == 0
+
+
+class TestBudgetAndEviction:
+    def test_lru_eviction_under_budget(self):
+        one = _sketch(1)
+        budget = one.size_bytes() * 2 + 8  # room for two entries, not three
+        store = SketchStore(budget_bytes=budget)
+        store.put("a", _sketch(1))
+        store.put("b", _sketch(2))
+        store.get("a")  # refresh "a"; "b" becomes LRU
+        store.put("c", _sketch(3))
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.get("c") is not None
+        assert store.stats().evictions == 1
+
+    def test_budget_never_exceeded(self):
+        one = _sketch(1)
+        budget = int(one.size_bytes() * 2.5)
+        store = SketchStore(budget_bytes=budget)
+        for seed in range(20):
+            store.put(f"k{seed}", _sketch(seed))
+            assert store.bytes_used <= budget
+
+    def test_oversized_sketch_never_resident(self, tmp_path):
+        small = _sketch(1, m=10, n=8)
+        store = SketchStore(
+            budget_bytes=small.size_bytes() + 1, spill_dir=tmp_path
+        )
+        big = _sketch(2, m=500, n=400, sparsity=0.05)
+        assert big.size_bytes() > store.budget_bytes
+        store.put("big", big)
+        assert len(store) == 0
+        # ... but it spilled, so it is still readable (as a disk hit).
+        loaded = store.get("big")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.hr, big.hr)
+
+
+class TestSpill:
+    def test_evicted_entries_spill_and_reload(self, tmp_path):
+        one = _sketch(1)
+        store = SketchStore(budget_bytes=one.size_bytes() + 8, spill_dir=tmp_path)
+        store.put("a", _sketch(1))
+        store.put("b", _sketch(2))  # evicts "a" to disk
+        assert (tmp_path / "a.npz").exists()
+        reloaded = store.get("a")
+        assert reloaded is not None
+        np.testing.assert_array_equal(reloaded.hr, _sketch(1).hr)
+        stats = store.stats()
+        assert stats.spills >= 1 and stats.disk_hits == 1
+
+    def test_no_spill_dir_drops_evictions(self):
+        one = _sketch(1)
+        store = SketchStore(budget_bytes=one.size_bytes() + 8)
+        store.put("a", _sketch(1))
+        store.put("b", _sketch(2))
+        assert store.get("a") is None
+
+    def test_clear_remove_spill(self, tmp_path):
+        store = SketchStore(spill_dir=tmp_path)
+        store.put("a", _sketch(1))
+        store.persist()
+        assert list(tmp_path.glob("*.npz"))
+        store.clear(remove_spill=True)
+        assert not list(tmp_path.glob("*.npz"))
+        assert len(store) == 0
+
+
+class TestWarmStartPersist:
+    def test_persist_then_warm_start_round_trips(self, tmp_path):
+        store = SketchStore()
+        store.put("alpha", _sketch(1))
+        store.put("beta", _sketch(2))
+        assert store.persist(tmp_path) == 2
+
+        fresh = SketchStore()
+        keys = fresh.warm_start(tmp_path)
+        assert sorted(keys) == ["alpha", "beta"]
+        np.testing.assert_array_equal(
+            fresh.get("alpha").hr, store.get("alpha").hr
+        )
+
+    def test_warm_start_orders_by_filename(self, tmp_path):
+        for name, seed in [("w-0", 3), ("w-1", 4), ("w-2", 5)]:
+            save_sketch(tmp_path / f"{name}.npz", _sketch(seed))
+        keys = SketchStore().warm_start(tmp_path)
+        assert keys == ["w-0", "w-1", "w-2"]
+
+    def test_warm_start_missing_directory(self, tmp_path):
+        with pytest.raises(SketchError):
+            SketchStore().warm_start(tmp_path / "nope")
+
+    def test_persist_needs_target(self):
+        with pytest.raises(SketchError):
+            SketchStore().persist()
+
+
+class TestConcurrency:
+    def test_hammering_threads_no_lost_updates_budget_respected(self):
+        """Acceptance criterion: >= 4 threads on one store, no lost updates,
+        byte budget never exceeded."""
+        sketches = {f"k{seed}": _sketch(seed) for seed in range(12)}
+        budget = 6 * next(iter(sketches.values())).size_bytes()
+        store = SketchStore(budget_bytes=budget)
+        errors = []
+        budget_violations = []
+        barrier = threading.Barrier(6)
+
+        def hammer(worker):
+            try:
+                barrier.wait()
+                for round_no in range(60):
+                    key = f"k{(worker * 7 + round_no) % 12}"
+                    cached = store.get(key)
+                    if cached is None:
+                        store.put(key, sketches[key])
+                        cached = store.get(key)
+                    # A lost update would surface as wrong sketch content.
+                    if cached is not None:
+                        np.testing.assert_array_equal(
+                            cached.hr, sketches[key].hr
+                        )
+                    if store.bytes_used > budget:
+                        budget_violations.append(store.bytes_used)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert not budget_violations
+        assert store.bytes_used <= budget
+        stats = store.stats()
+        # Every put either stayed resident or was evicted; nothing vanished
+        # without being accounted for.
+        assert stats.puts >= 12
+        assert stats.entries == len(store.keys())
+
+    def test_concurrent_memo_style_reads(self):
+        store = SketchStore()
+        sketch = _sketch(42)
+        store.put("shared", sketch)
+        results = []
+        barrier = threading.Barrier(4)
+
+        def read():
+            barrier.wait()
+            for _ in range(200):
+                results.append(store.get("shared") is sketch)
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results) and len(results) == 800

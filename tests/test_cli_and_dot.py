@@ -79,6 +79,87 @@ class TestCli:
         assert code == 2
 
 
+class TestCliCatalog:
+    def test_warm_then_stats(self, stored_pair, capsys, tmp_path):
+        path_a, path_b = stored_pair
+        catalog_dir = str(tmp_path / "catalog")
+        assert main(["catalog", "warm", catalog_dir, path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "2 built, 0 already cached" in out
+
+        assert main(["catalog", "stats", catalog_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 sketch(es)" in out
+        assert "40 x 30" in out and "30 x 35" in out
+
+    def test_warm_skips_cached_entries(self, stored_pair, capsys, tmp_path):
+        path_a, _ = stored_pair
+        catalog_dir = str(tmp_path / "catalog")
+        assert main(["catalog", "warm", catalog_dir, path_a]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "warm", catalog_dir, path_a]) == 0
+        out = capsys.readouterr().out
+        assert "0 built, 1 already cached" in out
+
+    def test_estimate_with_catalog_reuses_sketches(
+        self, stored_pair, capsys, tmp_path
+    ):
+        path_a, path_b = stored_pair
+        catalog_dir = str(tmp_path / "catalog")
+        assert main(["catalog", "warm", catalog_dir, path_a, path_b]) == 0
+        capsys.readouterr()
+        assert main([
+            "estimate", path_a, path_b, "--catalog", catalog_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MNC estimate" in out
+        assert "2 sketch(es) reused" in out
+
+    def test_estimate_populates_catalog(self, stored_pair, capsys, tmp_path):
+        path_a, path_b = stored_pair
+        catalog_dir = tmp_path / "catalog"
+        assert main([
+            "estimate", path_a, path_b, "--catalog", str(catalog_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert len(list(catalog_dir.glob("*.npz"))) == 2
+
+    def test_catalog_estimate_matches_plain(self, stored_pair, capsys, tmp_path):
+        path_a, path_b = stored_pair
+        assert main(["estimate", path_a, path_b]) == 0
+        plain = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("MNC estimate")
+        ]
+        assert main([
+            "estimate", path_a, path_b, "--catalog", str(tmp_path / "cat"),
+        ]) == 0
+        catalogued = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("MNC estimate")
+        ]
+        assert plain == catalogued and plain
+
+    def test_clear(self, stored_pair, capsys, tmp_path):
+        path_a, _ = stored_pair
+        catalog_dir = str(tmp_path / "catalog")
+        assert main(["catalog", "warm", catalog_dir, path_a]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "clear", catalog_dir]) == 0
+        assert "removed 1 sketch(es)" in capsys.readouterr().out
+        assert not list((tmp_path / "catalog").glob("*.npz"))
+
+    def test_stats_missing_directory(self, capsys, tmp_path):
+        code = main(["catalog", "stats", str(tmp_path / "absent")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_clear_missing_directory(self, capsys, tmp_path):
+        code = main(["catalog", "clear", str(tmp_path / "absent")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestDot:
     def test_stats(self):
         a = leaf(np.ones((4, 5)), "A")

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.core.distributed import (
     merge_col_partitions,
@@ -43,14 +44,31 @@ class TestRowMerge:
         merged = merge_row_partitions([MNCSketch.from_matrix(matrix)])
         assert merged.total_nnz == matrix.nnz
 
+    def test_zero_row_shard(self):
+        matrix = random_sparse(12, 9, 0.3, seed=8)
+        empty = MNCSketch.from_matrix(sp.csr_array((0, 9)))
+        merged = merge_row_partitions([empty, MNCSketch.from_matrix(matrix)])
+        full = MNCSketch.from_matrix(matrix)
+        assert merged.shape == (12, 9)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+
+    def test_all_zero_shard(self):
+        matrix = random_sparse(12, 9, 0.3, seed=9)
+        zero = MNCSketch.from_matrix(np.zeros((5, 9)))
+        merged = merge_row_partitions([MNCSketch.from_matrix(matrix), zero])
+        assert merged.shape == (17, 9)
+        assert merged.total_nnz == matrix.nnz
+        np.testing.assert_array_equal(merged.hr[12:], np.zeros(5, dtype=np.int64))
+
     def test_mismatched_columns_rejected(self):
         a = MNCSketch.from_matrix(np.ones((2, 3)))
         b = MNCSketch.from_matrix(np.ones((2, 4)))
-        with pytest.raises(SketchError):
+        with pytest.raises(SketchError, match="column count"):
             merge_row_partitions([a, b])
 
     def test_empty_list_rejected(self):
-        with pytest.raises(SketchError):
+        with pytest.raises(SketchError, match="empty list"):
             merge_row_partitions([])
 
 
@@ -67,11 +85,38 @@ class TestColMerge:
         np.testing.assert_array_equal(merged.hr, full.hr)
         np.testing.assert_array_equal(merged.hc, full.hc)
 
+    def test_single_shard(self):
+        matrix = random_sparse(10, 8, 0.4, seed=10)
+        merged = merge_col_partitions([MNCSketch.from_matrix(matrix)])
+        assert merged.total_nnz == matrix.nnz
+        assert merged.shape == (10, 8)
+
+    def test_zero_column_shard(self):
+        matrix = random_sparse(9, 12, 0.3, seed=11)
+        empty = MNCSketch.from_matrix(sp.csr_array((9, 0)))
+        merged = merge_col_partitions([MNCSketch.from_matrix(matrix), empty])
+        full = MNCSketch.from_matrix(matrix)
+        assert merged.shape == (9, 12)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+
+    def test_all_zero_shard(self):
+        matrix = random_sparse(9, 12, 0.3, seed=12)
+        zero = MNCSketch.from_matrix(np.zeros((9, 4)))
+        merged = merge_col_partitions([zero, MNCSketch.from_matrix(matrix)])
+        assert merged.shape == (9, 16)
+        assert merged.total_nnz == matrix.nnz
+        np.testing.assert_array_equal(merged.hc[:4], np.zeros(4, dtype=np.int64))
+
     def test_mismatched_rows_rejected(self):
         a = MNCSketch.from_matrix(np.ones((2, 3)))
         b = MNCSketch.from_matrix(np.ones((3, 3)))
-        with pytest.raises(SketchError):
+        with pytest.raises(SketchError, match="row count"):
             merge_col_partitions([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SketchError, match="empty list"):
+            merge_col_partitions([])
 
 
 class TestSketchPartitioned:

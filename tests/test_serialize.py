@@ -73,6 +73,35 @@ class TestValidation:
         with pytest.raises(SketchError):
             sketch_from_arrays(arrays)
 
+    def test_future_version_rejected_with_clear_message(self):
+        sketch = MNCSketch.from_matrix(np.eye(3))
+        arrays = sketch_to_arrays(sketch)
+        arrays["version"] = np.array([2])
+        with pytest.raises(SketchError, match="version 2 is newer"):
+            sketch_from_arrays(arrays)
+
+    def test_future_version_checked_before_fields(self):
+        # A future format may have renamed fields entirely; the version
+        # error must win over any "missing field" complaint.
+        with pytest.raises(SketchError, match="newer than this build"):
+            sketch_from_arrays({"version": np.array([3])})
+
+    def test_future_version_rejected_on_load(self, tmp_path):
+        sketch = MNCSketch.from_matrix(random_sparse(10, 8, 0.3, seed=5))
+        arrays = sketch_to_arrays(sketch)
+        arrays["version"] = np.array([2])
+        path = tmp_path / "future.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(SketchError, match="newer"):
+            load_sketch(path)
+
+    def test_missing_version_field_rejected(self):
+        sketch = MNCSketch.from_matrix(np.eye(3))
+        arrays = sketch_to_arrays(sketch)
+        del arrays["version"]
+        with pytest.raises(SketchError, match="missing field 'version'"):
+            sketch_from_arrays(arrays)
+
     def test_corrupt_counts_rejected(self):
         sketch = MNCSketch.from_matrix(np.eye(3))
         arrays = sketch_to_arrays(sketch)
