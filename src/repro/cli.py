@@ -17,6 +17,10 @@ Commands
   use cases and print the relative-error table.
 - ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
   random matrix chain with the dense and sparsity-aware DPs.
+- ``verify [--cells ... --budget N --seed S --corpus DIR]`` — fuzz every
+  (estimator x contract x generator) cell against the exact oracle,
+  shrinking violations to minimal reproducers (see ``docs/VERIFY.md``);
+  ``--self-test`` injects a fault to prove the shrinker works.
 - ``stats TRACE.jsonl`` — summarize a trace file: per-span aggregates
   (count/total/mean/p95), counters, and the error-vs-time report.
 
@@ -106,6 +110,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated sparsity per matrix (k values)",
     )
     optimize_cmd.add_argument("--seed", type=int, default=0)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="fuzz estimator contracts against the exact oracle",
+        parents=[tracing],
+    )
+    verify_cmd.add_argument(
+        "--budget", type=int, default=100,
+        help="seeded cases per generator (default 100)",
+    )
+    verify_cmd.add_argument("--seed", type=int, default=0)
+    verify_cmd.add_argument(
+        "--cells", default="",
+        help="comma-separated estimator:contract:generator fnmatch patterns "
+             "(e.g. 'mnc:*:*,*:bounds:adversarial')",
+    )
+    verify_cmd.add_argument(
+        "--estimators", default="",
+        help="comma-separated estimator names (default: all registered)",
+    )
+    verify_cmd.add_argument(
+        "--generators", default="",
+        help="comma-separated generator names (default: all)",
+    )
+    verify_cmd.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="save shrunk violations as reproducers under DIR",
+    )
+    verify_cmd.add_argument(
+        "--no-shrink", action="store_true",
+        help="report original failing cases without shrinking",
+    )
+    verify_cmd.add_argument(
+        "--self-test", action="store_true",
+        help="inject a faulty estimator and prove the engine shrinks it",
+    )
 
     stats_cmd = commands.add_parser(
         "stats", help="summarize a --trace JSONL file"
@@ -274,6 +313,74 @@ def _cmd_optimize(dims: str, sparsities: str, seed: int) -> int:
     return 0
 
 
+def _cmd_verify(
+    budget: int,
+    seed: int,
+    cells: str,
+    estimators: str,
+    generators: str,
+    corpus_dir: Optional[str],
+    shrink: bool,
+    self_test: bool,
+) -> int:
+    from repro.verify import (
+        FuzzEngine,
+        default_estimator_specs,
+        injected_fault_selftest,
+    )
+
+    if self_test:
+        record = injected_fault_selftest()
+        m, n = record.shrunk.root.shape
+        print("self-test: injected fault detected and shrunk to "
+              f"{m}x{n} in {record.shrink_steps} steps")
+        print(f"  {record.shrunk_message}")
+        return 0
+
+    specs = default_estimator_specs(
+        [name.strip() for name in estimators.split(",") if name.strip()] or None
+    )
+    engine = FuzzEngine(
+        specs=specs,
+        generators=[g.strip() for g in generators.split(",") if g.strip()] or None,
+        budget=budget,
+        seed=seed,
+        shrink=shrink,
+        cell_patterns=[p.strip() for p in cells.split(",") if p.strip()] or None,
+    )
+    report = engine.run()
+
+    print(f"verify: budget {budget} x {len(engine.generators)} generators, "
+          f"seed {seed}")
+    header = f"{'estimator':<18} {'contract':<26} {'checked':>8} {'skipped':>8} {'bad':>4}"
+    print(header)
+    print("-" * len(header))
+    for estimator, contract, checked, skipped, bad in report.summary_rows():
+        if checked == 0 and bad == 0:
+            continue
+        print(f"{estimator:<18} {contract:<26} {checked:>8} {skipped:>8} {bad:>4}")
+    print(f"total: {report.checked} checks, {report.skipped} skipped, "
+          f"{len(report.violations)} violation(s)")
+
+    for record in report.violations:
+        print()
+        print(f"VIOLATION {record.cell}#{record.case.index}")
+        print(f"  {record.shrunk_message}")
+        print(f"  case: {record.shrunk.describe()}")
+        if record.shrink_steps:
+            print(f"  shrunk from {record.case.describe()} "
+                  f"in {record.shrink_steps} steps")
+    if corpus_dir and report.violations:
+        from repro.verify import Reproducer, save_reproducer
+
+        for record in report.violations:
+            path = save_reproducer(
+                Reproducer.from_violation(record), corpus_dir
+            )
+            print(f"  reproducer -> {path}")
+    return 1 if report.violations else 0
+
+
 def _cmd_stats(trace_file: str) -> int:
     from repro.observability import (
         aggregate_spans,
@@ -403,6 +510,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sparsest(args.cases, args.estimators, args.scale, args.seed)
     if args.command == "optimize":
         return _cmd_optimize(args.dims, args.sparsities, args.seed)
+    if args.command == "verify":
+        return _cmd_verify(
+            args.budget, args.seed, args.cells, args.estimators,
+            args.generators, args.corpus, not args.no_shrink, args.self_test,
+        )
     if args.command == "stats":
         return _cmd_stats(args.trace_file)
     if args.command == "catalog":

@@ -79,9 +79,32 @@ class SparsityEstimator(abc.ABC):
     #: Short identifier used in benchmark tables (e.g. ``"MNC"``).
     name: str = "abstract"
 
+    #: Declarative invariant tags consumed by :mod:`repro.verify.contracts`.
+    #: Each tag names a relational guarantee the estimator claims to honor
+    #: (e.g. ``"exact"`` for oracles, ``"upper_bound"`` for MetaWC,
+    #: ``"theorem31"`` for MNC's exactness cases); the differential-testing
+    #: engine checks every claimed tag against the exact oracle.
+    contract_tags: frozenset = frozenset()
+
     @abc.abstractmethod
     def build(self, matrix: MatrixLike) -> Synopsis:
         """Construct the synopsis of a leaf matrix."""
+
+    def contract_metadata(self) -> Dict[str, Any]:
+        """Machine-readable description of this estimator's verified surface.
+
+        Returns the estimator name, its claimed contract tags, and the
+        operations it supports for direct estimation and for synopsis
+        propagation — the coordinates :mod:`repro.verify` uses to build its
+        (estimator x contract x generator) cell matrix.
+        """
+        ops = [op for op in Op if op is not Op.LEAF]
+        return {
+            "name": self.name,
+            "tags": sorted(self.contract_tags),
+            "estimates": [op.value for op in ops if self.supports(op)],
+            "propagates": [op.value for op in ops if self.supports_propagation(op)],
+        }
 
     # ------------------------------------------------------------------
     # Generic dispatch

@@ -98,6 +98,7 @@ class BitsetEstimator(SparsityEstimator):
     """
 
     name = "Bitset"
+    contract_tags = frozenset({"exact"})
 
     def __init__(self, kernel: str = "vectorized"):
         if kernel not in ("vectorized", "scalar"):

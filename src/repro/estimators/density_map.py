@@ -107,6 +107,7 @@ class DensityMapEstimator(SparsityEstimator):
     """
 
     name = "DMap"
+    contract_tags = frozenset({"block_consistent"})
 
     def __init__(self, block_size: int | str = DEFAULT_BLOCK_SIZE):
         if block_size == "auto":

@@ -43,6 +43,7 @@ class ExactOracle(SparsityEstimator):
     """Ground-truth oracle implementing every operation exactly."""
 
     name = "Exact"
+    contract_tags = frozenset({"exact"})
 
     def build(self, matrix: MatrixLike) -> ExactSynopsis:
         return ExactSynopsis(boolean_structure(matrix))

@@ -85,6 +85,7 @@ class HashEstimator(SparsityEstimator):
     """
 
     name = "Hash"
+    contract_tags = frozenset({"randomized"})
 
     def __init__(
         self,

@@ -124,6 +124,7 @@ class LayeredGraphEstimator(SparsityEstimator):
     """
 
     name = "LGraph"
+    contract_tags = frozenset({"randomized"})
 
     def __init__(self, rounds: int = DEFAULT_ROUNDS, seed: SeedLike = 0xFACADE):
         if rounds < 2:

@@ -191,6 +191,7 @@ class MetaACEstimator(_MetadataEstimator):
     uniformly and independently distributed non-zeros."""
 
     name = "MetaAC"
+    contract_tags = frozenset({"unbiased_model"})
 
     def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
         product = s_a * s_b
@@ -236,6 +237,7 @@ class MetaWCEstimator(_MetadataEstimator):
     conservative memory estimates."""
 
     name = "MetaWC"
+    contract_tags = frozenset({"upper_bound"})
 
     def _product_sparsity(self, s_a: float, s_b: float, n: int) -> float:
         return min(1.0, s_a * n) * min(1.0, s_b * n)
@@ -245,6 +247,14 @@ class MetaWCEstimator(_MetadataEstimator):
 
     def _ewise_mult_sparsity(self, s_a: float, s_b: float) -> float:
         return min(s_a, s_b)
+
+    def _estimate_diag_m2v(self, a: Synopsis) -> float:
+        # Worst case: every non-zero sits on the diagonal. The inherited
+        # average-case rule (nnz / n) under-estimates — e.g. a dense diagonal
+        # matrix extracts n non-zeros while nnz / n = 1 — which breaks the
+        # estimator's upper-bound guarantee (found by repro.verify, see
+        # tests/corpus/metawc-diag-extract).
+        return float(min(a.shape[0], a.nnz_estimate))
 
     def _aggregate_nnz(self, a: Synopsis, groups: int, width: int) -> float:
         # Worst case: every non-zero lands in a distinct group.

@@ -50,6 +50,9 @@ class MNCEstimator(SparsityEstimator):
     """
 
     name = "MNC"
+    contract_tags = frozenset(
+        {"theorem31", "theorem32", "sketch", "randomized_propagation"}
+    )
 
     def __init__(
         self,

@@ -151,6 +151,7 @@ class QuadTreeEstimator(SparsityEstimator):
     """
 
     name = "QTree"
+    contract_tags = frozenset()
 
     def __init__(self, leaf_nnz: int = 64, min_block: int = 8):
         if leaf_nnz < 1:
@@ -240,7 +241,12 @@ class QuadTreeEstimator(SparsityEstimator):
     def _estimate_transpose(self, a: QuadTreeSynopsis) -> float:
         return a.nnz_estimate
 
-    def _propagate_transpose(self, a: QuadTreeSynopsis) -> QuadTreeSynopsis:
+    def _propagate_transpose(self, a: Synopsis) -> Synopsis:
+        # Propagated products are regular grids, not trees (see
+        # _propagate_matmul); structural ops must accept both forms
+        # (found by repro.verify, see tests/corpus/quadtree-chain-transpose).
+        if isinstance(a, DensityMapSynopsis):
+            return self._dmap._propagate_transpose(a)
         return QuadTreeSynopsis(
             (a.shape[1], a.shape[0]), _transpose_node(a.root), a.min_block
         )
@@ -254,7 +260,9 @@ class QuadTreeEstimator(SparsityEstimator):
     def _estimate_eq_zero(self, a: QuadTreeSynopsis) -> float:
         return a.cells - a.nnz_estimate
 
-    def _propagate_eq_zero(self, a: QuadTreeSynopsis) -> QuadTreeSynopsis:
+    def _propagate_eq_zero(self, a: Synopsis) -> Synopsis:
+        if isinstance(a, DensityMapSynopsis):
+            return self._dmap._propagate_eq_zero(a)
         return QuadTreeSynopsis(a.shape, _complement_node(a.root), a.min_block)
 
 

@@ -156,6 +156,7 @@ class SamplingEstimator(_SamplingBase):
     """
 
     name = "Sample"
+    contract_tags = frozenset({"lower_bound", "randomized"})
 
     def _estimate_matmul(self, a: SamplingSynopsis, b: SamplingSynopsis) -> float:
         counts, n = self._sampled_outer_counts(a, b)
@@ -174,6 +175,7 @@ class UnbiasedSamplingEstimator(_SamplingBase):
     """Unbiased sampling estimator (Appendix A, Eq 16)."""
 
     name = "SampleUB"
+    contract_tags = frozenset({"unbiased", "randomized"})
 
     def _estimate_matmul(self, a: SamplingSynopsis, b: SamplingSynopsis) -> float:
         counts, n = self._sampled_outer_counts(a, b)

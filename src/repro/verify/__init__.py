@@ -1,0 +1,78 @@
+"""Differential verification: metamorphic fuzzing of the estimator zoo.
+
+The paper's central claims are *relational* — MNC is exact in the Theorem
+3.1 cases, MetaWC upper-bounds the truth, the Theorem 3.2 bounds contain
+it, the sampling estimators are a lower bound / unbiased — and this package
+turns each claim into a machine-checked contract:
+
+- :mod:`repro.verify.contracts` — the declarative contract registry. Every
+  contract maps an invariant (with its paper theorem/equation) to a check
+  against the :class:`~repro.estimators.exact.ExactOracle`; estimators opt
+  in through :attr:`~repro.estimators.base.SparsityEstimator.contract_tags`.
+- :mod:`repro.verify.generators` — seeded case samplers composing
+  :mod:`repro.matrix.random` (power-law, permutation, selection, banded,
+  one-hot, triangular, plus adversarial shapes: empty, 0xn, 1xn, all-dense,
+  duplicate-structure pairs) into single-op and expression-DAG cases over
+  every opcode.
+- :mod:`repro.verify.engine` — the deterministic fuzz loop: N seeded cases
+  per (estimator x contract x generator) cell, violation classification,
+  and shrinking of failures (prune DAG nodes, materialize children, halve
+  dimensions, drop rows/columns) to minimal reproducers.
+- :mod:`repro.verify.corpus` — persistence of shrunk failures as npz+json
+  reproducers under ``tests/corpus/``, replayed by the pytest suite so
+  every fuzz find becomes a permanent regression test.
+
+CLI: ``python -m repro verify [--cells ... --budget N --seed S
+--corpus DIR]``; with ``--trace`` the per-cell outcomes surface as
+``verify.*`` counters in ``python -m repro stats``. See ``docs/VERIFY.md``.
+"""
+
+from repro.verify.contracts import (
+    Contract,
+    EstimatorSpec,
+    all_contracts,
+    default_estimator_specs,
+    get_contract,
+)
+from repro.verify.corpus import (
+    Reproducer,
+    iter_corpus,
+    load_reproducer,
+    replay_reproducer,
+    save_reproducer,
+)
+from repro.verify.engine import (
+    CellResult,
+    FuzzEngine,
+    ViolationRecord,
+    VerifyReport,
+    injected_fault_selftest,
+)
+from repro.verify.generators import (
+    Case,
+    all_generators,
+    exact_structure,
+    generate_case,
+)
+
+__all__ = [
+    "Case",
+    "CellResult",
+    "Contract",
+    "EstimatorSpec",
+    "FuzzEngine",
+    "Reproducer",
+    "VerifyReport",
+    "ViolationRecord",
+    "all_contracts",
+    "all_generators",
+    "default_estimator_specs",
+    "exact_structure",
+    "generate_case",
+    "get_contract",
+    "injected_fault_selftest",
+    "iter_corpus",
+    "load_reproducer",
+    "replay_reproducer",
+    "save_reproducer",
+]

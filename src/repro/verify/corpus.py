@@ -1,0 +1,242 @@
+"""Persistent reproducers for fuzz-found contract violations.
+
+Every shrunk failure the engine reports can be frozen as a *reproducer*: a
+``<name>.json`` file describing the estimator spec, contract, provenance,
+and expression DAG (as a node table preserving sharing), paired with a
+``<name>.npz`` holding the concrete leaf matrices in CSR form. Reproducers
+live under ``tests/corpus/`` and are replayed by the pytest suite, so every
+fuzz find becomes a permanent regression test: a replay *passes* when the
+contract holds on the recorded case (i.e. the bug stays fixed).
+
+The JSON side is human-readable on purpose — a reviewer can see which
+invariant broke and on what expression without loading the arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import UnsupportedOperationError
+from repro.ir.nodes import Expr
+from repro.matrix.conversion import as_csr
+from repro.opcodes import Op
+from repro.verify.contracts import EstimatorSpec, get_contract
+from repro.verify.generators import Case, retag
+
+_FORMAT_VERSION = 1
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+@dataclass
+class Reproducer:
+    """A frozen contract violation: everything needed to re-run the check."""
+
+    name: str
+    estimator: str
+    contract: str
+    root: Expr
+    generator: str = "corpus"
+    seed: int = 0
+    index: int = 0
+    estimator_kwargs: Dict[str, Any] = field(default_factory=dict)
+    message: str = ""
+    note: str = ""
+
+    @classmethod
+    def from_violation(cls, record, name: Optional[str] = None,
+                       note: str = "") -> "Reproducer":
+        """Build a reproducer from an engine :class:`ViolationRecord`."""
+        shrunk = record.shrunk
+        spec = _spec_of(record)
+        return cls(
+            name=name or _default_name(record),
+            estimator=spec.name,
+            contract=record.cell.contract,
+            root=shrunk.root,
+            generator=shrunk.generator,
+            seed=shrunk.seed,
+            index=shrunk.index,
+            estimator_kwargs=dict(spec.kwargs),
+            message=record.shrunk_message,
+            note=note,
+        )
+
+    def spec(self) -> EstimatorSpec:
+        return EstimatorSpec(
+            name=self.estimator,
+            kwargs=tuple(sorted(self.estimator_kwargs.items())),
+        )
+
+    def case(self) -> Case:
+        return retag(Case(
+            root=self.root, generator=self.generator,
+            seed=self.seed, index=self.index,
+        ))
+
+
+def _spec_of(record) -> EstimatorSpec:
+    spec = getattr(record, "spec", None)
+    if isinstance(spec, EstimatorSpec):
+        return spec
+    return EstimatorSpec(name=record.cell.estimator)
+
+
+def _default_name(record) -> str:
+    return (f"{record.cell.estimator}-{record.cell.contract}-"
+            f"{record.shrunk.generator}-{record.shrunk.index}")
+
+
+# ----------------------------------------------------------------------
+# Expression <-> node table
+# ----------------------------------------------------------------------
+
+def _encode_expr(root: Expr) -> tuple[List[Dict[str, Any]], Dict[str, np.ndarray]]:
+    """Flatten the DAG into a postorder node table plus leaf CSR arrays.
+
+    Node references are table indices, so shared sub-expressions stay
+    shared on decode (identity-based memoization in the estimators depends
+    on it).
+    """
+    nodes: List[Dict[str, Any]] = []
+    arrays: Dict[str, np.ndarray] = {}
+    ids: Dict[int, int] = {}
+    for node in root.postorder():
+        entry: Dict[str, Any] = {"op": node.op.value}
+        if node.name:
+            entry["name"] = node.name
+        if node.params:
+            entry["params"] = dict(node.params)
+        if node.op is Op.LEAF:
+            key = f"leaf{len(ids)}"
+            entry["leaf"] = key
+            csr = as_csr(node.matrix)
+            arrays[f"{key}_shape"] = np.asarray(csr.shape, dtype=np.int64)
+            arrays[f"{key}_indptr"] = csr.indptr.astype(np.int64)
+            arrays[f"{key}_indices"] = csr.indices.astype(np.int64)
+            arrays[f"{key}_data"] = csr.data.astype(np.float64)
+        else:
+            entry["inputs"] = [ids[id(child)] for child in node.inputs]
+        ids[id(node)] = len(nodes)
+        nodes.append(entry)
+    return nodes, arrays
+
+
+def _decode_expr(nodes: List[Dict[str, Any]], arrays) -> Expr:
+    built: List[Expr] = []
+    for entry in nodes:
+        op = Op(entry["op"])
+        name = entry.get("name")
+        params = entry.get("params") or {}
+        if op is Op.LEAF:
+            key = entry["leaf"]
+            shape = tuple(int(d) for d in np.asarray(arrays[f"{key}_shape"]))
+            matrix = sp.csr_array(
+                (
+                    np.asarray(arrays[f"{key}_data"], dtype=np.float64),
+                    np.asarray(arrays[f"{key}_indices"], dtype=np.int64),
+                    np.asarray(arrays[f"{key}_indptr"], dtype=np.int64),
+                ),
+                shape=shape,
+            )
+            built.append(Expr(op, matrix=matrix, name=name))
+        else:
+            inputs = tuple(built[i] for i in entry["inputs"])
+            built.append(Expr(op, inputs, params=params, name=name))
+    return built[-1]
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+def save_reproducer(reproducer: Reproducer,
+                    directory: str | Path = DEFAULT_CORPUS_DIR) -> Path:
+    """Write ``<name>.json`` + ``<name>.npz`` under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    nodes, arrays = _encode_expr(reproducer.root)
+    document = {
+        "version": _FORMAT_VERSION,
+        "name": reproducer.name,
+        "estimator": reproducer.estimator,
+        "estimator_kwargs": reproducer.estimator_kwargs,
+        "contract": reproducer.contract,
+        "generator": reproducer.generator,
+        "seed": reproducer.seed,
+        "index": reproducer.index,
+        "message": reproducer.message,
+        "note": reproducer.note,
+        "nodes": nodes,
+    }
+    json_path = directory / f"{reproducer.name}.json"
+    json_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    np.savez(directory / f"{reproducer.name}.npz", **arrays)
+    return json_path
+
+
+def load_reproducer(path: str | Path) -> Reproducer:
+    """Read a reproducer from its ``.json`` path (the ``.npz`` sits beside)."""
+    json_path = Path(path)
+    if json_path.suffix != ".json":
+        json_path = json_path.with_suffix(".json")
+    document = json.loads(json_path.read_text())
+    version = int(document.get("version", -1))
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported corpus format version {version} in {json_path} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    with np.load(json_path.with_suffix(".npz")) as arrays:
+        root = _decode_expr(document["nodes"], arrays)
+    return Reproducer(
+        name=document["name"],
+        estimator=document["estimator"],
+        contract=document["contract"],
+        root=root,
+        generator=document.get("generator", "corpus"),
+        seed=int(document.get("seed", 0)),
+        index=int(document.get("index", 0)),
+        estimator_kwargs=dict(document.get("estimator_kwargs", {})),
+        message=document.get("message", ""),
+        note=document.get("note", ""),
+    )
+
+
+def iter_corpus(
+    directory: str | Path = DEFAULT_CORPUS_DIR,
+) -> Iterator[Reproducer]:
+    """Yield every reproducer under *directory*, in name order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for json_path in sorted(directory.glob("*.json")):
+        yield load_reproducer(json_path)
+
+
+def replay_reproducer(reproducer: Reproducer) -> Optional[str]:
+    """Re-run the recorded contract on the recorded case.
+
+    Returns ``None`` when the contract holds (the bug stays fixed) and the
+    violation message when it fires again. An estimator that no longer
+    supports the recorded expression counts as a regression too — the
+    reproducer documented working behavior.
+    """
+    contract = get_contract(reproducer.contract)
+    spec = reproducer.spec()
+    case = reproducer.case()
+    try:
+        if not contract.applies(spec, case):
+            return (f"contract {contract.id} no longer applies to "
+                    f"reproducer {reproducer.name}")
+        return contract.check(spec, case)
+    except UnsupportedOperationError as gap:
+        return (f"estimator {spec.name} no longer supports reproducer "
+                f"{reproducer.name}: {gap}")

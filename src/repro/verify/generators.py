@@ -1,0 +1,378 @@
+"""Seeded input-space samplers for the differential-testing engine.
+
+Each generator is a deterministic function ``(rng, index) -> Case`` that
+composes the structured generators of :mod:`repro.matrix.random` into an
+expression over concrete leaf matrices. Generators cycle through opcode and
+structure families by *index* so a budget of N cases covers every opcode
+several times, while the rng (derived from the engine seed) varies shapes
+and structure within each family.
+
+A :class:`Case` carries the expression root, provenance (generator name,
+base seed, index), and structural tags the contracts use for applicability
+gating (root opcode, ``single_op``, ``zero_dim``, ``empty``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.estimators.exact import ExactOracle
+from repro.ir import nodes as ir
+from repro.ir.nodes import Expr
+from repro.matrix import random as mrand
+from repro.matrix.conversion import as_csr
+from repro.opcodes import Op
+
+#: Opcodes a case root can take (everything but LEAF).
+CASE_OPS: tuple[Op, ...] = tuple(op for op in Op if op is not Op.LEAF)
+
+_UNARY_SAME_SHAPE = (Op.NEQ_ZERO, Op.EQ_ZERO, Op.TRANSPOSE,
+                     Op.ROW_SUMS, Op.COL_SUMS)
+
+
+@dataclass
+class Case:
+    """One fuzz case: an expression DAG over concrete leaves."""
+
+    root: Expr
+    generator: str
+    seed: int
+    index: int
+    tags: frozenset = frozenset()
+    _truth: Optional[float] = field(default=None, repr=False, compare=False)
+
+    @property
+    def cells(self) -> int:
+        m, n = self.root.shape
+        return m * n
+
+    def truth_nnz(self) -> float:
+        """Exact non-zero count of the root (materialized once, cached)."""
+        if self._truth is None:
+            self._truth = float(exact_structure(self.root).nnz)
+        return self._truth
+
+    def leaf_cells(self) -> int:
+        """Total cells across distinct leaves (the shrinking objective)."""
+        return sum(l.shape[0] * l.shape[1] for l in self.root.leaves())
+
+    def describe(self) -> str:
+        leaves = ", ".join(f"{l.shape[0]}x{l.shape[1]}" for l in self.root.leaves())
+        return (f"{self.root.op.value} -> {self.root.shape[0]}x"
+                f"{self.root.shape[1]} (leaves {leaves}) "
+                f"[{self.generator}#{self.index} seed={self.seed}]")
+
+
+def exact_structure(root: Expr) -> sp.csr_array:
+    """Materialize the exact 0/1 structure of *root* via the oracle."""
+    oracle = ExactOracle()
+    synopses: Dict[int, object] = {}
+    for node in root.postorder():
+        if node.op is Op.LEAF:
+            synopses[id(node)] = oracle.build(node.matrix)
+        else:
+            children = [synopses[id(child)] for child in node.inputs]
+            synopses[id(node)] = oracle.propagate(node.op, children, **node.params)
+    return synopses[id(root)].matrix
+
+
+def case_tags(root: Expr) -> frozenset:
+    """Structural tags for *root* (recomputed after shrinking)."""
+    tags = {root.op.value}
+    if root.inputs and all(c.op is Op.LEAF for c in root.inputs):
+        tags.add("single_op")
+    leaves = root.leaves()
+    if any(0 in l.shape for l in leaves):
+        tags.add("zero_dim")
+    if all(l.matrix.nnz == 0 for l in leaves):
+        tags.add("empty")
+    if leaves and all(
+        l.matrix.nnz == l.shape[0] * l.shape[1] for l in leaves
+    ):
+        tags.add("dense")
+    return frozenset(tags)
+
+
+def retag(case: Case) -> Case:
+    """Return *case* with tags recomputed from its (possibly new) root."""
+    return replace(case, tags=case_tags(case.root), _truth=None)
+
+
+# ----------------------------------------------------------------------
+# Leaf factories
+# ----------------------------------------------------------------------
+
+def _dim(rng: np.random.Generator, low: int = 2, high: int = 24) -> int:
+    return int(rng.integers(low, high + 1))
+
+
+def _random_leaf(rng: np.random.Generator, m: int, n: int) -> sp.csr_array:
+    sparsity = float(rng.uniform(0.02, 0.5))
+    return mrand.random_sparse(m, n, sparsity, seed=rng)
+
+
+def _structured_leaf(rng: np.random.Generator, family: str,
+                     m: int, n: int) -> sp.csr_array:
+    """One leaf from the named structure family, reshaped to roughly m x n."""
+    if family == "power_law":
+        total = max(1, int(0.15 * m * n))
+        return mrand.power_law_columns(m, n, total, alpha=1.1, seed=rng)
+    if family == "permutation":
+        return mrand.permutation_matrix(max(m, 1), seed=rng)
+    if family == "selection":
+        k = max(1, m // 2)
+        rows = rng.choice(max(n, 1), size=min(k, max(n, 1)), replace=False)
+        return mrand.selection_matrix(rows, max(n, 1))
+    if family == "banded":
+        size = max(m, 2)
+        return mrand.banded_matrix(size, int(rng.integers(1, max(2, size // 4))))
+    if family == "one_hot":
+        return mrand.one_hot_block(m, max(n, 1), seed=rng)
+    if family == "triangular":
+        return mrand.triangular_matrix(
+            max(m, 2), sparsity=float(rng.uniform(0.3, 1.0)),
+            upper=bool(rng.integers(0, 2)), seed=rng,
+        )
+    if family == "block_diagonal":
+        sizes = [int(s) for s in rng.integers(1, 6, size=max(2, m // 4))]
+        return mrand.block_diagonal_matrix(sizes, sparsity=0.7, seed=rng)
+    if family == "diagonal":
+        return mrand.diagonal_matrix(max(m, 1), seed=rng)
+    if family == "symmetric":
+        return mrand.symmetric_matrix(max(m, 2), 0.2, seed=rng)
+    raise ValueError(f"unknown structure family {family!r}")
+
+
+STRUCTURE_FAMILIES = (
+    "power_law", "permutation", "selection", "banded", "one_hot",
+    "triangular", "block_diagonal", "diagonal", "symmetric",
+)
+
+
+# ----------------------------------------------------------------------
+# Case construction helpers
+# ----------------------------------------------------------------------
+
+def _single_op_root(op: Op, a: sp.csr_array, rng: np.random.Generator,
+                    b: Optional[sp.csr_array] = None) -> Expr:
+    """Build a single-op expression applying *op* to leaf *a* (and *b*)."""
+    m, n = a.shape
+    la = ir.leaf(a, name="A")
+    if op is Op.MATMUL:
+        right = b if b is not None and b.shape[0] == n else _random_leaf(
+            rng, n, _dim(rng)
+        )
+        return la @ ir.leaf(right, name="B")
+    if op in (Op.EWISE_ADD, Op.EWISE_MULT):
+        right = b if b is not None and b.shape == a.shape else _random_leaf(rng, m, n)
+        rb = ir.leaf(right, name="B")
+        return la + rb if op is Op.EWISE_ADD else la * rb
+    if op is Op.TRANSPOSE:
+        return la.T
+    if op is Op.RESHAPE:
+        return la.reshape(n, m)
+    if op is Op.DIAG_V2M:
+        vector = a[:, :1] if n >= 1 else as_csr(sp.csr_array((m, 1)))
+        return ir.diag(ir.leaf(as_csr(vector), name="v"))
+    if op is Op.DIAG_M2V:
+        size = min(m, n)
+        square = as_csr(a[:size, :size]) if size else as_csr(sp.csr_array((0, 0)))
+        return Expr(Op.DIAG_M2V, (ir.leaf(square, name="A"),))
+    if op is Op.RBIND:
+        right = b if b is not None and b.shape[1] == n else _random_leaf(
+            rng, _dim(rng), n
+        )
+        return ir.rbind(la, ir.leaf(right, name="B"))
+    if op is Op.CBIND:
+        right = b if b is not None and b.shape[0] == m else _random_leaf(
+            rng, m, _dim(rng)
+        )
+        return ir.cbind(la, ir.leaf(right, name="B"))
+    if op is Op.NEQ_ZERO:
+        return ir.neq_zero(la)
+    if op is Op.EQ_ZERO:
+        return ir.eq_zero(la)
+    if op is Op.ROW_SUMS:
+        return ir.row_sums(la)
+    if op is Op.COL_SUMS:
+        return ir.col_sums(la)
+    raise ValueError(f"cannot build case for {op!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def _gen_uniform(rng: np.random.Generator, index: int) -> Expr:
+    """Uniform random leaves; cycles through every opcode by index."""
+    op = CASE_OPS[index % len(CASE_OPS)]
+    a = _random_leaf(rng, _dim(rng), _dim(rng))
+    return _single_op_root(op, a, rng)
+
+
+def _gen_structured(rng: np.random.Generator, index: int) -> Expr:
+    """Structured leaves (the paper's B1-B4 shapes) under cycling opcodes."""
+    family = STRUCTURE_FAMILIES[index % len(STRUCTURE_FAMILIES)]
+    op = CASE_OPS[(index // len(STRUCTURE_FAMILIES)) % len(CASE_OPS)]
+    a = _structured_leaf(rng, family, _dim(rng), _dim(rng))
+    b: Optional[sp.csr_array] = None
+    if op is Op.MATMUL and rng.random() < 0.5:
+        other = STRUCTURE_FAMILIES[int(rng.integers(0, len(STRUCTURE_FAMILIES)))]
+        b = _structured_leaf(rng, other, a.shape[1], _dim(rng))
+        if b.shape[0] != a.shape[1]:
+            b = None
+    return _single_op_root(op, a, rng, b=b)
+
+
+_ADVERSARIAL_KINDS = (
+    "all_zero", "zero_rows", "zero_cols", "zero_both", "one_by_n", "n_by_one",
+    "all_dense", "single_cell", "outer_product", "self_gram", "self_outer",
+    "self_ewise", "twin_leaves",
+)
+
+
+def _gen_adversarial(rng: np.random.Generator, index: int) -> Expr:
+    """Degenerate and duplicate-structure shapes estimators tend to miss."""
+    kind = _ADVERSARIAL_KINDS[index % len(_ADVERSARIAL_KINDS)]
+    n = _dim(rng, 1, 12)
+    if kind == "all_zero":
+        a = as_csr(sp.csr_array((n, _dim(rng, 1, 12))))
+        return _single_op_root(CASE_OPS[index % len(CASE_OPS)], a, rng)
+    if kind == "zero_rows":
+        a = as_csr(sp.csr_array((0, n)))
+        op = (Op.MATMUL, Op.RBIND, Op.TRANSPOSE, Op.ROW_SUMS)[index % 4]
+        return _single_op_root(op, a, rng)
+    if kind == "zero_cols":
+        a = as_csr(sp.csr_array((n, 0)))
+        op = (Op.CBIND, Op.TRANSPOSE, Op.COL_SUMS, Op.EQ_ZERO)[index % 4]
+        return _single_op_root(op, a, rng)
+    if kind == "zero_both":
+        a = as_csr(sp.csr_array((0, 0)))
+        op = (Op.TRANSPOSE, Op.DIAG_M2V, Op.EWISE_ADD, Op.NEQ_ZERO)[index % 4]
+        return _single_op_root(op, a, rng)
+    if kind == "one_by_n":
+        a = mrand.random_sparse(1, n, float(rng.uniform(0.2, 1.0)), seed=rng)
+        return _single_op_root(CASE_OPS[index % len(CASE_OPS)], a, rng)
+    if kind == "n_by_one":
+        a = mrand.random_sparse(n, 1, float(rng.uniform(0.2, 1.0)), seed=rng)
+        op = (Op.DIAG_V2M, Op.MATMUL, Op.TRANSPOSE, Op.EWISE_MULT)[index % 4]
+        return _single_op_root(op, a, rng)
+    if kind == "all_dense":
+        a = mrand.random_sparse(n, _dim(rng, 1, 10), 1.0, seed=rng)
+        return _single_op_root(CASE_OPS[index % len(CASE_OPS)], a, rng)
+    if kind == "single_cell":
+        a = sp.csr_array(
+            (np.ones(1), ([int(rng.integers(0, n))], [0])), shape=(n, 1)
+        )
+        op = (Op.MATMUL, Op.DIAG_V2M, Op.ROW_SUMS, Op.TRANSPOSE)[index % 4]
+        return _single_op_root(op, as_csr(a), rng)
+    if kind == "outer_product":
+        col, row = mrand.outer_product_pair(max(n, 2), dense_index=0)
+        if index % 2:
+            return ir.leaf(col, name="C") @ ir.leaf(row, name="R")
+        return ir.leaf(row, name="R") @ ir.leaf(col, name="C")
+    if kind == "self_gram":
+        a = ir.leaf(_random_leaf(rng, n, _dim(rng, 1, 12)), name="A")
+        return a.T @ a  # shared leaf: gram matrix A^T A
+    if kind == "self_outer":
+        a = ir.leaf(_random_leaf(rng, n, _dim(rng, 1, 12)), name="A")
+        return a @ a.T
+    if kind == "self_ewise":
+        a = ir.leaf(_random_leaf(rng, n, n), name="A")
+        return a * a if index % 2 else a + a
+    # twin_leaves: two distinct leaves with identical structure.
+    matrix = _random_leaf(rng, n, n)
+    left = ir.leaf(matrix.copy(), name="A1")
+    right = ir.leaf(matrix.copy(), name="A2")
+    return left * right if index % 2 else left @ right
+
+
+def _gen_chain(rng: np.random.Generator, index: int) -> Expr:
+    """Matrix-product chains of length 2-4 over structured pieces.
+
+    Every third case is the paper's permutation . selection flavor, whose
+    operands all satisfy ``max(hr) <= 1`` so MNC must stay exact end to end.
+    """
+    length = 2 + index % 3
+    if index % 3 == 0:
+        n = _dim(rng, 3, 16)
+        k = max(1, n // 2)
+        rows = rng.choice(n, size=k, replace=False)
+        expr = ir.leaf(mrand.selection_matrix(rows, n), name="S")
+        for _ in range(length - 1):
+            expr = expr @ ir.leaf(mrand.permutation_matrix(n, seed=rng), name="P")
+        return expr
+    dims = [_dim(rng, 2, 12) for _ in range(length + 1)]
+    expr = ir.leaf(_random_leaf(rng, dims[0], dims[1]), name="M0")
+    for i in range(1, length):
+        expr = expr @ ir.leaf(_random_leaf(rng, dims[i], dims[i + 1]), name=f"M{i}")
+    return expr
+
+
+def _gen_dag(rng: np.random.Generator, index: int) -> Expr:
+    """Random expression DAGs with shared sub-expressions over mixed ops."""
+    n = _dim(rng, 3, 12)
+    a = ir.leaf(_random_leaf(rng, n, n), name="A")
+    b = ir.leaf(_random_leaf(rng, n, n), name="B")
+    shared = a @ b
+    variants = (
+        lambda: (shared + shared.T) * ir.neq_zero(a),
+        lambda: ir.rbind(shared, a) @ _leafed(rng, n, _dim(rng, 2, 8)),
+        lambda: ir.cbind(shared, b) * ir.cbind(a, b),
+        lambda: ir.col_sums(shared).T @ ir.row_sums(shared).T,
+        lambda: ir.eq_zero(shared) * (a + b),
+        lambda: (shared @ shared) + shared,
+        lambda: ir.diag(ir.row_sums(ir.neq_zero(shared))) @ a,
+        lambda: shared.reshape(n * n, 1).T,
+    )
+    return variants[index % len(variants)]()
+
+
+def _leafed(rng: np.random.Generator, m: int, n: int) -> Expr:
+    return ir.leaf(_random_leaf(rng, m, n), name="R")
+
+
+GENERATORS: Dict[str, Callable[[np.random.Generator, int], Expr]] = {
+    "uniform": _gen_uniform,
+    "structured": _gen_structured,
+    "adversarial": _gen_adversarial,
+    "chain": _gen_chain,
+    "dag": _gen_dag,
+}
+
+
+def all_generators() -> list[str]:
+    """Names of all registered case generators."""
+    return sorted(GENERATORS)
+
+
+def generate_case(generator: str, seed: int, index: int) -> Case:
+    """Deterministically build case *index* of *generator*'s seeded stream.
+
+    The rng is derived from ``(seed, generator, index)`` through a
+    ``SeedSequence``, so any case is reproducible from the triple alone —
+    the provenance recorded in corpus reproducers.
+    """
+    try:
+        factory = GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown generator {generator!r}; available: {all_generators()}"
+        ) from None
+    gen_key = int.from_bytes(generator.encode()[:4].ljust(4, b"\0"), "big")
+    rng = np.random.default_rng([seed & 0x7FFFFFFF, gen_key, index])
+    root = factory(rng, index)
+    return Case(
+        root=root, generator=generator, seed=seed, index=index,
+        tags=case_tags(root),
+    )
+
+
+def generate_cases(generator: str, seed: int, budget: int) -> Iterable[Case]:
+    """The first *budget* cases of the generator's seeded stream."""
+    for index in range(budget):
+        yield generate_case(generator, seed, index)

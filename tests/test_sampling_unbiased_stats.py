@@ -1,0 +1,90 @@
+"""Statistical test of the unbiased sampling estimator (Appendix A, Eq 16).
+
+Runs hundreds of independently-seeded trials on a fixed power-law product
+pair and asserts the trial mean lands inside a confidence band around the
+truth. Marked ``slow``: the default suite skips it; the CI fuzz job and
+``pytest -m slow`` run it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators import make_estimator
+from repro.matrix.ops import matmul
+from repro.matrix.random import power_law_columns
+from repro.opcodes import Op
+
+TRIALS = 240
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def power_law_pair():
+    a = power_law_columns(120, 90, 1100, alpha=1.1, seed=11)
+    b = power_law_columns(90, 100, 1000, alpha=1.1, seed=12)
+    return a, b
+
+
+def _trial_estimates(a, b, fraction: float) -> np.ndarray:
+    estimates = np.empty(TRIALS)
+    for trial in range(TRIALS):
+        estimator = make_estimator(
+            "sampling_unbiased", fraction=fraction, seed=1000 + trial
+        )
+        synopses = [estimator.build(a), estimator.build(b)]
+        estimates[trial] = estimator.estimate_nnz(Op.MATMUL, synopses)
+    return estimates
+
+
+def _full_sample_estimate(a, b) -> float:
+    estimator = make_estimator("sampling_unbiased", fraction=1.0, seed=0)
+    synopses = [estimator.build(a), estimator.build(b)]
+    return float(estimator.estimate_nnz(Op.MATMUL, synopses))
+
+
+def test_trial_mean_within_confidence_band(power_law_pair):
+    """Sampling is unbiased with respect to its own model: the mean over
+    many sampled trials must track the full-information (every slice
+    sampled) estimate. Eq 16's probabilistic-union model itself has real
+    error on correlated power-law structure — that accuracy question is
+    covered separately below and in the SparsEst harness.
+    """
+    a, b = power_law_pair
+    reference = _full_sample_estimate(a, b)
+    estimates = _trial_estimates(a, b, fraction=0.1)
+    mean = float(estimates.mean())
+    stderr = float(estimates.std(ddof=1) / np.sqrt(TRIALS))
+    # 4 standard errors plus 5% slack for the nonlinear combiner's
+    # small-sample (Jensen) bias, which vanishes as |S| -> n.
+    band = 4.0 * stderr + 0.05 * reference
+    assert abs(mean - reference) <= band, (
+        f"mean {mean:.1f} of {TRIALS} trials strays from the full-sample "
+        f"estimate {reference:.1f} by {abs(mean - reference):.1f} > band "
+        f"{band:.1f} (stderr {stderr:.2f})"
+    )
+
+
+def test_model_estimate_tracks_truth(power_law_pair):
+    """Loose accuracy sanity check of the Eq 16 model itself."""
+    a, b = power_law_pair
+    truth = float(matmul(a, b).nnz)
+    reference = _full_sample_estimate(a, b)
+    assert 0.5 * truth <= reference <= 2.0 * truth
+
+
+def test_variance_shrinks_with_sample_fraction(power_law_pair):
+    a, b = power_law_pair
+    coarse = _trial_estimates(a, b, fraction=0.05)
+    fine = _trial_estimates(a, b, fraction=0.5)
+    assert fine.std(ddof=1) < coarse.std(ddof=1)
+
+
+def test_estimates_stay_in_bounds(power_law_pair):
+    a, b = power_law_pair
+    estimates = _trial_estimates(a, b, fraction=0.1)
+    cells = a.shape[0] * b.shape[1]
+    assert np.all(estimates >= 0.0)
+    assert np.all(estimates <= cells)

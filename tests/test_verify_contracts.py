@@ -1,0 +1,155 @@
+"""Tests for the contract registry (repro.verify.contracts)."""
+
+from __future__ import annotations
+
+import pytest
+import scipy.sparse as sp
+
+from repro.estimators import available_estimators
+from repro.ir import nodes as ir
+from repro.matrix.random import permutation_matrix, random_sparse
+from repro.verify import (
+    EstimatorSpec,
+    all_contracts,
+    default_estimator_specs,
+    generate_case,
+    get_contract,
+)
+from repro.verify.contracts import case_supported, estimate_case
+from repro.verify.generators import Case, retag
+
+
+def _case_from(root) -> Case:
+    return retag(Case(root=root, generator="test", seed=0, index=0))
+
+
+def test_registry_contract_ids():
+    ids = {contract.id for contract in all_contracts()}
+    assert ids >= {
+        "bounds", "determinism", "theorem31_exact", "wc_upper_bound",
+        "exact_oracle", "sampling_lower_bound", "unbiased_mean",
+        "dm_block_consistency", "theorem32_containment",
+        "interval_containment", "propagation_consistency",
+        "sketch_roundtrip",
+    }
+
+
+def test_every_contract_has_paper_ref_and_description():
+    for contract in all_contracts():
+        assert contract.description
+        assert contract.paper_ref
+
+
+def test_get_contract_unknown():
+    with pytest.raises(ValueError):
+        get_contract("no_such_contract")
+
+
+def test_default_specs_cover_registry():
+    specs = default_estimator_specs()
+    assert [spec.name for spec in specs] == available_estimators()
+
+
+def test_spec_make_and_tags():
+    spec = EstimatorSpec(name="meta_wc")
+    estimator = spec.make()
+    assert estimator.name == "MetaWC"
+    assert "upper_bound" in spec.tags
+
+
+def test_spec_seed_override_changes_randomized_estimate():
+    a = ir.leaf(random_sparse(30, 30, 0.2, seed=1))
+    b = ir.leaf(random_sparse(30, 30, 0.2, seed=2))
+    case = _case_from(a @ b)
+    spec = EstimatorSpec(name="sampling_unbiased")
+    one = estimate_case(spec.make(seed=1), case)
+    two = estimate_case(spec.make(seed=1), case)
+    assert one == two  # same seed => same draw
+
+
+def test_case_supported_gates_propagation():
+    # The hash estimator handles products only: a transpose over a product
+    # needs transpose propagation it does not declare.
+    a = ir.leaf(random_sparse(8, 8, 0.3, seed=3))
+    case = _case_from(ir.transpose(a @ a))
+    assert not case_supported(EstimatorSpec(name="hash").make(), case)
+    assert case_supported(EstimatorSpec(name="exact").make(), case)
+
+
+def test_runtime_propagation_gap_raises_unsupported():
+    # The biased sampling estimator declares a matmul propagation handler
+    # that refuses at runtime (single products only); the engine converts
+    # that into a skip, not a violation.
+    from repro.errors import UnsupportedOperationError
+
+    a = ir.leaf(random_sparse(8, 8, 0.3, seed=3))
+    case = _case_from((a @ a) @ a)
+    spec = EstimatorSpec(name="sampling")
+    assert case_supported(spec.make(), case)
+    with pytest.raises(UnsupportedOperationError):
+        estimate_case(spec.make(), case)
+
+
+def test_exact_oracle_contract_passes_and_detects_drift():
+    from repro.verify.engine import FaultyOracle
+
+    contract = get_contract("exact_oracle")
+    a = ir.leaf(random_sparse(6, 5, 0.4, seed=4))
+    b = ir.leaf(random_sparse(5, 7, 0.4, seed=5))
+    case = _case_from(a @ b)
+    good = EstimatorSpec(name="exact")
+    assert contract.applies(good, case)
+    assert contract.check(good, case) is None
+    bad = EstimatorSpec(name="faulty_exact", factory=FaultyOracle)
+    assert contract.check(bad, case) is not None
+
+
+def test_theorem31_applies_only_to_exactness_window():
+    contract = get_contract("theorem31_exact")
+    spec = EstimatorSpec(name="mnc")
+    perm = ir.leaf(permutation_matrix(9, seed=6), name="P")
+    x = ir.leaf(random_sparse(9, 7, 0.3, seed=7), name="X")
+    exact_case = _case_from(perm @ x)
+    assert contract.applies(spec, exact_case)
+    assert contract.check(spec, exact_case) is None
+    # Dense-times-dense is outside the theorem's exactness window.
+    c = ir.leaf(sp.csr_array([[1.0, 1.0], [1.0, 1.0]]))
+    dense_case = _case_from(c @ c)
+    assert not contract.applies(spec, dense_case)
+
+
+def test_wc_upper_bound_holds_on_diag_extract():
+    contract = get_contract("wc_upper_bound")
+    spec = EstimatorSpec(name="meta_wc")
+    case = _case_from(ir.diag(ir.leaf(sp.csr_array(sp.eye(6)))))
+    assert contract.applies(spec, case)
+    assert contract.check(spec, case) is None
+
+
+def test_bounds_contract_on_generated_cases():
+    contract = get_contract("bounds")
+    spec = EstimatorSpec(name="mnc")
+    for index in range(8):
+        case = generate_case("uniform", 11, index)
+        if contract.applies(spec, case):
+            assert contract.check(spec, case) is None
+
+
+def test_sketch_roundtrip_contract():
+    contract = get_contract("sketch_roundtrip")
+    spec = EstimatorSpec(name="mnc")
+    case = generate_case("structured", 0, 0)
+    applicable = retag(Case(root=case.root, generator=case.generator,
+                            seed=case.seed, index=0))
+    assert contract.applies(spec, applicable)
+    assert contract.check(spec, applicable) is None
+
+
+def test_interval_containment_contract():
+    contract = get_contract("interval_containment")
+    spec = EstimatorSpec(name="mnc")
+    a = ir.leaf(random_sparse(12, 10, 0.25, seed=8))
+    b = ir.leaf(random_sparse(10, 9, 0.25, seed=9))
+    case = _case_from(a @ b)
+    assert contract.applies(spec, case)
+    assert contract.check(spec, case) is None

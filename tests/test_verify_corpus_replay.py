@@ -1,0 +1,89 @@
+"""Replay of the persisted fuzz corpus (tests/corpus/*.json + .npz).
+
+Every reproducer pins either a fixed bug or a boundary behavior: the replay
+must pass (contract holds) or the regression is back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import (
+    Reproducer,
+    iter_corpus,
+    load_reproducer,
+    replay_reproducer,
+    save_reproducer,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+CORPUS = list(iter_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_seeded():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize(
+    "reproducer", CORPUS, ids=[rep.name for rep in CORPUS]
+)
+def test_corpus_replay_passes(reproducer):
+    failure = replay_reproducer(reproducer)
+    assert failure is None, (
+        f"corpus regression {reproducer.name} "
+        f"({reproducer.estimator} x {reproducer.contract}): {failure}\n"
+        f"note: {reproducer.note}"
+    )
+
+
+def test_corpus_files_are_paired():
+    for json_path in CORPUS_DIR.glob("*.json"):
+        assert json_path.with_suffix(".npz").exists(), (
+            f"{json_path.name} has no matching .npz"
+        )
+
+
+def test_reproducer_roundtrip(tmp_path):
+    original = CORPUS[0]
+    path = save_reproducer(original, tmp_path)
+    loaded = load_reproducer(path)
+    assert loaded.name == original.name
+    assert loaded.estimator == original.estimator
+    assert loaded.contract == original.contract
+    assert loaded.root.shape == original.root.shape
+    assert loaded.root.op == original.root.op
+    # Leaf structure survives exactly.
+    for a, b in zip(loaded.root.leaves(), original.root.leaves()):
+        assert a.shape == b.shape
+        assert a.matrix.nnz == b.matrix.nnz
+    assert replay_reproducer(loaded) is None
+
+
+def test_load_accepts_bare_name():
+    first = sorted(CORPUS_DIR.glob("*.json"))[0]
+    loaded = load_reproducer(first.with_suffix(""))
+    assert isinstance(loaded, Reproducer)
+
+
+def test_dag_sharing_survives_roundtrip(tmp_path):
+    import scipy.sparse as sp
+
+    from repro.ir import nodes as ir
+    from repro.matrix.random import random_sparse
+
+    x = ir.leaf(random_sparse(6, 6, 0.4, seed=1), name="X")
+    shared = x @ x
+    rep = Reproducer(
+        name="shared-product",
+        estimator="exact",
+        contract="exact_oracle",
+        root=ir.ewise_add(shared, ir.transpose(shared)),
+    )
+    loaded = load_reproducer(save_reproducer(rep, tmp_path))
+    nodes = list(loaded.root.postorder())
+    # X and X@X each appear once: 1 leaf + matmul + transpose + ewise_add.
+    assert len(nodes) == 4
+    assert replay_reproducer(loaded) is None

@@ -1,0 +1,96 @@
+"""Tests for the verify-case generators (repro.verify.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.opcodes import Op
+from repro.verify import all_generators, exact_structure, generate_case
+from repro.verify.generators import CASE_OPS, case_tags, retag
+
+GENERATORS = all_generators()
+
+
+def test_generator_registry_names():
+    assert set(GENERATORS) >= {
+        "uniform", "structured", "adversarial", "chain", "dag"
+    }
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_cases_are_deterministic(generator):
+    for index in range(6):
+        first = generate_case(generator, seed=3, index=index)
+        second = generate_case(generator, seed=3, index=index)
+        assert first.root.shape == second.root.shape
+        assert first.root.op == second.root.op
+        assert first.tags == second.tags
+        assert exact_structure(first.root).nnz == exact_structure(second.root).nnz
+
+
+def test_different_seeds_differ():
+    shapes_a = [generate_case("uniform", 0, i).root.shape for i in range(8)]
+    shapes_b = [generate_case("uniform", 1, i).root.shape for i in range(8)]
+    assert shapes_a != shapes_b
+
+
+def test_uniform_covers_every_opcode():
+    ops = {
+        generate_case("uniform", 0, index).root.op
+        for index in range(2 * len(CASE_OPS))
+    }
+    assert ops == set(CASE_OPS)
+
+
+def test_adversarial_produces_zero_dim_and_dense():
+    tags = set()
+    for index in range(26):
+        tags |= generate_case("adversarial", 0, index).tags
+    assert "zero_dim" in tags
+    assert "dense" in tags
+    assert "empty" in tags
+
+
+def test_chain_and_dag_are_multi_op():
+    for generator in ("chain", "dag"):
+        multi = [
+            case for case in (
+                generate_case(generator, 0, index) for index in range(6)
+            )
+            if "single_op" not in case.tags
+        ]
+        assert multi, f"{generator} produced only single-op cases"
+
+
+def test_truth_matches_structure():
+    case = generate_case("structured", 5, 2)
+    assert case.truth_nnz() == float(exact_structure(case.root).nnz)
+
+
+def test_case_tags_single_op():
+    case = generate_case("uniform", 0, 0)
+    tags = case_tags(case.root)
+    assert case.root.op.value in tags
+    if all(c.op is Op.LEAF for c in case.root.inputs):
+        assert "single_op" in tags
+
+
+def test_retag_recomputes():
+    case = generate_case("uniform", 0, 1)
+    stale = case.tags
+    retagged = retag(case)
+    assert retagged.tags == case_tags(retagged.root)
+    assert retagged.tags == stale  # same root => same tags
+
+
+def test_exact_structure_is_binary():
+    case = generate_case("dag", 2, 3)
+    structure = exact_structure(case.root)
+    if structure.nnz:
+        assert np.all(structure.data == 1.0)
+
+
+def test_unknown_generator_raises():
+    with pytest.raises(ValueError):
+        generate_case("no_such_generator", 0, 0)
