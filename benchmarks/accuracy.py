@@ -6,8 +6,7 @@ from typing import Iterable, List, Sequence
 
 from repro.estimators import make_estimator
 from repro.estimators.base import SparsityEstimator
-from repro.sparsest.runner import EstimateOutcome, run_use_case
-from repro.sparsest.usecases import get_use_case
+from repro.sparsest.runner import EstimateOutcome, EstimationRequest, execute
 
 #: The estimator lineup of Figures 10/11 (legend order).
 FIGURE_LINEUP: Sequence[tuple[str, dict]] = (
@@ -33,10 +32,19 @@ def collect_outcomes(
     scale: float,
     seed: int = 0,
 ) -> List[EstimateOutcome]:
-    """Run every estimator on every use case (skipping unsupported)."""
-    outcomes: List[EstimateOutcome] = []
-    for case_id in case_ids:
-        case = get_use_case(case_id)
-        for estimator in estimators:
-            outcomes.append(run_use_case(case, estimator, scale=scale, seed=seed))
-    return outcomes
+    """Run every estimator on every use case (skipping unsupported).
+
+    Requests carry the estimator *instances*, so state (e.g. sampling
+    seeds) is shared across cells exactly as the figures were generated —
+    which also pins execution to the serial path.
+    """
+    requests = [
+        EstimationRequest(
+            use_case=case_id, estimator=estimator, scale=scale, seed=seed,
+        )
+        for case_id in case_ids
+        for estimator in estimators
+    ]
+    return [
+        result.outcome for result in execute(requests, on_error="raise")
+    ]

@@ -1,0 +1,120 @@
+"""Parallel SparsEst execution: workers=4 vs serial (docs/PARALLEL.md).
+
+Runs the full (use case x estimator) SparsEst matrix twice through
+:func:`repro.sparsest.runner.execute` — once serially, once across four
+worker processes — after a warm-up pass that populates the dataset disk
+cache and the ground-truth memo (worker processes inherit both via fork,
+so the comparison measures estimation fan-out, not first-touch dataset
+generation).
+
+Two acceptance criteria:
+
+- determinism, always enforced: the parallel outcomes must be
+  bit-identical to the serial ones (everything except wall time);
+- speedup, enforced only when the machine actually has >= 4 usable CPUs
+  (``speedup_enforced`` in the JSON records which case ran): workers=4
+  must finish the suite at least 2.5x faster than workers=1.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_parallel.py``)
+or under pytest; either way it emits
+``benchmarks/results/BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import bench_scale, write_bench_json
+from repro.sparsest.runner import clear_truth_cache, execute_outcomes, requests_for
+from repro.sparsest.suite import DEFAULT_LINEUP
+from repro.sparsest.usecases import all_use_cases
+
+#: Required workers=4 speedup over serial, when enough CPUs exist.
+MIN_SPEEDUP = 2.5
+
+PARALLEL_WORKERS = 4
+
+#: Seeds aggregated per cell: keeps each pool task compute-bound enough
+#: that per-task dispatch overhead cannot dominate the measured speedup.
+REPETITIONS = 3
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _suite_requests(scale: float):
+    return requests_for(
+        all_use_cases(), list(DEFAULT_LINEUP),
+        scale=scale, repetitions=REPETITIONS,
+    )
+
+
+def run_parallel_benchmark(scale: float | None = None) -> dict:
+    """Time the suite serially and with 4 workers; returns the payload."""
+    scale = bench_scale() if scale is None else scale
+    requests = _suite_requests(scale)
+
+    # Warm-up: materialize datasets on disk and ground truths in the memo,
+    # so fork-inherited state puts both timed runs on equal footing.
+    execute_outcomes(requests, workers=1)
+
+    start = time.perf_counter()
+    serial = execute_outcomes(requests, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = execute_outcomes(requests, workers=PARALLEL_WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = (
+        [o.deterministic_key() for o in serial]
+        == [o.deterministic_key() for o in parallel]
+    )
+    cpus = _usable_cpus()
+    return {
+        "benchmark": "parallel_sparsest_suite",
+        "scale": scale,
+        "cells": len(requests),
+        "repetitions": REPETITIONS,
+        "workers": PARALLEL_WORKERS,
+        "usable_cpus": cpus,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds else 0.0,
+        "bit_identical": identical,
+        "speedup_enforced": cpus >= PARALLEL_WORKERS,
+        "statuses": {
+            status: sum(1 for o in serial if o.status == status)
+            for status in sorted({o.status for o in serial})
+        },
+    }
+
+
+def test_parallel_suite_matches_serial_and_scales():
+    payload = run_parallel_benchmark()
+    write_bench_json("parallel", payload)
+    print(
+        f"sparsest suite ({payload['cells']} cells): serial "
+        f"{payload['serial_seconds']:.2f} s, workers={payload['workers']} "
+        f"{payload['parallel_seconds']:.2f} s, speedup "
+        f"{payload['speedup']:.2f}x (cpus={payload['usable_cpus']}, "
+        f"threshold {'on' if payload['speedup_enforced'] else 'off'})"
+    )
+    assert payload["bit_identical"], (
+        "workers=4 outcomes differ from the serial run"
+    )
+    if payload["speedup_enforced"]:
+        assert payload["speedup"] >= MIN_SPEEDUP, (
+            f"workers={payload['workers']} only {payload['speedup']:.2f}x "
+            f"faster than serial (need >= {MIN_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    clear_truth_cache()
+    test_parallel_suite_matches_serial_and_scales()

@@ -34,13 +34,14 @@ from repro.catalog.fingerprint import (
     fingerprint_sketch,
 )
 from repro.catalog.memo import EstimateMemo
-from repro.catalog.service import EstimationService
+from repro.catalog.service import EstimationService, ServiceRequest
 from repro.catalog.store import DEFAULT_BUDGET_BYTES, SketchStore, StoreStats
 
 __all__ = [
     "DEFAULT_BUDGET_BYTES",
     "EstimateMemo",
     "EstimationService",
+    "ServiceRequest",
     "FINGERPRINT_VERSION",
     "SketchStore",
     "StoreStats",

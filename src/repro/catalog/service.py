@@ -30,13 +30,15 @@ rather than sharing one catalog.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Union
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.fingerprint import fingerprint_expr, fingerprint_matrix
 from repro.catalog.memo import EstimateMemo
 from repro.catalog.store import SketchStore
 from repro.core.sketch import MNCSketch
-from repro.errors import SketchError
+from repro.errors import ReproError, SketchError
 from repro.estimators.base import SparsityEstimator, Synopsis, make_estimator
 from repro.estimators.mnc import MNCEstimator, MNCSynopsis
 from repro.ir.nodes import Expr
@@ -44,6 +46,47 @@ from repro.matrix.conversion import MatrixLike
 from repro.observability.recording import unwrap_estimator
 from repro.observability.trace import count, timed_span
 from repro.opcodes import Op
+from repro.parallel.engine import resolve_workers, run_tasks
+from repro.parallel.spill import PortableDag, load_dag, spill_dag
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One unit of :class:`EstimationService` work, for :meth:`~EstimationService.submit`.
+
+    The request object is the service's single entry-point API: the three
+    historical call shapes — one expression, a batch of expressions, a
+    matrix-chain optimization — are ``kind`` values of the same request
+    type, built with the :meth:`estimate`, :meth:`batch`, and
+    :meth:`chain` constructors.
+    """
+
+    kind: str  # "estimate" | "estimate_many" | "optimize_chain"
+    exprs: Tuple[Expr, ...] = ()
+    matrices: Tuple[MatrixLike, ...] = ()
+    include_intermediates: bool = False
+    workers: Optional[int] = None
+    rng: Any = None
+
+    @classmethod
+    def estimate(cls, expr: Expr, *, include_intermediates: bool = False
+                 ) -> "ServiceRequest":
+        """Estimate one expression root."""
+        return cls(kind="estimate", exprs=(expr,),
+                   include_intermediates=include_intermediates)
+
+    @classmethod
+    def batch(cls, exprs: Sequence[Expr], *, workers: Optional[int] = None
+              ) -> "ServiceRequest":
+        """Estimate a batch of expression roots, optionally in parallel."""
+        return cls(kind="estimate_many", exprs=tuple(exprs), workers=workers)
+
+    @classmethod
+    def chain(cls, matrices: Sequence[MatrixLike], *, rng: Any = None,
+              workers: Optional[int] = None) -> "ServiceRequest":
+        """Sparsity-aware matrix-chain optimization."""
+        return cls(kind="optimize_chain", matrices=tuple(matrices), rng=rng,
+                   workers=workers)
 
 
 class EstimationService:
@@ -120,6 +163,36 @@ class EstimationService:
     # Estimation
     # ------------------------------------------------------------------
 
+    def submit(self, request: ServiceRequest) -> Any:
+        """Execute one :class:`ServiceRequest` — the single entry point the
+        historical ``estimate`` / ``estimate_many`` / ``optimize_chain``
+        methods now delegate to.
+
+        Returns the result dict for ``"estimate"``, a list of result dicts
+        for ``"estimate_many"``, and the optimizer's plan object for
+        ``"optimize_chain"``.
+        """
+        if request.kind == "estimate":
+            if len(request.exprs) != 1:
+                raise ReproError(
+                    "an 'estimate' request carries exactly one expression; "
+                    f"got {len(request.exprs)} (use ServiceRequest.batch)"
+                )
+            return self._estimate_one(
+                request.exprs[0],
+                include_intermediates=request.include_intermediates,
+            )
+        if request.kind == "estimate_many":
+            return self._estimate_batch(request.exprs, workers=request.workers)
+        if request.kind == "optimize_chain":
+            from repro.optimizer.mmchain import optimize_chain_matrices
+
+            return optimize_chain_matrices(
+                request.matrices, rng=request.rng, catalog=self,
+                workers=request.workers,
+            )
+        raise ReproError(f"unknown ServiceRequest kind {request.kind!r}")
+
     def estimate(
         self, expr: Expr, include_intermediates: bool = False
     ) -> Dict[str, Any]:
@@ -130,6 +203,13 @@ class EstimationService:
         (``True`` when the root estimate itself was memoized — the warm
         path performs no synopsis work at all).
         """
+        return self.submit(ServiceRequest.estimate(
+            expr, include_intermediates=include_intermediates
+        ))
+
+    def _estimate_one(
+        self, expr: Expr, include_intermediates: bool = False
+    ) -> Dict[str, Any]:
         from repro.ir.estimate import estimate_dag
 
         root_fingerprint = fingerprint_expr(expr)
@@ -173,17 +253,115 @@ class EstimationService:
             result["intermediates"] = intermediates
         return result
 
-    def estimate_many(self, exprs: Sequence[Expr]) -> List[Dict[str, Any]]:
-        """Batched :meth:`estimate`: later requests in the batch reuse
-        synopses and results cached by earlier ones."""
-        with timed_span("catalog.service.batch", size=len(exprs)):
-            return [self.estimate(expr) for expr in exprs]
+    def estimate_many(
+        self, exprs: Sequence[Expr], workers: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Batched :meth:`estimate`.
 
-    def optimize_chain(self, matrices: Sequence[MatrixLike], rng=None):
+        Serial batches (``workers`` unset/1) reuse synopses and results
+        cached by earlier expressions in the batch. With ``workers > 1``,
+        uncached roots fan out to worker processes over the shared-spill
+        protocol: leaf matrices and resident sketches travel once through
+        the catalog directory (the store's spill dir, or a temporary one),
+        each worker rebuilds its expressions against a warm-started store,
+        and root results flow back into this service's memo. Workers
+        estimate with independent copies of the estimator, so estimators
+        that consume randomness across calls (e.g. MNC's probabilistic
+        rounding) may round differently than a serial batch would — results
+        are deterministic for any fixed worker count > 1.
+        """
+        return self.submit(ServiceRequest.batch(exprs, workers=workers))
+
+    def _estimate_batch(
+        self, exprs: Sequence[Expr], workers: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        exprs = list(exprs)
+        workers = resolve_workers(workers)
+        with timed_span(
+            "catalog.service.batch", size=len(exprs), workers=workers
+        ):
+            if workers <= 1 or len(exprs) <= 1:
+                return [self._estimate_one(expr) for expr in exprs]
+            return self._estimate_batch_parallel(exprs, workers)
+
+    def _estimate_batch_parallel(
+        self, exprs: List[Expr], workers: int
+    ) -> List[Dict[str, Any]]:
+        """Fan uncached roots out to worker processes via shared spill."""
+        estimator_key = self._estimator_key(self.estimator)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(exprs)
+        pending: List[Tuple[int, Expr, str]] = []
+        for i, expr in enumerate(exprs):
+            fingerprint = fingerprint_expr(expr)
+            nnz = self.memo.get(fingerprint, estimator_key, "nnz")
+            if nnz is None:
+                pending.append((i, expr, fingerprint))
+                continue
+            # Warm path: answer from the parent memo without shipping.
+            self._requests += 1
+            self._hits += 1
+            count("catalog.service.hit")
+            m, n = expr.shape
+            results[i] = {
+                "nnz": nnz,
+                "sparsity": nnz / (m * n) if m and n else 0.0,
+                "seconds": 0.0,
+                "fingerprint": fingerprint,
+                "cached": True,
+            }
+        if not pending:
+            return [result for result in results if result is not None]
+        if len(pending) == 1:
+            index, expr, _ = pending[0]
+            results[index] = self._estimate_one(expr)
+            return [result for result in results if result is not None]
+
+        directory = self.store.spill_dir
+        cleanup = None
+        if directory is None:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-spill-")
+            directory = cleanup.name
+        try:
+            # Resident sketches travel to workers through the directory
+            # (store.persist is a no-op for non-sketch estimators' services,
+            # whose state lives in the memo instead).
+            if len(self.store):
+                self.store.persist(directory)
+            portables = [
+                (spill_dag(expr, directory), fingerprint)
+                for _, expr, fingerprint in pending
+            ]
+            tasks = [
+                (self.estimator, str(directory), portable)
+                for portable, _ in portables
+            ]
+            task_results = run_tasks(
+                _estimate_worker, tasks, workers=workers,
+                label="catalog.service.fanout",
+            )
+            for (index, expr, fingerprint), outcome in zip(pending, task_results):
+                if not outcome.ok:
+                    # Worker died: recover deterministically in-process
+                    # (_estimate_one does its own counting and memoization).
+                    count("catalog.service.fanout_retries")
+                    results[index] = self._estimate_one(expr)
+                    continue
+                self._requests += 1
+                count("catalog.service.miss")
+                result = dict(outcome.value)
+                self.memo.put(fingerprint, estimator_key, "nnz", result["nnz"])
+                results[index] = result
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
+        return [result for result in results if result is not None]
+
+    def optimize_chain(self, matrices: Sequence[MatrixLike], rng=None,
+                       workers: Optional[int] = None):
         """Sparsity-aware chain optimization over catalog-cached sketches."""
-        from repro.optimizer.mmchain import optimize_chain_matrices
-
-        return optimize_chain_matrices(matrices, rng=rng, catalog=self)
+        return self.submit(ServiceRequest.chain(
+            matrices, rng=rng, workers=workers
+        ))
 
     # ------------------------------------------------------------------
     # Catalog protocol (used by repro.ir.estimate during DAG walks)
@@ -281,3 +459,20 @@ class EstimationService:
         return isinstance(inner, MNCEstimator) and getattr(
             inner, "use_extensions", False
         )
+
+
+def _estimate_worker(
+    task: Tuple[SparsityEstimator, str, PortableDag]
+) -> Dict[str, Any]:
+    """Worker entry point for the parallel ``estimate_many`` path.
+
+    Rebuilds one spilled expression against a store warm-started from the
+    shared catalog directory, estimates it with a private service, and
+    returns the plain result dict.
+    """
+    estimator, directory, portable = task
+    store = SketchStore(spill_dir=directory)
+    store.warm_start(directory)
+    service = EstimationService(estimator=estimator, store=store)
+    expr = load_dag(portable, directory)
+    return service._estimate_one(expr)

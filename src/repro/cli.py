@@ -29,6 +29,12 @@ an observability trace (spans from sketch construction, estimation,
 propagation, plus per-(use case, estimator) outcomes) as JSON lines; see
 ``docs/OBSERVABILITY.md``.
 
+``estimate``, ``sparsest``, and ``verify`` additionally accept
+``--workers N`` to fan independent estimation work out across worker
+processes (default ``$REPRO_WORKERS`` or 1; results match a serial run —
+see ``docs/PARALLEL.md``). Worker traces are merged into the parent's
+``--trace`` output.
+
 Matrices are exchanged in scipy ``.npz`` sparse format
 (:func:`repro.matrix.io.save_matrix`).
 """
@@ -58,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="record an observability trace (JSON lines) to FILE",
     )
 
+    # Shared fan-out flag for the commands with parallel execution paths.
+    parallelism = argparse.ArgumentParser(add_help=False)
+    parallelism.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="worker processes for independent estimation work "
+             "(default: $REPRO_WORKERS or 1; results are identical to a "
+             "serial run)",
+    )
+
     commands.add_parser("info", help="show version, estimators, use cases")
 
     sketch_cmd = commands.add_parser(
@@ -67,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     estimate_cmd = commands.add_parser(
         "estimate", help="estimate the sparsity of a product A @ B",
-        parents=[tracing],
+        parents=[tracing, parallelism],
     )
     estimate_cmd.add_argument("left", help="path to A (.npz)")
     estimate_cmd.add_argument("right", help="path to B (.npz)")
@@ -84,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sparsest_cmd = commands.add_parser(
-        "sparsest", help="run SparsEst use cases", parents=[tracing]
+        "sparsest", help="run SparsEst use cases", parents=[tracing, parallelism]
     )
     sparsest_cmd.add_argument(
         "--cases", default="",
@@ -113,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify_cmd = commands.add_parser(
         "verify", help="fuzz estimator contracts against the exact oracle",
-        parents=[tracing],
+        parents=[tracing, parallelism],
     )
     verify_cmd.add_argument(
         "--budget", type=int, default=100,
@@ -216,6 +231,7 @@ def _cmd_estimate(
     estimator_name: str,
     exact: bool,
     catalog_dir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> int:
     from repro.estimators import make_estimator
     from repro.matrix.io import load_matrix
@@ -225,13 +241,14 @@ def _cmd_estimate(
     b = load_matrix(right)
     estimator = _maybe_record(make_estimator(estimator_name))
     if catalog_dir:
-        from repro.catalog import EstimationService, SketchStore
+        from repro.catalog import EstimationService, ServiceRequest, SketchStore
         from repro.ir.nodes import leaf
 
         service = EstimationService(
             estimator, store=SketchStore(spill_dir=catalog_dir)
         )
-        nnz = service.estimate(leaf(a) @ leaf(b))["nnz"]
+        request = ServiceRequest.batch([leaf(a) @ leaf(b)], workers=workers)
+        nnz = service.submit(request)[0]["nnz"]
         stored = service.persist(catalog_dir)
         store_stats = service.store.stats()
         print(f"catalog: {store_stats.disk_hits} sketch(es) reused from "
@@ -252,24 +269,31 @@ def _cmd_estimate(
     return 0
 
 
-def _cmd_sparsest(cases: str, estimators: str, scale: float, seed: int) -> int:
-    from repro.estimators import make_estimator
-    from repro.sparsest import all_use_cases, get_use_case, run_estimators
+def _cmd_sparsest(
+    cases: str,
+    estimators: str,
+    scale: float,
+    seed: int,
+    workers: Optional[int] = None,
+) -> int:
+    from repro.sparsest import all_use_cases, get_use_case
     from repro.sparsest.report import outcomes_table, timings_table
+    from repro.sparsest.runner import execute_outcomes, requests_for
 
     if cases:
         selected = [get_use_case(case_id.strip()) for case_id in cases.split(",")]
     else:
         selected = all_use_cases()
-    lineup = [
-        _maybe_record(make_estimator(name.strip()))
-        for name in estimators.split(",")
-    ]
-    outcomes = run_estimators(selected, lineup, scale=scale, seed=seed)
+    names = [name.strip() for name in estimators.split(",")]
+    # Name-based requests: each (use case, estimator) cell materializes a
+    # fresh, identically-seeded estimator — in workers or in-process — so
+    # the tables are the same for every --workers value.
+    requests = requests_for(selected, names, scale=scale, seed=seed)
+    outcomes = execute_outcomes(requests, workers=workers)
     print(outcomes_table(outcomes, title=f"SparsEst relative errors (scale={scale})"))
     print()
     print(timings_table(outcomes, title="Estimation time [s]"))
-    if len(lineup) > 1:
+    if len(names) > 1:
         from repro.sparsest.summary import summary_table
 
         print()
@@ -322,6 +346,7 @@ def _cmd_verify(
     corpus_dir: Optional[str],
     shrink: bool,
     self_test: bool,
+    workers: Optional[int] = None,
 ) -> int:
     from repro.verify import (
         FuzzEngine,
@@ -347,6 +372,7 @@ def _cmd_verify(
         seed=seed,
         shrink=shrink,
         cell_patterns=[p.strip() for p in cells.split(",") if p.strip()] or None,
+        workers=workers,
     )
     report = engine.run()
 
@@ -504,16 +530,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sketch(args.matrix)
     if args.command == "estimate":
         return _cmd_estimate(
-            args.left, args.right, args.estimator, args.exact, args.catalog
+            args.left, args.right, args.estimator, args.exact, args.catalog,
+            workers=args.workers,
         )
     if args.command == "sparsest":
-        return _cmd_sparsest(args.cases, args.estimators, args.scale, args.seed)
+        return _cmd_sparsest(
+            args.cases, args.estimators, args.scale, args.seed,
+            workers=args.workers,
+        )
     if args.command == "optimize":
         return _cmd_optimize(args.dims, args.sparsities, args.seed)
     if args.command == "verify":
         return _cmd_verify(
             args.budget, args.seed, args.cells, args.estimators,
             args.generators, args.corpus, not args.no_shrink, args.self_test,
+            workers=args.workers,
         )
     if args.command == "stats":
         return _cmd_stats(args.trace_file)

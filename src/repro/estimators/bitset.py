@@ -100,7 +100,7 @@ class BitsetEstimator(SparsityEstimator):
     name = "Bitset"
     contract_tags = frozenset({"exact"})
 
-    def __init__(self, kernel: str = "vectorized"):
+    def __init__(self, *, kernel: str = "vectorized"):
         if kernel not in ("vectorized", "scalar"):
             raise ValueError(f"unknown bitset kernel {kernel!r}")
         self.kernel = kernel
@@ -167,10 +167,10 @@ class BitsetEstimator(SparsityEstimator):
     def _estimate_transpose(self, a: BitsetSynopsis) -> float:
         return a.nnz_estimate
 
-    def _propagate_reshape(self, a: BitsetSynopsis, rows: int, cols: int) -> BitsetSynopsis:
+    def _propagate_reshape(self, a: BitsetSynopsis, *, rows: int, cols: int) -> BitsetSynopsis:
         return self._rebuild(mops.reshape_rowwise(a.to_csr(), rows, cols))
 
-    def _estimate_reshape(self, a: BitsetSynopsis, rows: int, cols: int) -> float:
+    def _estimate_reshape(self, a: BitsetSynopsis, *, rows: int, cols: int) -> float:
         if rows * cols != a.cells:
             raise ShapeError(
                 f"cannot reshape {a.shape} into {rows}x{cols}: cell counts differ"

@@ -109,7 +109,7 @@ class DensityMapEstimator(SparsityEstimator):
     name = "DMap"
     contract_tags = frozenset({"block_consistent"})
 
-    def __init__(self, block_size: int | str = DEFAULT_BLOCK_SIZE):
+    def __init__(self, *, block_size: int | str = DEFAULT_BLOCK_SIZE):
         if block_size == "auto":
             self.block_size = 0  # resolved on first build
         else:
@@ -265,7 +265,7 @@ class DensityMapEstimator(SparsityEstimator):
         return a.nnz_estimate + b.nnz_estimate
 
     def _propagate_reshape(
-        self, a: DensityMapSynopsis, rows: int, cols: int
+        self, a: DensityMapSynopsis, *, rows: int, cols: int
     ) -> DensityMapSynopsis:
         """Best-effort reshape: the total count is preserved exactly but the
         blocked grid cannot track the row-major scramble, so the result is a
@@ -279,7 +279,7 @@ class DensityMapEstimator(SparsityEstimator):
         grid_shape = ((rows + b - 1) // b or 0, (cols + b - 1) // b or 0)
         return DensityMapSynopsis((rows, cols), b, np.full(grid_shape, sparsity))
 
-    def _estimate_reshape(self, a: DensityMapSynopsis, rows: int, cols: int) -> float:
+    def _estimate_reshape(self, a: DensityMapSynopsis, *, rows: int, cols: int) -> float:
         if rows * cols != a.cells:
             raise ShapeError(
                 f"cannot reshape {a.shape} into {rows}x{cols}: cell counts differ"

@@ -74,10 +74,10 @@ class ExactOracle(SparsityEstimator):
     def _estimate_transpose(self, a: ExactSynopsis) -> float:
         return a.nnz_estimate
 
-    def _propagate_reshape(self, a: ExactSynopsis, rows: int, cols: int) -> ExactSynopsis:
+    def _propagate_reshape(self, a: ExactSynopsis, *, rows: int, cols: int) -> ExactSynopsis:
         return ExactSynopsis(mops.reshape_rowwise(a.matrix, rows, cols))
 
-    def _estimate_reshape(self, a: ExactSynopsis, rows: int, cols: int) -> float:
+    def _estimate_reshape(self, a: ExactSynopsis, *, rows: int, cols: int) -> float:
         return a.nnz_estimate
 
     def _propagate_diag_v2m(self, a: ExactSynopsis) -> ExactSynopsis:

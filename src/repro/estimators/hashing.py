@@ -89,6 +89,7 @@ class HashEstimator(SparsityEstimator):
 
     def __init__(
         self,
+        *,
         buffer_size: int = 1024,
         fraction: float = 0.05,
         max_pairs: int = 2_000_000,

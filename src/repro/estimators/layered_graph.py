@@ -126,7 +126,7 @@ class LayeredGraphEstimator(SparsityEstimator):
     name = "LGraph"
     contract_tags = frozenset({"randomized"})
 
-    def __init__(self, rounds: int = DEFAULT_ROUNDS, seed: SeedLike = 0xFACADE):
+    def __init__(self, *, rounds: int = DEFAULT_ROUNDS, seed: SeedLike = 0xFACADE):
         if rounds < 2:
             raise ValueError(f"rounds must be >= 2, got {rounds}")
         self.rounds = int(rounds)

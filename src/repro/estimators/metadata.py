@@ -102,15 +102,15 @@ class _MetadataEstimator(SparsityEstimator):
     def _propagate_transpose(self, a: Synopsis) -> MetaSynopsis:
         return MetaSynopsis((a.shape[1], a.shape[0]), a.nnz_estimate)
 
-    def _estimate_reshape(self, a: Synopsis, rows: int, cols: int) -> float:
+    def _estimate_reshape(self, a: Synopsis, *, rows: int, cols: int) -> float:
         if rows * cols != a.cells:
             raise ShapeError(
                 f"cannot reshape {a.shape} into {rows}x{cols}: cell counts differ"
             )
         return a.nnz_estimate
 
-    def _propagate_reshape(self, a: Synopsis, rows: int, cols: int) -> MetaSynopsis:
-        return MetaSynopsis((rows, cols), self._estimate_reshape(a, rows, cols))
+    def _propagate_reshape(self, a: Synopsis, *, rows: int, cols: int) -> MetaSynopsis:
+        return MetaSynopsis((rows, cols), self._estimate_reshape(a, rows=rows, cols=cols))
 
     def _estimate_diag_v2m(self, a: Synopsis) -> float:
         return a.nnz_estimate

@@ -56,6 +56,7 @@ class MNCEstimator(SparsityEstimator):
 
     def __init__(
         self,
+        *,
         use_extensions: bool = True,
         use_bounds: bool = True,
         seed: SeedLike = 0x5EED,
@@ -105,14 +106,14 @@ class MNCEstimator(SparsityEstimator):
     def _propagate_transpose(self, a: MNCSynopsis) -> MNCSynopsis:
         return MNCSynopsis(core_ops.propagate_transpose(a.sketch))
 
-    def _estimate_reshape(self, a: MNCSynopsis, rows: int, cols: int) -> float:
+    def _estimate_reshape(self, a: MNCSynopsis, *, rows: int, cols: int) -> float:
         if rows * cols != a.cells:
             raise ShapeError(
                 f"cannot reshape {a.shape} into {rows}x{cols}: cell counts differ"
             )
         return a.nnz_estimate
 
-    def _propagate_reshape(self, a: MNCSynopsis, rows: int, cols: int) -> MNCSynopsis:
+    def _propagate_reshape(self, a: MNCSynopsis, *, rows: int, cols: int) -> MNCSynopsis:
         return MNCSynopsis(
             core_ops.propagate_reshape(a.sketch, rows, cols, rng=self._rng)
         )
@@ -174,5 +175,5 @@ class MNCBasicEstimator(MNCEstimator):
 
     name = "MNC Basic"
 
-    def __init__(self, seed: SeedLike = 0x5EED):
+    def __init__(self, *, seed: SeedLike = 0x5EED):
         super().__init__(use_extensions=False, use_bounds=False, seed=seed)

@@ -153,7 +153,7 @@ class QuadTreeEstimator(SparsityEstimator):
     name = "QTree"
     contract_tags = frozenset()
 
-    def __init__(self, leaf_nnz: int = 64, min_block: int = 8):
+    def __init__(self, *, leaf_nnz: int = 64, min_block: int = 8):
         if leaf_nnz < 1:
             raise ValueError(f"leaf_nnz must be positive, got {leaf_nnz}")
         if min_block < 1:

@@ -92,6 +92,7 @@ class _SamplingBase(SparsityEstimator):
 
     def __init__(
         self,
+        *,
         fraction: float = DEFAULT_SAMPLE_FRACTION,
         seed: SeedLike = 0xC0FFEE,
     ):

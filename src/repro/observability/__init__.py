@@ -34,6 +34,7 @@ from repro.observability.collector import (
     NullCollector,
     RecordingCollector,
     SpanRecord,
+    TracePayload,
     get_collector,
     set_collector,
     using_collector,
@@ -70,6 +71,7 @@ __all__ = [
     "RecordingEstimator",
     "SpanRecord",
     "SpanStats",
+    "TracePayload",
     "aggregate_spans",
     "count",
     "error_time_table",

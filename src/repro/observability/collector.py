@@ -38,6 +38,28 @@ class SpanRecord:
     attrs: Mapping[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class TracePayload:
+    """Picklable snapshot of everything a collector accumulated.
+
+    The transport format of the parallel engine: workers snapshot their
+    private :class:`RecordingCollector` into a payload, ship it across the
+    process boundary, and the parent merges payloads in task order so the
+    combined trace is deterministic regardless of scheduling. Span
+    ``start`` values stay process-relative — ordering is meaningful within
+    one payload, not across payloads.
+    """
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spans or self.counters or self.histograms or self.outcomes)
+
+
 class Collector(abc.ABC):
     """Sink for spans, counters, histograms, and benchmark outcomes.
 
@@ -61,6 +83,23 @@ class Collector(abc.ABC):
 
     def record_outcome(self, outcome: Mapping[str, Any]) -> None:
         """Store one benchmark outcome (error-vs-time report row)."""
+
+    def merge(self, payload: TracePayload) -> None:
+        """Fold a worker's :class:`TracePayload` into this collector.
+
+        Implemented in terms of the primitive ``record_*`` hooks, so any
+        collector (including a disabled one, which drops everything)
+        handles payloads from parallel runs.
+        """
+        for span in payload.spans:
+            self.record_span(span)
+        for name, value in payload.counters.items():
+            self.increment(name, value)
+        for name, values in payload.histograms.items():
+            for value in values:
+                self.observe(name, value)
+        for outcome in payload.outcomes:
+            self.record_outcome(outcome)
 
 
 class NullCollector(Collector):
@@ -125,6 +164,20 @@ class RecordingCollector(Collector):
             for span in self.spans:
                 seen.setdefault(span.name, None)
             return list(seen)
+
+    def snapshot(self) -> TracePayload:
+        """Copy everything recorded so far into a picklable payload.
+
+        Worker processes call this once per task; the parent merges the
+        payloads via :meth:`Collector.merge`.
+        """
+        with self._lock:
+            return TracePayload(
+                spans=list(self.spans),
+                counters=dict(self.counters),
+                histograms={name: list(vals) for name, vals in self.histograms.items()},
+                outcomes=[dict(outcome) for outcome in self.outcomes],
+            )
 
 
 # ----------------------------------------------------------------------

@@ -11,8 +11,9 @@ paper describes.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.core.rounding import SeedLike, resolve_rng
 from repro.core.sketch import MNCSketch
 from repro.errors import PlanError
 from repro.optimizer.cost import Plan, dense_matmul_flops, sparse_matmul_flops
+from repro.parallel.engine import map_values, resolve_workers
 
 
 @dataclass(frozen=True)
@@ -72,9 +74,30 @@ def optimize_chain_dense(shapes: Sequence[tuple[int, int]]) -> ChainSolution:
     return ChainSolution(plan=_extract_plan(splits, 0, n - 1), cost=float(costs[0, n - 1]))
 
 
+def _solve_cell(
+    costs: np.ndarray,
+    memo: List[List[Optional[MNCSketch]]],
+    i: int,
+    j: int,
+    rng,
+) -> Tuple[float, int, MNCSketch]:
+    """One DP cell: pick the cheapest split of subchain ``[i, j]`` and
+    propagate its joined sketch. Reads only strictly shorter spans, so all
+    cells of one span are independent."""
+    best_cost, best_k = np.inf, i
+    for k in range(i, j):
+        join = sparse_matmul_flops(memo[i][k], memo[k + 1][j])
+        cost = costs[i, k] + costs[k + 1, j] + join
+        if cost < best_cost:
+            best_cost, best_k = cost, k
+    sketch = propagate_product(memo[i][best_k], memo[best_k + 1][j], rng=rng)
+    return best_cost, best_k, sketch
+
+
 def optimize_chain_sparse(
     sketches: Sequence[MNCSketch],
     rng: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> ChainSolution:
     """Sparsity-aware DP over MNC sketches (Appendix C, Eq 17).
 
@@ -82,8 +105,16 @@ def optimize_chain_sparse(
         sketches: MNC sketches of the chain matrices (build once with
             :meth:`MNCSketch.from_matrix`).
         rng: randomness for probabilistic rounding during sketch propagation.
+        workers: thread count for evaluating one span's (independent) DP
+            cells concurrently; ``None`` reads ``$REPRO_WORKERS`` (default
+            1). Serial runs consume *rng* cell by cell exactly as before;
+            parallel runs pre-draw one child seed per cell in deterministic
+            (span, i) order, so any ``workers > 1`` yields identical plans
+            and costs regardless of thread count (which may round — hence
+            cost — differently than the serial stream).
     """
     _validate_chain_shapes([h.shape for h in sketches])
+    workers = resolve_workers(workers)
     generator = resolve_rng(rng)
     n = len(sketches)
     costs = np.zeros((n, n), dtype=np.float64)
@@ -92,26 +123,45 @@ def optimize_chain_sparse(
     for i, sketch in enumerate(sketches):
         memo[i][i] = sketch
     for span in range(2, n + 1):
-        for i in range(n - span + 1):
+        starts = list(range(n - span + 1))
+        if workers > 1 and len(starts) > 1:
+            # Sketch propagation (not the flops scan) dominates a cell, and
+            # it is numpy-bound, so threads are the right pool here — the
+            # memo tables stay shared without any serialization.
+            seeds = [int(generator.integers(0, 2**63)) for _ in starts]
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(starts))
+            ) as pool:
+                solved = list(pool.map(
+                    lambda pair: _solve_cell(
+                        costs, memo, pair[0], pair[0] + span - 1,
+                        resolve_rng(pair[1]),
+                    ),
+                    zip(starts, seeds),
+                ))
+        else:
+            solved = [
+                _solve_cell(costs, memo, i, i + span - 1, generator)
+                for i in starts
+            ]
+        for i, (best_cost, best_k, sketch) in zip(starts, solved):
             j = i + span - 1
-            best_cost, best_k = np.inf, i
-            for k in range(i, j):
-                join = sparse_matmul_flops(memo[i][k], memo[k + 1][j])
-                cost = costs[i, k] + costs[k + 1, j] + join
-                if cost < best_cost:
-                    best_cost, best_k = cost, k
             costs[i, j] = best_cost
             splits[i, j] = best_k
-            memo[i][j] = propagate_product(
-                memo[i][best_k], memo[best_k + 1][j], rng=generator
-            )
+            memo[i][j] = sketch
     return ChainSolution(plan=_extract_plan(splits, 0, n - 1), cost=float(costs[0, n - 1]))
+
+
+def _sketch_matrix(matrix) -> MNCSketch:
+    """Worker entry point for parallel leaf sketching."""
+    return MNCSketch.from_matrix(matrix)
 
 
 def optimize_chain_matrices(
     matrices: Sequence,
     rng: SeedLike = None,
     catalog: Optional[object] = None,
+    workers: Optional[int] = None,
 ) -> ChainSolution:
     """Sparsity-aware chain DP straight from concrete matrices.
 
@@ -122,12 +172,20 @@ def optimize_chain_matrices(
             (or anything with ``sketch_for``); when given, leaf sketches
             come from the catalog — matrices already registered there (or
             optimized before) are never re-sketched.
+        workers: process count for sketching leaves in parallel (catalog-less
+            runs only — a catalog's store already deduplicates that work),
+            and thread count for the DP's per-span cells. ``None`` reads
+            ``$REPRO_WORKERS`` (default 1). Sketch construction is
+            deterministic, so leaf parallelism never changes results.
     """
     if catalog is not None:
         sketches = [catalog.sketch_for(matrix) for matrix in matrices]
     else:
-        sketches = [MNCSketch.from_matrix(matrix) for matrix in matrices]
-    return optimize_chain_sparse(sketches, rng=rng)
+        sketches = map_values(
+            _sketch_matrix, list(matrices), workers=workers,
+            label="mmchain.sketch",
+        )
+    return optimize_chain_sparse(sketches, rng=rng, workers=workers)
 
 
 def left_deep_plan(n: int) -> Plan:

@@ -1,0 +1,159 @@
+"""Shared-npz leaf spill: ship expression DAGs to workers without
+pickling CSR payloads per task.
+
+An :class:`~repro.ir.nodes.Expr` over concrete matrices can be megabytes;
+fanning a batch of such DAGs out to a process pool by pickling them per
+task would serialize the same leaf matrices once per request. Instead the
+parent *spills* each distinct leaf once — keyed by its structural
+fingerprint — into a ``leaves/`` subdirectory of the catalog's sketch
+spill directory, and sends workers a :class:`PortableDag`: a compact,
+picklable skeleton of opcodes, parameters, and leaf fingerprints.
+
+Workers rebuild the DAG by loading leaves from the shared directory
+(warm across tasks thanks to the OS page cache) and warm-start their
+:class:`~repro.catalog.store.SketchStore` from the same directory, so a
+leaf whose sketch the parent already computed is never re-sketched.
+
+The ``leaves/`` subdirectory keeps matrix files out of the store's
+``*.npz`` sketch namespace — ``SketchStore.warm_start`` globs the catalog
+root and must only ever see sketch files there.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+spilling the same fingerprint — two requests sharing a leaf — can never
+interleave into a corrupt file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.ir.nodes import Expr
+from repro.matrix.io import load_matrix, save_matrix
+from repro.opcodes import Op
+
+#: Subdirectory (under a catalog/spill directory) holding spilled leaves.
+LEAF_SUBDIR = "leaves"
+
+
+@dataclass(frozen=True)
+class PortableNode:
+    """One node of a spilled DAG, referencing children by table index."""
+
+    op: str
+    children: Tuple[int, ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
+    leaf_key: Optional[str] = None  #: leaf fingerprint (LEAF nodes only)
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PortableDag:
+    """Picklable skeleton of an expression DAG.
+
+    Nodes are stored in post-order (children before parents; the root is
+    last), so :func:`load_dag` can rebuild the DAG in one forward pass
+    while preserving shared sub-expressions exactly.
+    """
+
+    nodes: Tuple[PortableNode, ...]
+
+    @property
+    def leaf_keys(self) -> List[str]:
+        return [n.leaf_key for n in self.nodes if n.leaf_key is not None]
+
+
+def leaf_dir(directory: str | Path) -> Path:
+    """The leaf-spill subdirectory under a catalog *directory*."""
+    return Path(directory) / LEAF_SUBDIR
+
+
+def _atomic_save(path: Path, matrix: sp.csr_array) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp.npz"
+    )
+    os.close(handle)
+    try:
+        save_matrix(temp, matrix)
+        os.replace(temp, path)
+    except BaseException:
+        Path(temp).unlink(missing_ok=True)
+        raise
+
+
+def spill_dag(root: Expr, directory: str | Path) -> PortableDag:
+    """Spill *root*'s leaves under *directory* and return its skeleton.
+
+    Each distinct leaf matrix is written once as
+    ``leaves/<fingerprint>.npz``; leaves already present (from an earlier
+    request in the batch, or a previous run against the same catalog) are
+    not rewritten.
+    """
+    # Imported here, not at module level: repro.catalog itself builds on
+    # this package (the service's parallel batch path), so the fingerprint
+    # helper must resolve lazily to keep the import graph acyclic.
+    from repro.catalog.fingerprint import fingerprint_matrix
+
+    target = leaf_dir(directory)
+    index: Dict[int, int] = {}
+    nodes: List[PortableNode] = []
+    for node in root.postorder():
+        children = tuple(index[id(child)] for child in node.inputs)
+        leaf_key = None
+        if node.op is Op.LEAF:
+            leaf_key = fingerprint_matrix(node.matrix)
+            path = target / f"{leaf_key}.npz"
+            if not path.exists():
+                _atomic_save(path, node.matrix)
+        index[id(node)] = len(nodes)
+        nodes.append(PortableNode(
+            op=node.op.value,
+            children=children,
+            params=tuple(sorted(node.params.items())),
+            leaf_key=leaf_key,
+            name=node.name,
+        ))
+    return PortableDag(nodes=tuple(nodes))
+
+
+def load_dag(
+    portable: PortableDag,
+    directory: str | Path,
+    _cache: Optional[Dict[str, sp.csr_array]] = None,
+) -> Expr:
+    """Rebuild the expression a :func:`spill_dag` call described.
+
+    Args:
+        portable: the DAG skeleton.
+        directory: the catalog directory the parent spilled into.
+        _cache: optional fingerprint -> matrix cache shared across calls
+            (a worker handling several requests loads each leaf once).
+    """
+    source = leaf_dir(directory)
+    cache: Dict[str, sp.csr_array] = _cache if _cache is not None else {}
+    rebuilt: List[Expr] = []
+    for node in portable.nodes:
+        if node.leaf_key is not None:
+            matrix = cache.get(node.leaf_key)
+            if matrix is None:
+                path = source / f"{node.leaf_key}.npz"
+                if not path.exists():
+                    raise ReproError(
+                        f"spilled leaf {node.leaf_key[:16]} missing from {source}"
+                    )
+                matrix = load_matrix(path)
+                cache[node.leaf_key] = matrix
+            rebuilt.append(Expr(Op.LEAF, matrix=matrix, name=node.name))
+            continue
+        children = tuple(rebuilt[i] for i in node.children)
+        rebuilt.append(Expr(
+            Op(node.op), children, params=dict(node.params), name=node.name
+        ))
+    return rebuilt[-1]

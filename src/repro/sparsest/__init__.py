@@ -19,6 +19,11 @@ from repro.sparsest.metrics import (
 )
 from repro.sparsest.runner import (
     EstimateOutcome,
+    EstimationRequest,
+    EstimationResult,
+    execute,
+    execute_outcomes,
+    requests_for,
     run_estimators,
     run_use_case,
 )
@@ -31,12 +36,17 @@ from repro.sparsest.usecases import (
 
 __all__ = [
     "EstimateOutcome",
+    "EstimationRequest",
+    "EstimationResult",
     "UseCase",
     "absolute_ratio_error",
     "aggregate_relative_error",
     "all_use_cases",
+    "execute",
+    "execute_outcomes",
     "get_use_case",
     "relative_error",
+    "requests_for",
     "run_estimators",
     "run_use_case",
     "use_case_ids",

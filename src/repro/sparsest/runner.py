@@ -8,18 +8,35 @@ element-wise operations, Table 1) yield an ``unsupported`` outcome, which
 the report renders as the "x" the paper's figures show. Estimators whose
 synopsis would exceed a configurable memory budget (the paper's
 out-of-memory bitset cases) yield ``oom``.
+
+The one entry point is :func:`execute`: it takes self-describing, picklable
+:class:`EstimationRequest` objects and returns :class:`EstimationResult`
+objects in request order, optionally fanning independent requests out to a
+process pool (``workers``, default ``$REPRO_WORKERS`` or serial). The
+legacy ``run_use_case`` / ``run_repeated`` / ``run_estimators`` signatures
+remain as deprecation shims over it.
+
+Determinism contract: a request whose ``estimator`` is a registry *name*
+is materialized as a fresh, identically-configured instance per request,
+in workers and in the serial path alike — so ``workers=N`` produces
+bit-identical estimates to ``workers=1`` for any N (wall-clock ``seconds``
+are physical measurements and naturally vary; compare outcomes with
+:meth:`EstimateOutcome.deterministic_key`). Requests carrying estimator
+*instances* (the shim path) share that instance's state across cells
+exactly as the old API did, and therefore always run serially.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.fingerprint import fingerprint_expr
 from repro.catalog.memo import EstimateMemo
 from repro.errors import UnsupportedOperationError
-from repro.estimators.base import SparsityEstimator
+from repro.estimators.base import SparsityEstimator, make_estimator
 from repro.estimators.bitset import BitsetEstimator
 from repro.ir.estimate import estimate_root_nnz
 from repro.ir.interpreter import evaluate
@@ -28,8 +45,9 @@ from repro.observability.collector import get_collector
 from repro.observability.recording import unwrap_estimator
 from repro.observability.trace import timed_span
 from repro.opcodes import Op
-from repro.sparsest.metrics import relative_error
-from repro.sparsest.usecases import UseCase
+from repro.parallel.engine import resolve_workers, run_tasks
+from repro.sparsest.metrics import aggregate_relative_error, relative_error
+from repro.sparsest.usecases import UseCase, get_use_case
 
 #: Default synopsis budget: a bitset beyond this is treated as OOM, mirroring
 #: the paper's 8 TB / 7.8 TB bitset failures at benchmark scale.
@@ -55,11 +73,117 @@ class EstimateOutcome:
     estimated_nnz: float
     relative_error: float
     seconds: float
-    status: str  # "ok" | "unsupported" | "oom"
+    status: str  # "ok" | "unsupported" | "oom" | "failed"
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def deterministic_key(self) -> tuple:
+        """Everything but wall time: the fields a parallel run reproduces
+        bit-identically. Two runs of the same request agree on this key
+        regardless of worker count; ``seconds`` is a physical measurement
+        and is excluded. NaN placeholders (unsupported/OOM cells) are
+        mapped to a comparable sentinel, since ``nan != nan`` would make
+        such outcomes never equal their own reproduction."""
+        def comparable(value: float):
+            return "nan" if math.isnan(value) else value
+
+        return (
+            self.use_case, self.estimator, comparable(self.true_nnz),
+            comparable(self.estimated_nnz), comparable(self.relative_error),
+            self.status,
+        )
+
+
+@dataclass(frozen=True)
+class EstimationRequest:
+    """Self-describing, picklable unit of SparsEst work.
+
+    Args:
+        use_case: use-case id (e.g. ``"B2.3"``, preferred) or a
+            :class:`UseCase` instance (accepted for ad-hoc cases outside
+            the registry; forces serial execution).
+        estimator: registry name (preferred — materialized fresh per
+            request, safe to ship to workers) or a live estimator instance
+            (legacy shims; forces serial execution, shares state across
+            requests).
+        estimator_options: constructor keyword arguments for name-based
+            estimators, as a sorted tuple of ``(key, value)`` pairs so the
+            request hashes and pickles deterministically.
+        scale: use-case dimension scale.
+        seed: base data seed.
+        repetitions: > 1 aggregates seeds ``seed .. seed+repetitions-1``
+            with the paper's additive rule (Section 5); a single
+            unsupported/OOM repetition short-circuits.
+        memory_budget_bytes: bitset OOM threshold.
+    """
+
+    use_case: Union[str, UseCase]
+    estimator: Union[str, SparsityEstimator]
+    estimator_options: Tuple[Tuple[str, Any], ...] = ()
+    scale: float = 1.0
+    seed: int = 0
+    repetitions: int = 1
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError(
+                f"repetitions must be positive, got {self.repetitions}"
+            )
+
+    @property
+    def portable(self) -> bool:
+        """Whether this request can be shipped to a worker process: both
+        the use case and the estimator are registry references, so the
+        worker reconstructs them instead of sharing live objects."""
+        return isinstance(self.estimator, str) and isinstance(self.use_case, str)
+
+    def resolve_use_case(self) -> UseCase:
+        if isinstance(self.use_case, str):
+            return get_use_case(self.use_case)
+        return self.use_case
+
+    @property
+    def use_case_id(self) -> str:
+        return self.use_case if isinstance(self.use_case, str) else self.use_case.id
+
+    def materialize_estimator(self) -> SparsityEstimator:
+        """A fresh estimator for this request (instances pass through).
+
+        Name-based estimators are wrapped in the telemetry proxy when a
+        collector is listening, matching what the CLI does for instances.
+        """
+        if not isinstance(self.estimator, str):
+            return self.estimator
+        estimator = make_estimator(self.estimator, **dict(self.estimator_options))
+        if get_collector().enabled:
+            from repro.observability.recording import RecordingEstimator
+
+            return RecordingEstimator(estimator)
+        return estimator
+
+    @property
+    def estimator_label(self) -> str:
+        """Display name used in failed-outcome rows."""
+        if isinstance(self.estimator, str):
+            return self.estimator
+        return self.estimator.name
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """One executed request: its outcome, plus the crash report if the
+    request failed instead of completing."""
+
+    request: EstimationRequest
+    outcome: EstimateOutcome
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.outcome.ok
 
 
 def _record_outcome(outcome: EstimateOutcome) -> EstimateOutcome:
@@ -93,14 +217,18 @@ def _bitset_would_oom(root: Expr, budget_bytes: int) -> bool:
     return False
 
 
-def run_use_case(
+# ----------------------------------------------------------------------
+# Execution core
+# ----------------------------------------------------------------------
+
+def _run_cell(
     use_case: UseCase,
     estimator: SparsityEstimator,
-    scale: float = 1.0,
-    seed: int = 0,
-    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    scale: float,
+    seed: int,
+    memory_budget_bytes: int,
 ) -> EstimateOutcome:
-    """Run one estimator on one use case and score it.
+    """One (use case, estimator, seed) cell — the paper's M1/M2 probe.
 
     The reported time covers synopsis construction, propagation, and root
     estimation (the paper's M2 "total estimation time").
@@ -130,6 +258,175 @@ def run_use_case(
     ))
 
 
+def execute_request(request: EstimationRequest) -> EstimateOutcome:
+    """Execute one request to completion (the worker entry point).
+
+    Single-repetition requests return the cell outcome directly; repeated
+    requests aggregate per-seed outcomes with the paper's additive rule
+    ("we additively aggregate ... and compute the final error as
+    max(S, s*n) / min(S, s*n)"), with timings summed and a single
+    unsupported/OOM repetition short-circuiting.
+    """
+    use_case = request.resolve_use_case()
+    estimator = request.materialize_estimator()
+    if request.repetitions == 1:
+        return _run_cell(
+            use_case, estimator, request.scale, request.seed,
+            request.memory_budget_bytes,
+        )
+    true_counts: List[float] = []
+    estimates: List[float] = []
+    seconds = 0.0
+    for seed in range(request.seed, request.seed + request.repetitions):
+        outcome = _run_cell(
+            use_case, estimator, request.scale, seed,
+            request.memory_budget_bytes,
+        )
+        if not outcome.ok:
+            return outcome
+        true_counts.append(outcome.true_nnz)
+        estimates.append(outcome.estimated_nnz)
+        seconds += outcome.seconds
+    return EstimateOutcome(
+        use_case.id, estimator.name,
+        sum(true_counts), sum(estimates),
+        aggregate_relative_error(true_counts, estimates),
+        seconds, "ok",
+    )
+
+
+def _failed_outcome(request: EstimationRequest) -> EstimateOutcome:
+    return EstimateOutcome(
+        request.use_case_id, request.estimator_label,
+        math.nan, math.nan, math.inf, 0.0, "failed",
+    )
+
+
+def execute(
+    requests: Sequence[EstimationRequest],
+    *,
+    workers: Optional[int] = None,
+    on_error: str = "capture",
+) -> List[EstimationResult]:
+    """Execute *requests* and return results in request order.
+
+    Args:
+        requests: independent work items.
+        workers: process count; ``None`` reads ``$REPRO_WORKERS``
+            (default 1 — serial, deterministic, unchanged trace output).
+            The pool is only used when every request is portable
+            (name-based estimator); instance-carrying batches fall back to
+            serial execution to preserve shared-state semantics.
+        on_error: ``"capture"`` converts exceptions — including hard
+            worker deaths in pool mode — into results with
+            ``status="failed"`` and the crash text in ``error``;
+            ``"raise"`` propagates the first exception (serial only, the
+            legacy shim behavior).
+
+    Returns:
+        One :class:`EstimationResult` per request, in request order.
+    """
+    if on_error not in ("capture", "raise"):
+        raise ValueError(f"on_error must be 'capture' or 'raise', got {on_error!r}")
+    requests = list(requests)
+    workers = resolve_workers(workers)
+    parallel = (
+        workers > 1
+        and len(requests) > 1
+        and all(request.portable for request in requests)
+    )
+    if not parallel:
+        results: List[EstimationResult] = []
+        for request in requests:
+            if on_error == "raise":
+                results.append(EstimationResult(request, execute_request(request)))
+                continue
+            try:
+                results.append(EstimationResult(request, execute_request(request)))
+            except Exception as exc:  # noqa: BLE001 - mirrored pool semantics
+                results.append(EstimationResult(
+                    request, _failed_outcome(request),
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+        return results
+
+    task_results = run_tasks(
+        execute_request, requests, workers=workers, label="sparsest.execute"
+    )
+    results = []
+    for request, task in zip(requests, task_results):
+        if task.ok:
+            results.append(EstimationResult(request, task.value))
+        else:
+            results.append(EstimationResult(
+                request, _failed_outcome(request), error=str(task.failure)
+            ))
+    return results
+
+
+def execute_outcomes(
+    requests: Sequence[EstimationRequest],
+    *,
+    workers: Optional[int] = None,
+) -> List[EstimateOutcome]:
+    """:func:`execute`, unwrapped to the outcome list most callers want."""
+    return [result.outcome for result in execute(requests, workers=workers)]
+
+
+def requests_for(
+    use_cases: Sequence[Union[UseCase, str]],
+    estimators: Sequence[str],
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    repetitions: int = 1,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> List[EstimationRequest]:
+    """Cartesian (use case x estimator) request list, use-case-major —
+    the same cell order the legacy ``run_estimators`` produced."""
+    return [
+        EstimationRequest(
+            use_case=case if isinstance(case, str) else case.id,
+            estimator=name,
+            scale=scale,
+            seed=seed,
+            repetitions=repetitions,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        for case in use_cases
+        for name in estimators
+    ]
+
+
+# ----------------------------------------------------------------------
+# Deprecated wrappers (the pre-request API)
+# ----------------------------------------------------------------------
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build EstimationRequest objects and call "
+        f"repro.sparsest.runner.execute instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_use_case(
+    use_case: UseCase,
+    estimator: SparsityEstimator,
+    scale: float = 1.0,
+    seed: int = 0,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> EstimateOutcome:
+    """Deprecated: one estimator on one use case (see :func:`execute`)."""
+    _deprecated("run_use_case")
+    request = EstimationRequest(
+        use_case=use_case, estimator=estimator, scale=scale, seed=seed,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    return execute([request], workers=1, on_error="raise")[0].outcome
+
+
 def run_repeated(
     use_case: UseCase,
     estimator: SparsityEstimator,
@@ -137,35 +434,13 @@ def run_repeated(
     scale: float = 1.0,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
 ) -> EstimateOutcome:
-    """Run *repetitions* seeds and aggregate with the paper's additive rule.
-
-    Section 5: "we additively aggregate ... and compute the final error as
-    max(S, s*n) / min(S, s*n)". Each repetition uses a distinct data seed;
-    timings sum. A single unsupported/OOM outcome short-circuits.
-    """
-    if repetitions < 1:
-        raise ValueError(f"repetitions must be positive, got {repetitions}")
-    true_counts: List[float] = []
-    estimates: List[float] = []
-    seconds = 0.0
-    for seed in range(repetitions):
-        outcome = run_use_case(
-            use_case, estimator, scale=scale, seed=seed,
-            memory_budget_bytes=memory_budget_bytes,
-        )
-        if not outcome.ok:
-            return outcome
-        true_counts.append(outcome.true_nnz)
-        estimates.append(outcome.estimated_nnz)
-        seconds += outcome.seconds
-    from repro.sparsest.metrics import aggregate_relative_error
-
-    return EstimateOutcome(
-        use_case.id, estimator.name,
-        sum(true_counts), sum(estimates),
-        aggregate_relative_error(true_counts, estimates),
-        seconds, "ok",
+    """Deprecated: aggregate *repetitions* seeds (see :func:`execute`)."""
+    _deprecated("run_repeated")
+    request = EstimationRequest(
+        use_case=use_case, estimator=estimator, repetitions=repetitions,
+        scale=scale, memory_budget_bytes=memory_budget_bytes,
     )
+    return execute([request], workers=1, on_error="raise")[0].outcome
 
 
 def run_estimators(
@@ -175,17 +450,21 @@ def run_estimators(
     seed: int = 0,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
 ) -> List[EstimateOutcome]:
-    """Cartesian run of estimators over use cases."""
-    outcomes: List[EstimateOutcome] = []
-    for use_case in use_cases:
-        for estimator in estimators:
-            outcomes.append(
-                run_use_case(
-                    use_case, estimator, scale=scale, seed=seed,
-                    memory_budget_bytes=memory_budget_bytes,
-                )
-            )
-    return outcomes
+    """Deprecated: cartesian run of estimators over use cases (see
+    :func:`execute`)."""
+    _deprecated("run_estimators")
+    requests = [
+        EstimationRequest(
+            use_case=use_case, estimator=estimator, scale=scale,
+            seed=seed, memory_budget_bytes=memory_budget_bytes,
+        )
+        for use_case in use_cases
+        for estimator in estimators
+    ]
+    return [
+        result.outcome
+        for result in execute(requests, workers=1, on_error="raise")
+    ]
 
 
 def supports_use_case(estimator: SparsityEstimator, root: Expr) -> bool:

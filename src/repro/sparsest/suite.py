@@ -11,10 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.estimators import make_estimator
-from repro.estimators.base import SparsityEstimator
 from repro.sparsest.report import outcomes_table, timings_table
-from repro.sparsest.runner import EstimateOutcome, run_estimators, run_repeated
+from repro.sparsest.runner import EstimateOutcome, execute_outcomes, requests_for
 from repro.sparsest.summary import EstimatorSummary, summarize, summary_table
 from repro.sparsest.usecases import all_use_cases, get_use_case
 
@@ -63,31 +61,32 @@ def run_suite(
     scale: float = 0.1,
     repetitions: int = 1,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> SuiteResult:
     """Run the SparsEst suite.
 
+    Every (use case, estimator) cell runs on a fresh, identically-seeded
+    estimator instance, so results are independent of cell order and of
+    the worker count.
+
     Args:
-        estimator_names: registry names to instantiate (fresh per run).
+        estimator_names: registry names to instantiate (fresh per cell).
         case_ids: use-case ids, default all fifteen.
         scale: dimension scale relative to the paper's setup.
         repetitions: >1 aggregates seeds with the paper's additive rule.
-        seed: base data seed (single-repetition runs only).
+        seed: base data seed.
+        workers: process count for fanning cells out; ``None`` reads
+            ``$REPRO_WORKERS`` (default 1, serial).
     """
     if case_ids is None:
         cases = all_use_cases()
     else:
         cases = [get_use_case(case_id) for case_id in case_ids]
-    lineup: List[SparsityEstimator] = [
-        make_estimator(name) for name in estimator_names
-    ]
-    if repetitions <= 1:
-        outcomes = run_estimators(cases, lineup, scale=scale, seed=seed)
-    else:
-        outcomes = [
-            run_repeated(case, estimator, repetitions=repetitions, scale=scale)
-            for case in cases
-            for estimator in lineup
-        ]
+    requests = requests_for(
+        cases, list(estimator_names),
+        scale=scale, seed=seed, repetitions=repetitions,
+    )
+    outcomes = execute_outcomes(requests, workers=workers)
     return SuiteResult(
         outcomes=outcomes, summaries=summarize(outcomes),
         scale=scale, repetitions=repetitions,

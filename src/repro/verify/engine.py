@@ -22,6 +22,7 @@ self-test injects a faulty estimator and asserts an <=8x8 reproducer).
 from __future__ import annotations
 
 import fnmatch
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from repro.ir.nodes import Expr
 from repro.matrix.conversion import as_csr
 from repro.observability.trace import count, timed_span
 from repro.opcodes import Op
+from repro.parallel.engine import resolve_workers, run_tasks
 from repro.verify.contracts import (
     Contract,
     EstimatorSpec,
@@ -156,6 +158,12 @@ class FuzzEngine:
         cell_patterns: optional ``estimator:contract:generator`` fnmatch
             patterns (e.g. ``"mnc:*:*,*:bounds:adversarial"``) selecting a
             subset of cells.
+        workers: process count for fanning budget chunks out; ``None``
+            reads ``$REPRO_WORKERS`` (default 1). Case identity depends
+            only on ``(seed, generator, index)`` and chunk boundaries are
+            deterministic, so the report is identical for any worker
+            count. A chunk whose worker dies is re-run serially in the
+            parent, so crashes surface as findings, not hangs.
     """
 
     def __init__(
@@ -167,6 +175,7 @@ class FuzzEngine:
         seed: int = 0,
         shrink: bool = True,
         cell_patterns: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
     ):
         self.specs = list(specs) if specs is not None else default_estimator_specs()
         self.contracts = list(contracts) if contracts is not None else all_contracts()
@@ -175,6 +184,7 @@ class FuzzEngine:
         self.seed = int(seed)
         self.shrink = bool(shrink)
         self.cell_patterns = list(cell_patterns) if cell_patterns else []
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Main loop
@@ -187,11 +197,43 @@ class FuzzEngine:
         return any(fnmatch.fnmatch(name, pat) for pat in self.cell_patterns)
 
     def run(self) -> VerifyReport:
-        """Execute the full matrix and return the aggregated report."""
+        """Execute the full matrix and return the aggregated report.
+
+        Fuzz trials are pure functions of ``(seed, generator, index)``, so
+        the budget splits into index chunks that run in any process; chunk
+        results are merged back in deterministic (generator, index) order,
+        making the report independent of the worker count.
+        """
+        workers = resolve_workers(self.workers)
+        chunks = self._chunks(workers)
         cells: Dict[CellKey, CellResult] = {}
-        with timed_span("verify.run", budget=self.budget, seed=self.seed):
-            for generator in self.generators:
-                self._run_generator(generator, cells)
+        with timed_span(
+            "verify.run", budget=self.budget, seed=self.seed, workers=workers
+        ):
+            if workers <= 1 or len(chunks) <= 1:
+                for generator, start, stop in chunks:
+                    self._merge(cells, self._run_chunk(generator, range(start, stop)))
+            else:
+                outcomes = run_tasks(
+                    _run_chunk_task,
+                    [(self, generator, start, stop)
+                     for generator, start, stop in chunks],
+                    workers=workers,
+                    label="verify.fuzz",
+                )
+                for (generator, start, stop), outcome in zip(chunks, outcomes):
+                    if outcome.ok:
+                        chunk_cells = outcome.value
+                    else:
+                        # The worker died (or the chunk raised outside a
+                        # contract check). Re-run the chunk in-process: a
+                        # deterministic crash then surfaces with its real
+                        # traceback instead of hanging the pool.
+                        count("verify.chunk_retries")
+                        chunk_cells = self._run_chunk(
+                            generator, range(start, stop)
+                        )
+                    self._merge(cells, chunk_cells)
         report = VerifyReport(seed=self.seed, budget=self.budget, cells=cells)
         count("verify.cases", float(report.checked))
         count("verify.skipped", float(report.skipped))
@@ -200,8 +242,39 @@ class FuzzEngine:
             count(f"verify.violations.{record.cell.contract}")
         return report
 
-    def _run_generator(self, generator: str,
-                       cells: Dict[CellKey, CellResult]) -> None:
+    def _chunks(self, workers: int) -> List[Tuple[str, int, int]]:
+        """Deterministic ``(generator, start, stop)`` budget chunks.
+
+        Serial runs use one chunk per generator; parallel runs split each
+        generator's budget into up to ``workers`` contiguous index ranges.
+        An empty budget still yields one empty chunk per generator so that
+        selected cells appear in the report with zero counts.
+        """
+        if workers <= 1:
+            return [(generator, 0, self.budget) for generator in self.generators]
+        size = max(1, math.ceil(self.budget / workers))
+        chunks: List[Tuple[str, int, int]] = []
+        for generator in self.generators:
+            starts = list(range(0, self.budget, size)) or [0]
+            for start in starts:
+                chunks.append((generator, start, min(start + size, self.budget)))
+        return chunks
+
+    @staticmethod
+    def _merge(cells: Dict[CellKey, CellResult],
+               chunk: Dict[CellKey, CellResult]) -> None:
+        for key, result in chunk.items():
+            target = cells.setdefault(key, CellResult(cell=key))
+            target.checked += result.checked
+            target.skipped += result.skipped
+            target.errors += result.errors
+            target.violations.extend(result.violations)
+
+    def _run_chunk(self, generator: str,
+                   indices: Iterable[int]) -> Dict[CellKey, CellResult]:
+        """Evaluate budget indices *indices* of *generator* over every
+        selected (estimator x contract) cell, into a fresh cell table."""
+        cells: Dict[CellKey, CellResult] = {}
         keys = {
             (spec, contract): CellKey(spec.name, contract.id, generator)
             for spec in self.specs for contract in self.contracts
@@ -210,10 +283,10 @@ class FuzzEngine:
             pair: key for pair, key in keys.items() if self._selected(key)
         }
         if not active:
-            return
+            return cells
         for pair, key in active.items():
             cells.setdefault(key, CellResult(cell=key))
-        for index in range(self.budget):
+        for index in indices:
             case = generate_case(generator, self.seed, index)
             for (spec, contract), key in active.items():
                 result = cells[key]
@@ -244,6 +317,7 @@ class FuzzEngine:
                     shrunk_message=shrunk_message, shrink_steps=steps,
                     spec=spec,
                 ))
+        return cells
 
     # ------------------------------------------------------------------
     # Shrinking
@@ -340,6 +414,14 @@ class FuzzEngine:
             for matrix, child in zip(matrices, root.inputs)
         )
         return retag(replace(case, root=Expr(root.op, children, params=params)))
+
+
+def _run_chunk_task(
+    task: Tuple["FuzzEngine", str, int, int]
+) -> Dict[CellKey, CellResult]:
+    """Worker entry point: one (engine, generator, start, stop) chunk."""
+    engine, generator, start, stop = task
+    return engine._run_chunk(generator, range(start, stop))
 
 
 def _dimension_slots(
