@@ -3,15 +3,29 @@
 Implements Algorithm 1: the exact case of Theorem 3.1, the
 extension-vector case, the density-map-like fallback over count vectors, and
 the lower/upper bounds of Theorem 3.2.
+
+Hot-path notes (docs/PERFORMANCE.md): the kernels read the sketches'
+cached float64 count views (``hr_f64``/``hc_f64``), evaluate the
+density-map fallback in reused scratch buffers, and only enter a tracing
+span when a collector is listening — the estimates are bit-identical to
+the straightforward formulation either way.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.core.scratch import ScratchBuffer
 from repro.core.sketch import MNCSketch
-from repro.observability.trace import trace
+from repro.errors import ShapeError
+from repro.observability.trace import trace, tracing_enabled
+
+#: Scratch for the density-map collision vector (one per call site; see
+#: repro.core.scratch for the aliasing rules).
+_DM_SCRATCH = ScratchBuffer(np.float64)
+#: Scratch for the residual count vectors of the extension case (Eq 8-9).
+_RESID_A_SCRATCH = ScratchBuffer(np.float64)
+_RESID_B_SCRATCH = ScratchBuffer(np.float64)
 
 
 def _check_product_shapes(h_a: MNCSketch, h_b: MNCSketch) -> None:
@@ -31,7 +45,8 @@ def density_map_vector_estimate(
     ``v_a[k] * v_b[k]`` candidate non-zeros scattered uniformly over *cells*
     output cells, and combines slices with the probabilistic-union operator of
     Eq 4 (``s (+) t = s + t - s*t``). Evaluated in log space so thousands of
-    slices do not underflow.
+    slices do not underflow, and entirely inside a reused scratch buffer so
+    the optimizer's inner loop allocates nothing here.
 
     Args:
         v_a: per-slice non-zero counts on the left (columns of A).
@@ -43,13 +58,23 @@ def density_map_vector_estimate(
     """
     if cells <= 0:
         return 0.0
-    collision = (
-        np.asarray(v_a, dtype=np.float64) * np.asarray(v_b, dtype=np.float64)
-    ) / cells
-    np.clip(collision, 0.0, 1.0, out=collision)
-    if np.any(collision >= 1.0):
+    v_a = np.asarray(v_a, dtype=np.float64)
+    v_b = np.asarray(v_b, dtype=np.float64)
+    if v_a.size == 0:
+        return float(cells) * float(-np.expm1(0.0))
+    collision = _DM_SCRATCH.get(v_a.size)
+    np.multiply(v_a, v_b, out=collision)
+    # One multiply by the negated reciprocal replaces the divide and the
+    # negation pass (``x * (-r) == -(x * r)`` exactly in IEEE 754, so the
+    # fusion itself is lossless). Counts are non-negative, so the per-slice
+    # probabilities only need the upper clamp — and any slice at
+    # probability >= 1 saturates the whole estimate, which collapses the
+    # clamp into this early return.
+    np.multiply(collision, -1.0 / cells, out=collision)
+    if collision.min() <= -1.0:
         return float(cells)
-    log_all_zero = np.log1p(-collision).sum()
+    np.log1p(collision, out=collision)
+    log_all_zero = collision.sum()
     return float(cells) * float(-np.expm1(log_all_zero))
 
 
@@ -72,6 +97,67 @@ def product_nnz_lower_bound(h_a: MNCSketch, h_b: MNCSketch) -> int:
     """
     _check_product_shapes(h_a, h_b)
     return h_a.rows_half_full * h_b.cols_half_full
+
+
+def _estimate_product_nnz_impl(
+    h_a: MNCSketch, h_b: MNCSketch, use_extensions: bool, use_bounds: bool
+) -> float:
+    m = h_a.shape[0]
+    l = h_b.shape[1]
+    hc_a = h_a.hc_f64
+    hr_b = h_b.hr_f64
+    max_hr_a, nnz_rows_a, rows_half_a, rows_single_a = h_a.row_stats
+    max_hc_b, nnz_cols_b, cols_half_b, cols_single_b = h_b.col_stats
+    full_cells = float(m) * float(l)
+    hec_a_arr = h_a.hec
+    her_b_arr = h_b.her
+    if max_hr_a <= 1 or max_hc_b <= 1:
+        # Theorem 3.1: exact.
+        nnz = float(hc_a @ hr_b)
+    elif use_extensions and (hec_a_arr is not None or her_b_arr is not None):
+        # A missing extension vector is all-zero: its residual IS the count
+        # vector and its exact-part dot product is zero, so each side only
+        # pays for the extension it actually carries.
+        exact_part = 0.0
+        if hec_a_arr is not None:
+            hec_a = h_a.hec_f64_or_zeros()
+            resid_a = _RESID_A_SCRATCH.get(hc_a.size)
+            np.subtract(hc_a, hec_a, out=resid_a)
+            exact_part += float(hec_a @ hr_b)
+        else:
+            resid_a = hc_a
+        if her_b_arr is not None:
+            her_b = h_b.her_f64_or_zeros()
+            resid_b = _RESID_B_SCRATCH.get(hr_b.size)
+            np.subtract(hr_b, her_b, out=resid_b)
+            exact_part += float(resid_a @ her_b)
+        else:
+            resid_b = hr_b
+        if use_bounds:
+            residual_rows = nnz_rows_a - rows_single_a
+            residual_cols = nnz_cols_b - cols_single_b
+            cells = float(residual_rows) * float(residual_cols)
+        else:
+            cells = full_cells
+        generic_part = density_map_vector_estimate(resid_a, resid_b, cells)
+        nnz = exact_part + generic_part
+    else:
+        if use_bounds:
+            cells = float(nnz_rows_a) * float(nnz_cols_b)
+        else:
+            cells = full_cells
+        nnz = density_map_vector_estimate(hc_a, hr_b, cells)
+
+    if use_bounds:
+        # Theorem 3.2 bounds, inlined from product_nnz_lower_bound /
+        # product_nnz_upper_bound minus their (already-performed) shape check.
+        lower = float(rows_half_a * cols_half_b)
+        if nnz < lower:
+            nnz = lower
+        upper = float(min(nnz_rows_a * nnz_cols_b, m * l))
+        if nnz > upper:
+            nnz = upper
+    return min(nnz, full_cells)
 
 
 def estimate_product_nnz(
@@ -110,47 +196,23 @@ def estimate_product_nnz(
         Estimated number of non-zeros (float; callers divide by ``m*l`` for
         sparsity or round for allocation decisions).
     """
-    _check_product_shapes(h_a, h_b)
-    m, l = h_a.nrows, h_b.ncols
-    if m == 0 or l == 0 or h_a.total_nnz == 0 or h_b.total_nnz == 0:
+    if h_a.shape[1] != h_b.shape[0]:
+        raise ShapeError(
+            f"product requires inner dimensions to agree: "
+            f"{h_a.shape} x {h_b.shape}"
+        )
+    # Empty shapes imply empty totals, so the two nnz checks subsume the
+    # m == 0 / l == 0 cases.
+    if h_a.total_nnz == 0 or h_b.total_nnz == 0:
         return 0.0
-
+    if not tracing_enabled():
+        return _estimate_product_nnz_impl(h_a, h_b, use_extensions, use_bounds)
     with trace(
         "mnc.estimate.matmul",
         operand_shapes=(h_a.shape, h_b.shape),
         operand_nnz=(h_a.total_nnz, h_b.total_nnz),
     ) as span:
-        hc_a = h_a.hc.astype(np.float64)
-        hr_b = h_b.hr.astype(np.float64)
-        full_cells = float(m) * float(l)
-        if h_a.max_hr <= 1 or h_b.max_hc <= 1:
-            # Theorem 3.1: exact.
-            nnz = float(hc_a @ hr_b)
-        elif use_extensions and (h_a.hec is not None or h_b.her is not None):
-            hec_a = h_a.hec_or_zeros().astype(np.float64)
-            her_b = h_b.her_or_zeros().astype(np.float64)
-            exact_part = float(hec_a @ hr_b + (hc_a - hec_a) @ her_b)
-            if use_bounds:
-                residual_rows = h_a.nnz_rows - h_a.rows_single
-                residual_cols = h_b.nnz_cols - h_b.cols_single
-                cells = float(residual_rows) * float(residual_cols)
-            else:
-                cells = full_cells
-            generic_part = density_map_vector_estimate(
-                hc_a - hec_a, hr_b - her_b, cells
-            )
-            nnz = exact_part + generic_part
-        else:
-            if use_bounds:
-                cells = float(h_a.nnz_rows) * float(h_b.nnz_cols)
-            else:
-                cells = full_cells
-            nnz = density_map_vector_estimate(hc_a, hr_b, cells)
-
-        if use_bounds:
-            nnz = max(nnz, float(product_nnz_lower_bound(h_a, h_b)))
-            nnz = min(nnz, float(product_nnz_upper_bound(h_a, h_b)))
-        nnz = min(nnz, full_cells)
+        nnz = _estimate_product_nnz_impl(h_a, h_b, use_extensions, use_bounds)
         span.annotate(result_nnz=nnz)
         return nnz
 

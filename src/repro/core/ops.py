@@ -8,6 +8,12 @@ factor of Eq 13 and propagated with Eq 15.
 Count vectors are always propagated; extension vectors only when they are
 known to be exactly preserved (transpose, rbind/cbind on the unchanged axis,
 vector-to-matrix diag).
+
+Every rule here derives its output vectors from already-validated input
+sketches and re-establishes the invariants (dtype, ranges, matching
+totals) by construction, so results are built through the trusted fast
+tier (:meth:`MNCSketch.trusted`); ``repro.verify`` re-enables full
+validation via :func:`repro.core.hotpath.validated_scope`.
 """
 
 from __future__ import annotations
@@ -79,7 +85,7 @@ def estimate_ewise_add_nnz(h_a: MNCSketch, h_b: MNCSketch) -> float:
 
 def propagate_transpose(h: MNCSketch) -> MNCSketch:
     """Sketch of ``A^T``: row and column structures swap exactly."""
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(h.ncols, h.nrows), hr=h.hc, hc=h.hr, her=h.hec, hec=h.her,
         fully_diagonal=h.fully_diagonal, exact=h.exact,
     )
@@ -93,7 +99,7 @@ def propagate_not_equals_zero(h: MNCSketch) -> MNCSketch:
 def propagate_equals_zero(h: MNCSketch) -> MNCSketch:
     """Sketch of ``A == 0``: complemented counts, extensions dropped."""
     m, n = h.shape
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=h.shape, hr=n - h.hr, hc=m - h.hc, her=None, hec=None,
         fully_diagonal=False, exact=h.exact,
     )
@@ -112,7 +118,7 @@ def propagate_rbind(h_a: MNCSketch, h_b: MNCSketch) -> MNCSketch:
     hec = None
     if h_a.hec is not None and h_b.hec is not None:
         hec = h_a.hec + h_b.hec
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(h_a.nrows + h_b.nrows, h_a.ncols),
         hr=np.concatenate([h_a.hr, h_b.hr]),
         hc=h_a.hc + h_b.hc,
@@ -128,7 +134,7 @@ def propagate_cbind(h_a: MNCSketch, h_b: MNCSketch) -> MNCSketch:
     her = None
     if h_a.her is not None and h_b.her is not None:
         her = h_a.her + h_b.her
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(h_a.nrows, h_a.ncols + h_b.ncols),
         hr=h_a.hr + h_b.hr,
         hc=np.concatenate([h_a.hc, h_b.hc]),
@@ -149,7 +155,7 @@ def propagate_diag_vector(h: MNCSketch) -> MNCSketch:
     indicator = h.hr.copy()
     m = h.nrows
     dense_diagonal = bool(m > 0 and int(indicator.min()) == 1)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(m, m), hr=indicator, hc=indicator.copy(),
         her=indicator.copy(), hec=indicator.copy(),
         fully_diagonal=dense_diagonal, exact=h.exact,
@@ -172,7 +178,7 @@ def propagate_diag_extract(h: MNCSketch, rng: SeedLike = None) -> MNCSketch:
         np.clip(prob, 0.0, 1.0, out=prob)
         hr = probabilistic_round(prob, rng=rng, maximum=1)
     hc = np.array([int(hr.sum())], dtype=np.int64)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(m, 1), hr=hr, hc=hc, her=None, hec=None,
         fully_diagonal=False, exact=False,
     )
@@ -222,7 +228,7 @@ def propagate_reshape(
         )
     hr, hc = _fix_reshape_totals(h, hr, hc, rows, cols, generator)
     exact = h.exact and rows > 0 and m % rows == 0 and _is_uniform(h.hc, rows, m)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(rows, cols), hr=hr, hc=hc, her=None, hec=None,
         fully_diagonal=False, exact=exact,
     )
@@ -271,7 +277,7 @@ def propagate_row_sums(h: MNCSketch) -> MNCSketch:
     """
     indicator = (h.hr > 0).astype(np.int64)
     hc = np.array([int(indicator.sum())], dtype=np.int64)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(h.nrows, 1), hr=indicator, hc=hc, her=None, hec=None,
         fully_diagonal=False, exact=h.exact,
     )
@@ -282,7 +288,7 @@ def propagate_col_sums(h: MNCSketch) -> MNCSketch:
     :func:`propagate_row_sums`)."""
     indicator = (h.hc > 0).astype(np.int64)
     hr = np.array([int(indicator.sum())], dtype=np.int64)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=(1, h.ncols), hr=hr, hc=indicator, her=None, hec=None,
         fully_diagonal=False, exact=h.exact,
     )
@@ -311,7 +317,7 @@ def propagate_ewise_mult(
         maximum=h_a.nrows,
     )
     _reconcile_totals(hr, hc, generator)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=h_a.shape, hr=hr, hc=hc, her=None, hec=None,
         fully_diagonal=False, exact=False,
     )
@@ -338,7 +344,7 @@ def propagate_ewise_add(
     hr = probabilistic_round(hr_est, rng=generator, maximum=h_a.ncols)
     hc = probabilistic_round(hc_est, rng=generator, maximum=h_a.nrows)
     _reconcile_totals(hr, hc, generator)
-    return MNCSketch(
+    return MNCSketch.trusted(
         shape=h_a.shape, hr=hr, hc=hc, her=None, hec=None,
         fully_diagonal=False, exact=False,
     )

@@ -6,6 +6,12 @@ row/column histograms are scaled to the new total (Eq 11) with probabilistic
 rounding to avoid the ultra-sparse rounding bias. When one operand is fully
 diagonal and square, the other operand's sketch is propagated unchanged
 (Eq 12) — the product's structure is guaranteed identical.
+
+Hot-path notes (docs/PERFORMANCE.md): derived sketches are built through
+the trusted tier (:meth:`MNCSketch.trusted` — scaling and reconciliation
+re-establish every invariant by construction), Eq 11 scaling runs in a
+reused scratch buffer, and tracing spans are entered only when a
+collector listens.
 """
 
 from __future__ import annotations
@@ -14,9 +20,14 @@ import numpy as np
 
 from repro.core.estimate import estimate_product_nnz
 from repro.core.rounding import SeedLike, probabilistic_round, resolve_rng
+from repro.core.scratch import ScratchBuffer
 from repro.core.sketch import MNCSketch
 from repro.errors import ShapeError
-from repro.observability.trace import trace
+from repro.observability.trace import trace, tracing_enabled
+
+#: Scratch for the Eq 11 scaled histogram (consumed by probabilistic
+#: rounding before the next ``scale_histogram`` call can reuse it).
+_SCALE_SCRATCH = ScratchBuffer(np.float64)
 
 
 def scale_histogram(
@@ -40,8 +51,32 @@ def scale_histogram(
     current_total = float(histogram.sum())
     if current_total <= 0 or target_total <= 0:
         return np.zeros_like(histogram)
-    scaled = histogram.astype(np.float64) * (target_total / current_total)
+    scaled = _SCALE_SCRATCH.get(histogram.size)
+    np.multiply(histogram, target_total / current_total, out=scaled)
     return probabilistic_round(scaled, rng=rng, maximum=maximum)
+
+
+def _propagate_product_impl(
+    h_a: MNCSketch,
+    h_b: MNCSketch,
+    rng,
+    use_extensions: bool,
+    use_bounds: bool,
+) -> tuple[MNCSketch, float]:
+    generator = resolve_rng(rng)
+    m, l = h_a.nrows, h_b.ncols
+    nnz_estimate = estimate_product_nnz(
+        h_a, h_b, use_extensions=use_extensions, use_bounds=use_bounds
+    )
+    hr_c = scale_histogram(h_a.hr, nnz_estimate, maximum=l, rng=generator)
+    hc_c = scale_histogram(h_b.hc, nnz_estimate, maximum=m, rng=generator)
+    _reconcile_totals(hr_c, hc_c, generator)
+    exact = h_a.exact and h_b.exact and (h_a.max_hr <= 1 or h_b.max_hc <= 1)
+    sketch = MNCSketch.trusted(
+        shape=(m, l), hr=hr_c, hc=hc_c, her=None, hec=None,
+        fully_diagonal=False, exact=exact,
+    )
+    return sketch, nnz_estimate
 
 
 def propagate_product(
@@ -74,25 +109,21 @@ def propagate_product(
     if h_a.fully_diagonal and h_a.ncols == h_b.nrows:
         return h_b
 
+    if not tracing_enabled():
+        sketch, _ = _propagate_product_impl(
+            h_a, h_b, rng, use_extensions, use_bounds
+        )
+        return sketch
     with trace(
         "mnc.propagate.matmul",
         operand_shapes=(h_a.shape, h_b.shape),
         operand_nnz=(h_a.total_nnz, h_b.total_nnz),
     ) as span:
-        generator = resolve_rng(rng)
-        m, l = h_a.nrows, h_b.ncols
-        nnz_estimate = estimate_product_nnz(
-            h_a, h_b, use_extensions=use_extensions, use_bounds=use_bounds
+        sketch, nnz_estimate = _propagate_product_impl(
+            h_a, h_b, rng, use_extensions, use_bounds
         )
-        hr_c = scale_histogram(h_a.hr, nnz_estimate, maximum=l, rng=generator)
-        hc_c = scale_histogram(h_b.hc, nnz_estimate, maximum=m, rng=generator)
-        _reconcile_totals(hr_c, hc_c, generator)
-        exact = h_a.exact and h_b.exact and (h_a.max_hr <= 1 or h_b.max_hc <= 1)
         span.annotate(result_nnz=nnz_estimate)
-        return MNCSketch(
-            shape=(m, l), hr=hr_c, hc=hc_c, her=None, hec=None,
-            fully_diagonal=False, exact=exact,
-        )
+        return sketch
 
 
 def _reconcile_totals(
@@ -111,13 +142,30 @@ def _reconcile_totals(
         return
     target = hr if diff > 0 else hc
     remaining = abs(diff)
-    # sum(target) == sum(other) + remaining >= remaining, so the loop always
-    # finds enough positive entries to remove `remaining` units.
-    while remaining > 0:
+    # sum(target) == sum(other) + remaining >= remaining, so there are always
+    # enough units among the positive entries to remove `remaining` of them.
+    #
+    # Removing units one round at a time (decrement every positive entry by
+    # one, repeat) degenerates to an O(diff) loop when Eq 11's per-entry cap
+    # truncated the two histograms by very different amounts. The full
+    # rounds are deterministic — a round that touches *every* positive entry
+    # needs no random choice — so we apply them in bulk: after ``r`` rounds
+    # each entry holds ``max(v - r, 0)`` and ``sum(min(v, r))`` units are
+    # gone. Binary-search the largest such ``r``, subtract it vectorized,
+    # and draw only the final partial round at random.
+    values = target[target > 0]
+    lo, hi = 0, int(values.max()) if values.size else 0
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if int(np.minimum(values, mid).sum()) <= remaining:
+            lo = mid
+        else:
+            hi = mid - 1
+    if lo > 0:
+        remaining -= int(np.minimum(values, lo).sum())
+        np.subtract(target, lo, out=target)
+        np.maximum(target, 0, out=target)
+    if remaining > 0:
         positive = np.flatnonzero(target > 0)
-        if positive.size == 0:  # pragma: no cover - unreachable, see above
-            break
-        take = min(remaining, positive.size)
-        chosen = rng.choice(positive, size=take, replace=False)
+        chosen = rng.choice(positive, size=remaining, replace=False)
         target[chosen] -= 1
-        remaining -= take

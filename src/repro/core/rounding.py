@@ -5,6 +5,12 @@ bias for ultra-sparse matrices: a vector whose entries are all 0.4 rounds to
 all-zero, which propagates into an (incorrectly) empty intermediate. The
 paper instead rounds entry ``x`` up with probability ``frac(x)``, which is
 unbiased (``E[round(x)] = x``) with minimal variance.
+
+The kernel is allocation-aware: intermediates (clamped values, floors,
+uniform draws, Bernoulli outcomes) live in reused per-thread scratch
+buffers, and the uniform draws are generated straight into scratch with
+``Generator.random(out=...)`` — the same stream, and therefore the same
+rounding decisions, as the naive formulation.
 """
 
 from __future__ import annotations
@@ -13,7 +19,14 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.scratch import ScratchBuffer
+
 SeedLike = Union[int, np.random.Generator, None]
+
+_CLIPPED_SCRATCH = ScratchBuffer(np.float64)
+_FLOOR_SCRATCH = ScratchBuffer(np.float64)
+_DRAW_SCRATCH = ScratchBuffer(np.float64)
+_BUMP_SCRATCH = ScratchBuffer(np.bool_)
 
 
 def resolve_rng(seed: SeedLike) -> np.random.Generator:
@@ -43,14 +56,28 @@ def probabilistic_round(
             rounding so a count can never exceed the physically possible one.
 
     Returns:
-        int64 vector of the same shape.
+        int64 vector of the same shape (always freshly allocated; the
+        internal temporaries come from reused scratch buffers).
     """
     generator = resolve_rng(rng)
-    clipped = np.maximum(np.asarray(values, dtype=np.float64), 0.0)
-    floor = np.floor(clipped)
-    fraction = clipped - floor
-    bump = generator.random(clipped.shape) < fraction
-    result = floor.astype(np.int64) + bump.astype(np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    shape = values.shape
+    values = np.ascontiguousarray(values).reshape(-1)
+    n = values.size
+    clipped = _CLIPPED_SCRATCH.get(n)
+    np.maximum(values, 0.0, out=clipped)
+    floor = _FLOOR_SCRATCH.get(n)
+    np.floor(clipped, out=floor)
+    # clipped becomes the fractional part; the draws land in scratch via
+    # Generator.random(out=...), which consumes the stream identically to
+    # Generator.random(shape).
+    np.subtract(clipped, floor, out=clipped)
+    draws = _DRAW_SCRATCH.get(n)
+    generator.random(out=draws)
+    bump = _BUMP_SCRATCH.get(n)
+    np.less(draws, clipped, out=bump)
+    result = floor.astype(np.int64)
+    result += bump
     if maximum is not None:
         np.minimum(result, maximum, out=result)
-    return result
+    return result.reshape(shape)

@@ -1,0 +1,60 @@
+"""Reusable per-thread scratch buffers for allocation-free kernels.
+
+The Algorithm 1 fallback, Eq 11 scaling, and probabilistic rounding all
+work on temporary vectors sized by a matrix dimension. Allocating those
+temporaries per call is the dominant constant-factor cost once sketches
+are cached and validation is off the hot path, so each kernel call site
+owns a :class:`ScratchBuffer`: a per-thread, geometrically grown array it
+reuses across calls.
+
+Rules of use:
+
+- one :class:`ScratchBuffer` per *call site* (module-level constant), so
+  two kernels can never alias each other's storage;
+- a site must not call another function that borrows from the *same*
+  buffer while a view is live (none of the kernels recurse);
+- views returned by :meth:`ScratchBuffer.get` are only valid until the
+  site's next ``get`` — never store or return them.
+
+Buffers are thread-local: the chain DP evaluates one span's cells from a
+thread pool, and each thread gets private storage.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.hotpath import HOTPATH
+from repro.observability.collector import get_collector
+
+_MIN_CAPACITY = 256
+
+
+class ScratchBuffer(threading.local):
+    """A per-thread growable scratch vector of a fixed dtype."""
+
+    def __init__(self, dtype=np.float64) -> None:
+        self._dtype = np.dtype(dtype)
+        self._buf: np.ndarray | None = None
+
+    def get(self, length: int) -> np.ndarray:
+        """A writable, C-contiguous view of *length* entries.
+
+        Contents are uninitialized; callers overwrite via ``out=`` forms.
+        """
+        buf = self._buf
+        if buf is None or buf.size < length:
+            capacity = max(length, _MIN_CAPACITY)
+            if buf is not None:
+                capacity = max(capacity, 2 * buf.size)
+            self._buf = buf = np.empty(capacity, dtype=self._dtype)
+        else:
+            # record_scratch_reuse() inlined: get() runs several times per
+            # estimate and the extra call layer is measurable there.
+            HOTPATH.scratch_reuses += 1
+            collector = get_collector()
+            if collector.enabled:
+                collector.increment("hotpath.scratch_reuses")
+        return buf[:length]

@@ -9,27 +9,75 @@ An MNC sketch of an ``m x n`` matrix ``A`` holds:
 - ``hec`` — per column, the count of its non-zeros that fall in rows holding a
   single non-zero (``colSums((A != 0) * (hr == 1))``), or ``None``,
 - summary metadata (maxima, non-empty counts, half-full counts, single-nnz
-  counts, fully-diagonal flag) derived in one pass over ``hr``/``hc``.
+  counts, fully-diagonal flag) derived from ``hr``/``hc`` lazily on first
+  access and cached on the instance.
 
 The sketch is ``O(m + n)`` in size and is constructed in
 ``O(nnz(A) + m + n)`` time. Instances are immutable value objects: all
 propagation rules build new sketches, which makes memoization across DAG
 paths and DP subchains safe.
+
+Construction comes in two tiers (docs/PERFORMANCE.md):
+
+- the **validating** constructor (``MNCSketch(...)``) checks every sketch
+  invariant — shapes, count ranges, ``sum(hr) == sum(hc)``, extension
+  dominance. User-facing entry points (:meth:`from_matrix`,
+  deserialization, hand-built sketches) always go through it.
+- the **trusted** fast path (:meth:`MNCSketch.trusted`) skips validation
+  entirely. It is reserved for internal propagation rules whose outputs
+  satisfy the invariants by construction; the chain DP builds O(n^2)
+  derived sketches, so this tier is what keeps estimation inside an
+  optimizer loop cheap. ``repro.core.hotpath.validated_scope`` re-routes
+  it through full validation (used by ``repro.verify`` and the
+  equivalence tests).
+
+Summary statistics (``max_hr``, ``nnz_rows``, ``total_nnz``, ...) are
+properties backed by per-axis caches: a propagated intermediate that is
+only ever fed to a cost scan never pays for reductions it does not use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.core.hotpath import (
+    record_summary_materialization,
+    record_trusted_construction,
+    record_validated_construction,
+    record_zero_vector_hit,
+    validation_forced,
+)
 from repro.errors import SketchError
 from repro.matrix.conversion import MatrixLike, as_csc, as_csr
-from repro.observability.trace import trace
+from repro.observability.trace import trace, tracing_enabled
+
+_FIELD_NAMES = ("shape", "hr", "hc", "her", "hec", "fully_diagonal", "exact")
+
+#: Cached immutable zero vectors handed out by ``her_or_zeros``/
+#: ``hec_or_zeros`` (Algorithm 1 treats a missing extension as all-zero;
+#: allocating a fresh vector per estimate is pure hot-path garbage).
+_ZEROS_CACHE: dict[tuple[int, str], np.ndarray] = {}
+_ZEROS_CACHE_LIMIT = 128
 
 
-@dataclass(frozen=True)
+def _cached_zeros(length: int, dtype=np.int64) -> np.ndarray:
+    key = (length, np.dtype(dtype).char)
+    arr = _ZEROS_CACHE.get(key)
+    if arr is None:
+        if len(_ZEROS_CACHE) >= _ZEROS_CACHE_LIMIT:
+            _ZEROS_CACHE.clear()
+        arr = np.zeros(length, dtype=dtype)
+        arr.setflags(write=False)
+        _ZEROS_CACHE[key] = arr
+    else:
+        record_zero_vector_hit()
+    return arr
+
+
+@dataclass(frozen=True, eq=False)
 class MNCSketch:
     """Count-based synopsis of a sparse matrix's non-zero structure.
 
@@ -56,19 +104,9 @@ class MNCSketch:
     hec: Optional[np.ndarray] = None
     fully_diagonal: bool = False
     exact: bool = True
-    # Summary statistics are derived from hr/hc in __post_init__ and cached
-    # on the instance; object.__setattr__ is needed because of frozen=True.
-    max_hr: int = field(init=False)
-    max_hc: int = field(init=False)
-    nnz_rows: int = field(init=False)
-    nnz_cols: int = field(init=False)
-    rows_half_full: int = field(init=False)
-    cols_half_full: int = field(init=False)
-    rows_single: int = field(init=False)
-    cols_single: int = field(init=False)
-    total_nnz: int = field(init=False)
 
     def __post_init__(self) -> None:
+        record_validated_construction()
         m, n = self.shape
         hr = np.ascontiguousarray(self.hr, dtype=np.int64)
         hc = np.ascontiguousarray(self.hc, dtype=np.int64)
@@ -101,19 +139,52 @@ class MNCSketch:
             raise SketchError("her cannot exceed hr entry-wise")
         if self.hec is not None and np.any(self.hec > hc):
             raise SketchError("hec cannot exceed hc entry-wise")
-        object.__setattr__(self, "max_hr", int(hr.max()) if hr.size else 0)
-        object.__setattr__(self, "max_hc", int(hc.max()) if hc.size else 0)
-        object.__setattr__(self, "nnz_rows", int(np.count_nonzero(hr)))
-        object.__setattr__(self, "nnz_cols", int(np.count_nonzero(hc)))
-        object.__setattr__(self, "rows_half_full", int(np.count_nonzero(hr > n / 2)))
-        object.__setattr__(self, "cols_half_full", int(np.count_nonzero(hc > m / 2)))
-        object.__setattr__(self, "rows_single", int(np.count_nonzero(hr == 1)))
-        object.__setattr__(self, "cols_single", int(np.count_nonzero(hc == 1)))
-        object.__setattr__(self, "total_nnz", row_total)
+        # Validation already paid for the row total; keep it.
+        self.__dict__["_total_nnz"] = row_total
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+
+    @classmethod
+    def trusted(
+        cls,
+        shape: tuple[int, int],
+        hr: np.ndarray,
+        hc: np.ndarray,
+        her: Optional[np.ndarray] = None,
+        hec: Optional[np.ndarray] = None,
+        fully_diagonal: bool = False,
+        exact: bool = True,
+    ) -> MNCSketch:
+        """Build a sketch *without* invariant validation (fast tier).
+
+        Callers guarantee what the validating constructor would check:
+        ``hr``/``hc`` are contiguous int64 vectors of the right lengths
+        with entries in range, ``sum(hr) == sum(hc)``, and extensions (if
+        any) are int64, non-negative, and dominated by the counts. Every
+        internal propagation rule satisfies this by construction.
+
+        Under :func:`repro.core.hotpath.validated_scope` (active during
+        ``repro.verify`` contract runs) the call transparently degrades to
+        the validating constructor, so fuzzing exercises the checks.
+        """
+        if validation_forced():
+            return cls(
+                shape=shape, hr=hr, hc=hc, her=her, hec=hec,
+                fully_diagonal=fully_diagonal, exact=exact,
+            )
+        record_trusted_construction()
+        self = object.__new__(cls)
+        d = self.__dict__
+        d["shape"] = shape
+        d["hr"] = hr
+        d["hc"] = hc
+        d["her"] = her
+        d["hec"] = hec
+        d["fully_diagonal"] = fully_diagonal
+        d["exact"] = exact
+        return self
 
     @classmethod
     def from_matrix(cls, matrix: MatrixLike, with_extensions: bool = True) -> MNCSketch:
@@ -125,42 +196,65 @@ class MNCSketch:
         more than one non-zero; otherwise Theorem 3.1 already yields exact
         estimates and the extensions are omitted.
 
+        This is a user-facing entry point, so the result is fully validated.
+
         Args:
             matrix: matrix-like input.
             with_extensions: set ``False`` to build the "MNC Basic" variant
                 used as an ablation in the paper's Figures 10–13.
         """
+        if not tracing_enabled():
+            return cls._from_matrix_impl(matrix, with_extensions)
         with trace("mnc.sketch.build", with_extensions=with_extensions) as span:
-            csr = as_csr(matrix)
-            csc = as_csc(csr)
-            m, n = csr.shape
-            hr = np.diff(csr.indptr).astype(np.int64)
-            hc = np.diff(csc.indptr).astype(np.int64)
-            her: Optional[np.ndarray] = None
-            hec: Optional[np.ndarray] = None
-            max_hr = int(hr.max()) if hr.size else 0
-            max_hc = int(hc.max()) if hc.size else 0
-            if with_extensions and (max_hr > 1 or max_hc > 1):
-                # her[i]: non-zeros of row i lying in single-non-zero columns.
-                single_cols = hc == 1
-                row_ids = np.repeat(np.arange(m), hr)
-                her = np.bincount(
-                    row_ids[single_cols[csr.indices]], minlength=m
-                ).astype(np.int64)
-                # hec[j]: non-zeros of column j lying in single-non-zero rows.
-                single_rows = hr == 1
-                col_ids = np.repeat(np.arange(n), hc)
-                hec = np.bincount(
-                    col_ids[single_rows[csc.indices]], minlength=n
-                ).astype(np.int64)
-            diagonal = bool(
-                m == n and csr.nnz == m and _structure_is_diagonal(csr)
-            )
-            span.annotate(shape=(m, n), nnz=int(csr.nnz))
-            return cls(
-                shape=(m, n), hr=hr, hc=hc, her=her, hec=hec,
-                fully_diagonal=diagonal, exact=True,
-            )
+            sketch = cls._from_matrix_impl(matrix, with_extensions)
+            span.annotate(shape=sketch.shape, nnz=sketch.total_nnz)
+            return sketch
+
+    @classmethod
+    def _from_matrix_impl(cls, matrix: MatrixLike, with_extensions: bool) -> MNCSketch:
+        csr = as_csr(matrix)
+        csc = as_csc(csr)
+        m, n = csr.shape
+        hr = np.diff(csr.indptr).astype(np.int64)
+        hc = np.diff(csc.indptr).astype(np.int64)
+        her: Optional[np.ndarray] = None
+        hec: Optional[np.ndarray] = None
+        max_hr = int(hr.max()) if hr.size else 0
+        max_hc = int(hc.max()) if hc.size else 0
+        if with_extensions and (max_hr > 1 or max_hc > 1):
+            # her[i]: non-zeros of row i lying in single-non-zero columns.
+            single_cols = hc == 1
+            row_ids = np.repeat(np.arange(m), hr)
+            her = np.bincount(
+                row_ids[single_cols[csr.indices]], minlength=m
+            ).astype(np.int64)
+            # hec[j]: non-zeros of column j lying in single-non-zero rows.
+            single_rows = hr == 1
+            col_ids = np.repeat(np.arange(n), hc)
+            hec = np.bincount(
+                col_ids[single_rows[csc.indices]], minlength=n
+            ).astype(np.int64)
+            # All-zero extensions carry no information (her == 0 everywhere
+            # iff no column holds a single non-zero, i.e. cols_single == 0,
+            # and symmetrically for hec/rows_single), so Algorithm 1's
+            # extension case degenerates bit-for-bit to the fallback case.
+            # Dropping them saves the residual subtractions and dot products
+            # on every downstream estimate.
+            if not her.any():
+                her = None
+            if not hec.any():
+                hec = None
+        diagonal = bool(
+            m == n and csr.nnz == m and _structure_is_diagonal(csr)
+        )
+        sketch = cls(
+            shape=(m, n), hr=hr, hc=hc, her=her, hec=hec,
+            fully_diagonal=diagonal, exact=True,
+        )
+        # The extensions decision already computed the maxima — keep them.
+        sketch.__dict__["_row_stats_max"] = max_hr
+        sketch.__dict__["_col_stats_max"] = max_hc
+        return sketch
 
     @classmethod
     def synthetic(
@@ -187,6 +281,217 @@ class MNCSketch:
         hc = _capped_multinomial(int(hr.sum()), n, m, rng)
         return cls(shape=(m, n), hr=hr, hc=hc, her=None, hec=None,
                    fully_diagonal=False, exact=False)
+
+    # ------------------------------------------------------------------
+    # Lazy cached summary statistics
+    # ------------------------------------------------------------------
+    #
+    # Row-side and column-side statistics are each materialized in one
+    # bundled pass on first access (they share the scan); the total comes
+    # free with validation and is otherwise a single reduction.
+
+    def _materialize_rows(self) -> None:
+        hr, n = self.hr, self.shape[1]
+        d = self.__dict__
+        if hr.size:
+            if "_row_stats_max" not in d:
+                d["_row_stats_max"] = int(hr.max())
+            d["_row_stats_nnz"] = int(np.count_nonzero(hr))
+            d["_row_stats_half"] = int(np.count_nonzero(hr > n / 2))
+            d["_row_stats_single"] = int(np.count_nonzero(hr == 1))
+        else:
+            d.setdefault("_row_stats_max", 0)
+            d["_row_stats_nnz"] = d["_row_stats_half"] = d["_row_stats_single"] = 0
+        record_summary_materialization()
+
+    def _materialize_cols(self) -> None:
+        hc, m = self.hc, self.shape[0]
+        d = self.__dict__
+        if hc.size:
+            if "_col_stats_max" not in d:
+                d["_col_stats_max"] = int(hc.max())
+            d["_col_stats_nnz"] = int(np.count_nonzero(hc))
+            d["_col_stats_half"] = int(np.count_nonzero(hc > m / 2))
+            d["_col_stats_single"] = int(np.count_nonzero(hc == 1))
+        else:
+            d.setdefault("_col_stats_max", 0)
+            d["_col_stats_nnz"] = d["_col_stats_half"] = d["_col_stats_single"] = 0
+        record_summary_materialization()
+
+    @property
+    def max_hr(self) -> int:
+        """Largest row count (0 for empty shapes)."""
+        try:
+            return self.__dict__["_row_stats_max"]
+        except KeyError:
+            hr = self.hr
+            value = int(hr.max()) if hr.size else 0
+            self.__dict__["_row_stats_max"] = value
+            return value
+
+    @property
+    def max_hc(self) -> int:
+        """Largest column count (0 for empty shapes)."""
+        try:
+            return self.__dict__["_col_stats_max"]
+        except KeyError:
+            hc = self.hc
+            value = int(hc.max()) if hc.size else 0
+            self.__dict__["_col_stats_max"] = value
+            return value
+
+    @property
+    def nnz_rows(self) -> int:
+        """Number of non-empty rows."""
+        try:
+            return self.__dict__["_row_stats_nnz"]
+        except KeyError:
+            self._materialize_rows()
+            return self.__dict__["_row_stats_nnz"]
+
+    @property
+    def nnz_cols(self) -> int:
+        """Number of non-empty columns."""
+        try:
+            return self.__dict__["_col_stats_nnz"]
+        except KeyError:
+            self._materialize_cols()
+            return self.__dict__["_col_stats_nnz"]
+
+    @property
+    def rows_half_full(self) -> int:
+        """Rows more than half full (Theorem 3.2 lower bound)."""
+        try:
+            return self.__dict__["_row_stats_half"]
+        except KeyError:
+            self._materialize_rows()
+            return self.__dict__["_row_stats_half"]
+
+    @property
+    def cols_half_full(self) -> int:
+        """Columns more than half full (Theorem 3.2 lower bound)."""
+        try:
+            return self.__dict__["_col_stats_half"]
+        except KeyError:
+            self._materialize_cols()
+            return self.__dict__["_col_stats_half"]
+
+    @property
+    def rows_single(self) -> int:
+        """Rows holding exactly one non-zero."""
+        try:
+            return self.__dict__["_row_stats_single"]
+        except KeyError:
+            self._materialize_rows()
+            return self.__dict__["_row_stats_single"]
+
+    @property
+    def cols_single(self) -> int:
+        """Columns holding exactly one non-zero."""
+        try:
+            return self.__dict__["_col_stats_single"]
+        except KeyError:
+            self._materialize_cols()
+            return self.__dict__["_col_stats_single"]
+
+    @property
+    def row_stats(self) -> tuple[int, int, int, int]:
+        """``(max_hr, nnz_rows, rows_half_full, rows_single)`` as one tuple.
+
+        Algorithm 1 touches four row-side statistics per call; the bundle
+        turns eight cached-property lookups per estimate into two.
+        """
+        d = self.__dict__
+        try:
+            return d["_row_bundle"]
+        except KeyError:
+            bundle = (
+                self.max_hr, self.nnz_rows,
+                self.rows_half_full, self.rows_single,
+            )
+            d["_row_bundle"] = bundle
+            return bundle
+
+    @property
+    def col_stats(self) -> tuple[int, int, int, int]:
+        """``(max_hc, nnz_cols, cols_half_full, cols_single)`` as one tuple."""
+        d = self.__dict__
+        try:
+            return d["_col_bundle"]
+        except KeyError:
+            bundle = (
+                self.max_hc, self.nnz_cols,
+                self.cols_half_full, self.cols_single,
+            )
+            d["_col_bundle"] = bundle
+            return bundle
+
+    @property
+    def total_nnz(self) -> int:
+        """Total non-zero count ``sum(hr)``."""
+        try:
+            return self.__dict__["_total_nnz"]
+        except KeyError:
+            value = int(self.hr.sum())
+            self.__dict__["_total_nnz"] = value
+            return value
+
+    @property
+    def hr_f64(self) -> np.ndarray:
+        """``hr`` as float64, cached (Algorithm 1 / cost-scan operand)."""
+        try:
+            return self.__dict__["_hr_f64"]
+        except KeyError:
+            value = self.hr.astype(np.float64)
+            value.setflags(write=False)
+            self.__dict__["_hr_f64"] = value
+            return value
+
+    @property
+    def hc_f64(self) -> np.ndarray:
+        """``hc`` as float64, cached (Algorithm 1 / cost-scan operand)."""
+        try:
+            return self.__dict__["_hc_f64"]
+        except KeyError:
+            value = self.hc.astype(np.float64)
+            value.setflags(write=False)
+            self.__dict__["_hc_f64"] = value
+            return value
+
+    def her_f64_or_zeros(self) -> np.ndarray:
+        """``her_or_zeros()`` as float64, cached and read-only."""
+        if self.her is None:
+            return _cached_zeros(self.shape[0], np.float64)
+        try:
+            return self.__dict__["_her_f64"]
+        except KeyError:
+            value = self.her.astype(np.float64)
+            value.setflags(write=False)
+            self.__dict__["_her_f64"] = value
+            return value
+
+    def hec_f64_or_zeros(self) -> np.ndarray:
+        """``hec_or_zeros()`` as float64, cached and read-only."""
+        if self.hec is None:
+            return _cached_zeros(self.shape[1], np.float64)
+        try:
+            return self.__dict__["_hec_f64"]
+        except KeyError:
+            value = self.hec.astype(np.float64)
+            value.setflags(write=False)
+            self.__dict__["_hec_f64"] = value
+            return value
+
+    # ------------------------------------------------------------------
+    # Pickling: drop lazy caches (cheap to rebuild, and the float64
+    # mirrors would double the wire size of parallel/spill payloads).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {name: self.__dict__[name] for name in _FIELD_NAMES}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -220,22 +525,28 @@ class MNCSketch:
         return self.her is not None or self.hec is not None
 
     def her_or_zeros(self) -> np.ndarray:
-        """``her`` with missing vector treated as all-zero (Algorithm 1)."""
+        """``her`` with missing vector treated as all-zero (Algorithm 1).
+
+        The zero vector is cached and read-only; copy before mutating.
+        """
         if self.her is not None:
             return self.her
-        return np.zeros(self.nrows, dtype=np.int64)
+        return _cached_zeros(self.nrows)
 
     def hec_or_zeros(self) -> np.ndarray:
-        """``hec`` with missing vector treated as all-zero (Algorithm 1)."""
+        """``hec`` with missing vector treated as all-zero (Algorithm 1).
+
+        The zero vector is cached and read-only; copy before mutating.
+        """
         if self.hec is not None:
             return self.hec
-        return np.zeros(self.ncols, dtype=np.int64)
+        return _cached_zeros(self.ncols)
 
     def without_extensions(self) -> MNCSketch:
         """Return an MNC-Basic view of this sketch (extensions dropped)."""
         if not self.has_extensions:
             return self
-        return MNCSketch(
+        return MNCSketch.trusted(
             shape=self.shape, hr=self.hr, hc=self.hc, her=None, hec=None,
             fully_diagonal=self.fully_diagonal, exact=self.exact,
         )
@@ -269,7 +580,11 @@ def _capped_multinomial(
 
     Overflow beyond the cap (only possible when ``total`` is close to
     ``bins * cap``) is redistributed over bins with remaining room, so the
-    result always sums to *total* exactly.
+    result always sums to *total* exactly. Redistribution is bulk: each
+    round spreads the whole remaining overflow proportionally to the
+    per-bin room (capped), so near-dense inputs converge in a handful of
+    rounds instead of degenerating into ``overflow / room`` one-increment
+    passes.
     """
     if bins == 1:
         return np.array([total], dtype=np.int64)
@@ -277,10 +592,19 @@ def _capped_multinomial(
     overflow = int((counts - cap).clip(min=0).sum())
     np.minimum(counts, cap, out=counts)
     while overflow > 0:
-        room = np.flatnonzero(counts < cap)
-        take = min(overflow, room.size)
-        counts[rng.choice(room, size=take, replace=False)] += 1
-        overflow -= take
+        room_idx = np.flatnonzero(counts < cap)
+        if room_idx.size == 0:  # pragma: no cover - total <= bins * cap
+            break
+        room = (cap - counts[room_idx]).astype(np.int64)
+        capacity = int(room.sum())
+        if overflow >= capacity:
+            counts[room_idx] = cap
+            overflow -= capacity
+            continue
+        add = rng.multinomial(overflow, room / capacity).astype(np.int64)
+        np.minimum(add, room, out=add)
+        counts[room_idx] += add
+        overflow -= int(add.sum())
     return counts
 
 

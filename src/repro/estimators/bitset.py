@@ -236,4 +236,8 @@ class BitsetEstimator(SparsityEstimator):
         return self._rebuild(mops.col_sums(a.to_csr()))
 
     def _estimate_col_sums(self, a: BitsetSynopsis) -> float:
-        return self._propagate_col_sums(a).nnz_estimate
+        # Exact from the packed bits, mirroring the row-sums twin: a column
+        # is non-empty iff its bit survives an OR over all rows. Padding
+        # bits beyond column n are zero in every row, so they stay zero.
+        merged = np.bitwise_or.reduce(a.bits, axis=0)
+        return float(np.bitwise_count(merged).sum())

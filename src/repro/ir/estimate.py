@@ -21,7 +21,7 @@ from typing import Dict, Optional
 
 from repro.estimators.base import SparsityEstimator, Synopsis
 from repro.ir.nodes import Expr
-from repro.observability.trace import timed_span, trace
+from repro.observability.trace import maybe_trace, timed_span
 from repro.opcodes import Op
 
 
@@ -56,7 +56,7 @@ def _propagate_dag(
         from repro.catalog.fingerprint import fingerprint_dag
 
         fingerprints = fingerprint_dag(root)
-    with trace("dag.propagate", estimator=estimator.name):
+    with maybe_trace("dag.propagate", estimator=estimator.name):
         for node in root.postorder():
             if node is root and node.op is not Op.LEAF:
                 continue  # roots are estimated directly, not propagated

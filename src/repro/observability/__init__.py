@@ -47,7 +47,15 @@ from repro.observability.export import (
     stats_table,
     write_trace,
 )
-from repro.observability.trace import count, observe, timed_span, trace
+from repro.observability.trace import (
+    NULL_SPAN,
+    count,
+    maybe_trace,
+    observe,
+    timed_span,
+    trace,
+    tracing_enabled,
+)
 
 # The recording proxy subclasses SparsityEstimator, and the estimators
 # package in turn imports repro.core (which is instrumented with this
@@ -66,6 +74,7 @@ def __getattr__(name: str):
 __all__ = [
     "Collector",
     "EstimatorCall",
+    "NULL_SPAN",
     "NullCollector",
     "RecordingCollector",
     "RecordingEstimator",
@@ -76,12 +85,14 @@ __all__ = [
     "count",
     "error_time_table",
     "get_collector",
+    "maybe_trace",
     "observe",
     "read_trace",
     "set_collector",
     "stats_table",
     "timed_span",
     "trace",
+    "tracing_enabled",
     "unwrap_estimator",
     "using_collector",
     "write_trace",

@@ -5,6 +5,19 @@
 attribute check and *no* clock reads, so it is safe to leave in hot paths
 (sketch construction runs millions of times in the DP benchmarks).
 
+For the *hottest* paths even allocating the span object and its attribute
+dict is measurable, so two zero-overhead forms exist:
+
+- :func:`tracing_enabled` — one global read plus an attribute check;
+  kernels branch on it and only build span attributes (and enter the
+  span) when a collector is actually listening. The recorded-trace schema
+  is unchanged: when tracing is on, exactly the same spans with the same
+  names and attributes are produced.
+- :func:`maybe_trace` — drop-in for ``with trace(...)`` call sites:
+  returns a shared inert span (``annotate`` is a no-op, no clock reads,
+  no allocation) when nothing is listening, a real :class:`trace`
+  otherwise.
+
 :class:`timed_span` is the shared timer: it always reads the clock and
 exposes ``.seconds`` after exit, replacing the ad-hoc ``perf_counter``
 pairs that used to live in the SparsEst runner and the DAG estimator —
@@ -123,9 +136,57 @@ class timed_span(trace):
     _always_time = True
 
 
+class _NullSpan:
+    """Shared inert span: no clock reads, no state, no allocation per use."""
+
+    __slots__ = ()
+
+    seconds: Optional[float] = None
+    name = "<null>"
+    attrs: dict = {}
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+#: The singleton inert span returned by :func:`maybe_trace` when disabled.
+NULL_SPAN = _NullSpan()
+
+
+def tracing_enabled() -> bool:
+    """Whether the active collector is listening (hot-path fast guard).
+
+    Kernels use this to skip span construction entirely::
+
+        if tracing_enabled():
+            with trace("mnc.estimate.matmul", ...) as span:
+                ...
+        else:
+            ...  # identical body, zero instrumentation cost
+    """
+    return get_collector().enabled
+
+
+def maybe_trace(name: str, **attrs: Any):
+    """``trace(name, **attrs)`` when a collector listens, else the shared
+    inert span. Preserves the recorded-trace schema while reducing the
+    disabled-path cost to one function call."""
+    if get_collector().enabled:
+        return trace(name, **attrs)
+    return NULL_SPAN
+
+
 def count(name: str, value: float = 1.0) -> None:
     """Increment the counter *name* on the active collector."""
-    get_collector().increment(name, value)
+    collector = get_collector()
+    if collector.enabled:
+        collector.increment(name, value)
 
 
 def observe(name: str, value: float) -> None:

@@ -30,10 +30,15 @@ def dense_matmul_flops(m: int, n: int, l: int) -> float:
 
 
 def sparse_matmul_flops(h_a: MNCSketch, h_b: MNCSketch) -> float:
-    """Sparse multiply-pair cost from sketches: ``hc_A . hr_B`` (Eq 17)."""
+    """Sparse multiply-pair cost from sketches: ``hc_A . hr_B`` (Eq 17).
+
+    Reads the sketches' cached float64 count views: the chain DP evaluates
+    this O(n^3) times over O(n^2) distinct sketches, so the one-off cast
+    per sketch replaces two array allocations per call.
+    """
     if h_a.ncols != h_b.nrows:
         raise PlanError(f"cost of mismatched product: {h_a.shape} x {h_b.shape}")
-    return float(h_a.hc.astype(np.float64) @ h_b.hr.astype(np.float64))
+    return float(h_a.hc_f64 @ h_b.hr_f64)
 
 
 def plan_cost_estimated(

@@ -16,7 +16,7 @@ from repro.estimators.base import SparsityEstimator
 from repro.ir.estimate import _propagate_dag
 from repro.ir.interpreter import evaluate_all
 from repro.ir.nodes import Expr
-from repro.observability.trace import trace
+from repro.observability.trace import maybe_trace
 from repro.opcodes import Op
 from repro.runtime.allocator import AllocationReport, plan_allocation
 
@@ -63,11 +63,11 @@ def execute_with_decisions(
             scales).
         estimator: any registered estimator instance.
     """
-    with trace("executor.run", estimator=estimator.name):
+    with maybe_trace("executor.run", estimator=estimator.name):
         synopses = _propagate_dag(root, estimator)
-        with trace("executor.evaluate"):
+        with maybe_trace("executor.evaluate"):
             truths = evaluate_all(root)
-        with trace("executor.decide", estimator=estimator.name):
+        with maybe_trace("executor.decide", estimator=estimator.name):
             report = AllocationReport()
             for node in root.postorder():
                 if node.op is Op.LEAF:

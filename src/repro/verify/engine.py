@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.hotpath import validated_scope
 from repro.errors import UnsupportedOperationError
 from repro.estimators.exact import ExactOracle
 from repro.ir import nodes as ir
@@ -286,6 +287,15 @@ class FuzzEngine:
             return cells
         for pair, key in active.items():
             cells.setdefault(key, CellResult(cell=key))
+        # Contracts always run against fully validated sketches: the fast
+        # trusted tier is re-routed through the validating constructor for
+        # the duration of the chunk, so fuzzing keeps exercising every
+        # invariant check the hot path skips in production.
+        with validated_scope():
+            self._check_chunk(generator, cells, active, indices)
+        return cells
+
+    def _check_chunk(self, generator: str, cells, active, indices) -> None:
         for index in indices:
             case = generate_case(generator, self.seed, index)
             for (spec, contract), key in active.items():
@@ -317,7 +327,6 @@ class FuzzEngine:
                     shrunk_message=shrunk_message, shrink_steps=steps,
                     spec=spec,
                 ))
-        return cells
 
     # ------------------------------------------------------------------
     # Shrinking
@@ -351,9 +360,13 @@ class FuzzEngine:
     def _violation_of(case: Case, spec: EstimatorSpec,
                       contract: Contract) -> Optional[str]:
         try:
-            if not contract.applies(spec, case):
-                return None
-            return contract.check(spec, case)
+            # Shrinking re-evaluates contracts outside _check_chunk's scope;
+            # keep candidate evaluation on validated sketches as well
+            # (validated_scope is re-entrant, so nesting is free).
+            with validated_scope():
+                if not contract.applies(spec, case):
+                    return None
+                return contract.check(spec, case)
         except UnsupportedOperationError:
             return None
         except Exception as unexpected:  # crash counts as a violation too

@@ -54,8 +54,11 @@ class TestBasicCache:
 
 class TestBudgetAndEviction:
     def test_lru_eviction_under_budget(self):
-        one = _sketch(1)
-        budget = one.size_bytes() * 2 + 8  # room for two entries, not three
+        # Sketch sizes vary by seed (all-zero extension vectors are
+        # dropped), so compute a budget that holds "a" plus either other
+        # entry, but never all three.
+        sizes = {seed: _sketch(seed).size_bytes() for seed in (1, 2, 3)}
+        budget = sizes[1] + max(sizes[2], sizes[3]) + 8
         store = SketchStore(budget_bytes=budget)
         store.put("a", _sketch(1))
         store.put("b", _sketch(2))
@@ -91,8 +94,9 @@ class TestBudgetAndEviction:
 
 class TestSpill:
     def test_evicted_entries_spill_and_reload(self, tmp_path):
-        one = _sketch(1)
-        store = SketchStore(budget_bytes=one.size_bytes() + 8, spill_dir=tmp_path)
+        # Budget holds either sketch alone (sizes differ by seed), not both.
+        budget = max(_sketch(1).size_bytes(), _sketch(2).size_bytes()) + 8
+        store = SketchStore(budget_bytes=budget, spill_dir=tmp_path)
         store.put("a", _sketch(1))
         store.put("b", _sketch(2))  # evicts "a" to disk
         assert (tmp_path / "a.npz").exists()
@@ -103,8 +107,8 @@ class TestSpill:
         assert stats.spills >= 1 and stats.disk_hits == 1
 
     def test_no_spill_dir_drops_evictions(self):
-        one = _sketch(1)
-        store = SketchStore(budget_bytes=one.size_bytes() + 8)
+        budget = max(_sketch(1).size_bytes(), _sketch(2).size_bytes()) + 8
+        store = SketchStore(budget_bytes=budget)
         store.put("a", _sketch(1))
         store.put("b", _sketch(2))
         assert store.get("a") is None
