@@ -23,6 +23,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.observability.metrics import metric_set
 from repro.observability.trace import count
 
 #: Default entry bound; estimates are tiny, so this is ~megabytes.
@@ -77,6 +78,7 @@ class EstimateMemo:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+            metric_set("catalog.memo.entries", len(self._entries))
 
     def memoize(
         self, fingerprint: str, estimator: str, tag: str, compute: Callable[[], Any]
@@ -118,6 +120,7 @@ class EstimateMemo:
                     del self._entries[key]
                 removed = len(doomed)
             self._invalidations += removed
+            metric_set("catalog.memo.entries", len(self._entries))
         if removed:
             count("catalog.memo.invalidation", removed)
         return removed

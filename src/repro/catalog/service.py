@@ -172,6 +172,7 @@ class EstimationService:
         for ``"estimate_many"``, and the optimizer's plan object for
         ``"optimize_chain"``.
         """
+        count(f"catalog.service.requests.{request.kind}")
         if request.kind == "estimate":
             if len(request.exprs) != 1:
                 raise ReproError(

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 from repro.core.serialize import load_sketch, save_sketch
 from repro.core.sketch import MNCSketch
 from repro.errors import SketchError
+from repro.observability.metrics import metric_set
 from repro.observability.trace import count
 
 #: Default in-memory budget: generous for O(m + n) sketches, small enough
@@ -175,6 +176,7 @@ class SketchStore:
                 del self._entries[key]
                 self._bytes_used -= size
                 removed = True
+                self._publish_gauges()
         spill_path = self._spill_path(key)
         if remove_spill and spill_path is not None and spill_path.exists():
             spill_path.unlink()
@@ -187,6 +189,7 @@ class SketchStore:
             self._entries.clear()
             self._sizes.clear()
             self._bytes_used = 0
+            self._publish_gauges()
         if remove_spill and self.spill_dir is not None and self.spill_dir.exists():
             for path in self.spill_dir.glob("*.npz"):
                 path.unlink()
@@ -251,6 +254,14 @@ class SketchStore:
             return None
         return self.spill_dir / f"{key}.npz"
 
+    def _publish_gauges(self) -> None:
+        # Last-writer-wins gauges: with several stores in one process the
+        # published values describe the most recently mutated store, which
+        # in practice is the service's shared instance.
+        metric_set("catalog.store.bytes_used", self._bytes_used)
+        metric_set("catalog.store.entries", len(self._entries))
+        metric_set("catalog.store.budget_bytes", self.budget_bytes)
+
     def _admit(self, key: str, sketch: MNCSketch) -> None:
         size = sketch.size_bytes()
         previous = self._sizes.pop(key, None)
@@ -266,6 +277,7 @@ class SketchStore:
         self._entries[key] = sketch
         self._sizes[key] = size
         self._bytes_used += size
+        self._publish_gauges()
 
     def _evict_lru(self) -> None:
         victim, sketch = self._entries.popitem(last=False)

@@ -21,12 +21,18 @@ Commands
   (estimator x contract x generator) cell against the exact oracle,
   shrinking violations to minimal reproducers (see ``docs/VERIFY.md``);
   ``--self-test`` injects a fault to prove the shrinker works.
-- ``stats TRACE.jsonl`` — summarize a trace file: per-span aggregates
-  (count/total/mean/p95), counters, and the error-vs-time report.
+- ``stats FILE [FILE ...]`` — summarize one or more trace / metrics files
+  (merging them when several are given, e.g. per-worker dumps): per-span
+  aggregates (count/total/mean/p95), counters, the metrics snapshot and
+  accuracy residual ledger, and the error-vs-time report. ``--format json``
+  emits the same data as a JSON document; ``--prometheus FILE`` writes the
+  merged metrics in Prometheus text exposition format.
 
 Every command except ``info``/``stats`` accepts ``--trace FILE`` to record
 an observability trace (spans from sketch construction, estimation,
-propagation, plus per-(use case, estimator) outcomes) as JSON lines; see
+propagation, plus per-(use case, estimator) outcomes) as JSON lines,
+``--metrics FILE`` to dump the process metrics snapshot as JSONL, and
+``--flight-recorder FILE`` to arm the postmortem flight recorder; see
 ``docs/OBSERVABILITY.md``.
 
 ``estimate``, ``sparsest``, and ``verify`` additionally accept
@@ -56,12 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    # Shared telemetry flag: accepted after any data subcommand, e.g.
+    # Shared telemetry flags: accepted after any data subcommand, e.g.
     # ``python -m repro sparsest --trace out.jsonl``.
     tracing = argparse.ArgumentParser(add_help=False)
     tracing.add_argument(
         "--trace", metavar="FILE", default=None,
-        help="record an observability trace (JSON lines) to FILE",
+        help="record an observability trace (JSON lines) to FILE; includes "
+             "the metrics snapshot and accuracy residual ledger",
+    )
+    tracing.add_argument(
+        "--flight-recorder", metavar="FILE", default=None,
+        help="arm the flight recorder: dump a postmortem JSON to FILE on "
+             "estimator exceptions, failed parallel tasks, or error spans "
+             "(also honors $REPRO_FLIGHT_DUMP)",
+    )
+    tracing.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a metrics snapshot (counters, gauges, histograms, "
+             "residual ledger) as JSONL to FILE when the command finishes",
     )
 
     # Shared fan-out flag for the commands with parallel execution paths.
@@ -162,9 +180,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats_cmd = commands.add_parser(
-        "stats", help="summarize a --trace JSONL file"
+        "stats", help="summarize --trace / metrics JSONL files"
     )
-    stats_cmd.add_argument("trace_file", help="path to a trace (.jsonl)")
+    stats_cmd.add_argument(
+        "trace_files", nargs="+", metavar="FILE",
+        help="one or more trace or metrics files (.jsonl); several files "
+             "(e.g. per-worker or per-shard dumps) are merged",
+    )
+    stats_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    stats_cmd.add_argument(
+        "--prometheus", metavar="FILE", default=None,
+        help="additionally write the merged metrics in Prometheus text "
+             "exposition format to FILE ('-' for stdout)",
+    )
 
     catalog_cmd = commands.add_parser(
         "catalog", help="manage an on-disk sketch catalog directory"
@@ -407,24 +438,87 @@ def _cmd_verify(
     return 1 if report.violations else 0
 
 
-def _cmd_stats(trace_file: str) -> int:
+def _stats_json(data) -> dict:
+    """The ``--format json`` payload for merged trace/metrics data."""
+    from dataclasses import asdict
+
+    from repro.observability import aggregate_spans
+
+    payload: dict = {
+        "spans": [asdict(entry) for entry in aggregate_spans(data.spans)],
+        "counters": dict(sorted(data.counters.items())),
+        "histograms": {
+            name: {
+                "count": len(values),
+                "mean": sum(values) / len(values) if values else None,
+            }
+            for name, values in sorted(data.histograms.items())
+        },
+        "outcomes": data.outcomes,
+        "metrics": data.metrics.to_dict() if data.metrics is not None else None,
+        "residuals": [record.to_dict() for record in data.residuals],
+    }
+    if data.metrics is not None:
+        payload["metric_histograms"] = data.metrics.histogram_summaries()
+    return payload
+
+
+def _cmd_stats(
+    trace_files: Sequence[str],
+    output_format: str = "table",
+    prometheus: Optional[str] = None,
+) -> int:
+    import json as json_module
+
     from repro.observability import (
         aggregate_spans,
         error_time_table,
+        merge_trace_data,
+        prometheus_exposition,
         read_trace,
+        residual_table,
         stats_table,
     )
 
-    try:
-        data = read_trace(trace_file)
-    except OSError as exc:
-        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
-        return 2
-    except ValueError as exc:  # json decode errors subclass ValueError
-        print(f"error: malformed trace file: {exc}", file=sys.stderr)
-        return 2
-    if not (data.spans or data.counters or data.histograms or data.outcomes):
-        print(f"trace file {trace_file} holds no records")
+    parts = []
+    for trace_file in trace_files:
+        try:
+            parts.append(read_trace(trace_file))
+        except OSError as exc:
+            print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:  # json decode errors subclass ValueError
+            print(f"error: malformed trace file {trace_file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    data = merge_trace_data(parts)
+
+    if prometheus is not None:
+        if data.metrics is None:
+            print("error: --prometheus needs at least one metrics record",
+                  file=sys.stderr)
+            return 2
+        snapshot = data.metrics
+        snapshot.residuals = list(data.residuals)
+        exposition = prometheus_exposition(snapshot)
+        if prometheus == "-":
+            print(exposition, end="")
+        else:
+            with open(prometheus, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+            print(f"prometheus exposition -> {prometheus}", file=sys.stderr)
+
+    if output_format == "json":
+        print(json_module.dumps(_stats_json(data), indent=2, sort_keys=True))
+        return 0
+
+    empty = not (
+        data.spans or data.counters or data.histograms or data.outcomes
+        or data.residuals or (data.metrics is not None)
+    )
+    if empty:
+        noun = "file" if len(trace_files) == 1 else "files"
+        print(f"trace {noun} {', '.join(trace_files)} hold no records")
         return 0
     if data.spans:
         print(stats_table(
@@ -444,6 +538,24 @@ def _cmd_stats(trace_file: str) -> int:
         for name, values in sorted(data.histograms.items()):
             print(f"  {name}: n={len(values)} mean={sum(values) / len(values):g} "
                   f"p95={percentile(values, 95.0):g}")
+    if data.metrics is not None:
+        snapshot = data.metrics
+        print()
+        print(f"Metrics (schema v{snapshot.version})")
+        for name, value in sorted(snapshot.counters.items()):
+            print(f"  {name} = {value:g}")
+        for name, value in sorted(snapshot.gauges.items()):
+            print(f"  {name} ~ {value:g}  [gauge]")
+        for name, summary in snapshot.histogram_summaries().items():
+            print(f"  {name}: n={summary['count']:g} mean={summary['mean']:g} "
+                  f"p50={summary['p50']:g} p95={summary['p95']:g} "
+                  f"p99={summary['p99']:g} max={summary['max']:g}")
+    if data.residuals:
+        print()
+        print(residual_table(
+            data.residuals,
+            title=f"Accuracy residual ledger ({len(data.residuals)} entries)",
+        ))
     if data.outcomes:
         print()
         print(error_time_table(
@@ -547,7 +659,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             workers=args.workers,
         )
     if args.command == "stats":
-        return _cmd_stats(args.trace_file)
+        return _cmd_stats(args.trace_files, args.format, args.prometheus)
     if args.command == "catalog":
         if args.catalog_command == "stats":
             return _cmd_catalog_stats(args.directory)
@@ -562,24 +674,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    flight_path = getattr(args, "flight_recorder", None)
+    metrics_path = getattr(args, "metrics", None)
+
+    if flight_path:
+        from repro.observability import FLIGHT
+
+        FLIGHT.arm(flight_path)
+
+    if not trace_path and not metrics_path:
         return _dispatch(args)
 
     from repro.observability import (
         RecordingCollector,
+        metrics_snapshot,
         using_collector,
+        write_metrics_jsonl,
         write_trace,
     )
 
-    collector = RecordingCollector()
-    with using_collector(collector):
+    code: int
+    if trace_path:
+        collector = RecordingCollector()
+        with using_collector(collector):
+            code = _dispatch(args)
+        try:
+            records = write_trace(trace_path, collector, metrics=metrics_snapshot())
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return code or 1
+        print(f"trace: {records} records -> {trace_path}", file=sys.stderr)
+    else:
         code = _dispatch(args)
-    try:
-        records = write_trace(trace_path, collector)
-    except OSError as exc:
-        print(f"error: cannot write trace file: {exc}", file=sys.stderr)
-        return code or 1
-    print(f"trace: {records} records -> {trace_path}", file=sys.stderr)
+    if metrics_path:
+        try:
+            write_metrics_jsonl(metrics_path, metrics_snapshot())
+        except OSError as exc:
+            print(f"error: cannot write metrics file: {exc}", file=sys.stderr)
+            return code or 1
+        print(f"metrics: snapshot -> {metrics_path}", file=sys.stderr)
     return code
 
 

@@ -25,6 +25,8 @@ from typing import Any, Callable, Dict, Sequence
 
 from repro.errors import UnsupportedOperationError
 from repro.matrix.conversion import MatrixLike
+from repro.observability.flight import FLIGHT
+from repro.observability.metrics import metric_inc
 from repro.opcodes import Op
 
 
@@ -113,7 +115,16 @@ class SparsityEstimator(abc.ABC):
     def estimate_nnz(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
         """Estimate the non-zero count of ``op`` applied to *operands*."""
         handler = self._handler("estimate", op)
-        return float(handler(*operands, **params))
+        try:
+            return float(handler(*operands, **params))
+        except UnsupportedOperationError:
+            raise
+        except Exception as exc:
+            # An unexpected estimator crash (not a declared capability gap)
+            # is exactly what the flight recorder exists for: capture the
+            # last-N events and metrics state before re-raising.
+            self._record_crash("estimate", op, exc)
+            raise
 
     def estimate_sparsity(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> float:
         """Estimate the sparsity of ``op`` applied to *operands*."""
@@ -126,7 +137,25 @@ class SparsityEstimator(abc.ABC):
     def propagate(self, op: Op, operands: Sequence[Synopsis], **params: Any) -> Synopsis:
         """Derive the synopsis of ``op`` applied to *operands*."""
         handler = self._handler("propagate", op)
-        return handler(*operands, **params)
+        try:
+            return handler(*operands, **params)
+        except UnsupportedOperationError:
+            raise
+        except Exception as exc:
+            self._record_crash("propagate", op, exc)
+            raise
+
+    def _record_crash(self, kind: str, op: Op, exc: Exception) -> None:
+        """Log an unexpected handler exception to metrics + flight recorder."""
+        metric_inc(f"estimator.exceptions.{self.name}")
+        FLIGHT.record(
+            "estimator_exception", f"{self.name}.{kind}.{op.value}",
+            detail={"error": type(exc).__name__, "message": str(exc)[:200]},
+        )
+        FLIGHT.trigger_dump(
+            "estimator_exception", estimator=self.name, kind=kind,
+            op=op.value, error=type(exc).__name__, message=str(exc),
+        )
 
     def supports(self, op: Op) -> bool:
         """Whether this estimator implements estimation for ``op``."""

@@ -1,7 +1,7 @@
 """Estimator telemetry: tracing, metrics, and profiling hooks.
 
 The observability layer is the measurement substrate every performance PR
-reports against. It has four parts:
+reports against. It has six parts:
 
 - **Collectors** (:mod:`repro.observability.collector`): the pluggable sink
   behind the tracing API. The process-wide default is a
@@ -20,13 +20,28 @@ reports against. It has four parts:
   ``build``/``estimate_nnz``/``propagate`` call — op, operand shapes and
   non-zero counts, result estimate, wall time — while returning bit-identical
   results, so it is usable anywhere an estimator is accepted.
+- **Metrics** (:mod:`repro.observability.metrics`): the process-wide
+  :data:`METRICS` registry — monotonic counters (absorbing the
+  ``hotpath.*`` slots), gauges, log2-bucketed histograms with
+  p50/p95/p99 — plus the **accuracy residual ledger** recording
+  estimate-vs-truth observations (paper metric M1) wherever ground truth
+  is computed anyway. Unlike traces, metrics are always on; snapshots are
+  versioned, picklable, and merge across parallel workers in task order.
+- **Flight recorder** (:mod:`repro.observability.flight`): a bounded ring
+  of the most recent spans/metric events; dumps a postmortem JSON on
+  estimator exceptions, failed parallel tasks, or error spans when armed
+  via ``--flight-recorder`` / ``$REPRO_FLIGHT_DUMP``.
 - **Exporters** (:mod:`repro.observability.export`): JSON-lines trace dump
-  and re-load, per-span aggregate statistics (count/total/mean/p95), and
-  the per-(use case, estimator) error-vs-time report.
+  and re-load, per-span aggregate statistics (count/total/mean/p95), the
+  per-(use case, estimator) error-vs-time report, metrics-snapshot JSONL
+  (:func:`write_metrics_jsonl`), and Prometheus text exposition
+  (:func:`prometheus_exposition`).
 
 CLI integration: every ``python -m repro`` subcommand accepts
-``--trace FILE`` to dump a JSONL trace, and ``python -m repro stats FILE``
-summarizes one. See ``docs/OBSERVABILITY.md`` for the span-name catalog.
+``--trace FILE`` to dump a JSONL trace (now including the metric
+snapshot and residual ledger), and ``python -m repro stats FILE...``
+summarizes and merges one or more. See ``docs/OBSERVABILITY.md`` for the
+span-name catalog and the metrics model.
 """
 
 from repro.observability.collector import (
@@ -41,11 +56,32 @@ from repro.observability.collector import (
 )
 from repro.observability.export import (
     SpanStats,
+    TraceData,
     aggregate_spans,
     error_time_table,
+    merge_trace_data,
+    prometheus_exposition,
+    read_metrics_jsonl,
     read_trace,
+    residual_table,
     stats_table,
+    write_metrics_jsonl,
     write_trace,
+)
+from repro.observability.flight import FLIGHT, FlightRecorder
+from repro.observability.metrics import (
+    METRICS,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    MetricsSnapshot,
+    ResidualRecord,
+    flush,
+    metric_inc,
+    metric_observe,
+    metric_set,
+    metrics_snapshot,
+    record_residual,
+    reset_metrics,
 )
 from repro.observability.trace import (
     NULL_SPAN,
@@ -74,20 +110,39 @@ def __getattr__(name: str):
 __all__ = [
     "Collector",
     "EstimatorCall",
+    "FLIGHT",
+    "FlightRecorder",
+    "METRICS",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NULL_SPAN",
     "NullCollector",
     "RecordingCollector",
     "RecordingEstimator",
+    "ResidualRecord",
     "SpanRecord",
     "SpanStats",
+    "TraceData",
     "TracePayload",
     "aggregate_spans",
     "count",
     "error_time_table",
+    "flush",
     "get_collector",
     "maybe_trace",
+    "merge_trace_data",
+    "metric_inc",
+    "metric_observe",
+    "metric_set",
+    "metrics_snapshot",
     "observe",
+    "prometheus_exposition",
+    "read_metrics_jsonl",
     "read_trace",
+    "record_residual",
+    "reset_metrics",
+    "residual_table",
     "set_collector",
     "stats_table",
     "timed_span",
@@ -95,5 +150,6 @@ __all__ = [
     "tracing_enabled",
     "unwrap_estimator",
     "using_collector",
+    "write_metrics_jsonl",
     "write_trace",
 ]

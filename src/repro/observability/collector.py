@@ -13,7 +13,9 @@ import abc
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.observability.metrics import MetricsSnapshot
 
 
 @dataclass(frozen=True)
@@ -54,10 +56,20 @@ class TracePayload:
     counters: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, List[float]] = field(default_factory=dict)
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Metrics-registry *delta* accumulated while the task ran (what the
+    #: worker's registry gained relative to its entry snapshot). ``None``
+    #: on payloads from builds that predate the metrics layer.
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def empty(self) -> bool:
-        return not (self.spans or self.counters or self.histograms or self.outcomes)
+        return not (
+            self.spans
+            or self.counters
+            or self.histograms
+            or self.outcomes
+            or (self.metrics is not None and not self.metrics.empty)
+        )
 
 
 class Collector(abc.ABC):

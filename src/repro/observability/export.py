@@ -8,21 +8,38 @@ The on-disk format is JSON lines, one record per line, discriminated by a
 - ``{"type": "histogram", "name", "values"}``
 - ``{"type": "outcome", "use_case", "estimator", "relative_error",
   "seconds", "status", ...}``
+- ``{"type": "metrics", "schema", "counters", "gauges", "histograms",
+  ...}`` — a versioned :class:`~repro.observability.metrics.MetricsSnapshot`
+  (see :data:`~repro.observability.metrics.METRICS_SCHEMA_VERSION`;
+  readers reject snapshots from a newer schema).
+- ``{"type": "residual", "source", "estimator", "workload", "op",
+  "estimate", "truth", "relative_error", "seconds"}`` — one accuracy
+  ledger entry.
 
-``python -m repro stats FILE`` renders the aggregate tables from such a
-file; benchmarks can also consume traces programmatically via
-:func:`read_trace`.
+``python -m repro stats FILE...`` renders the aggregate tables from such
+files (merging multiple); benchmarks can also consume traces
+programmatically via :func:`read_trace`. :func:`write_metrics_jsonl` /
+:func:`read_metrics_jsonl` move bare metric snapshots (no trace) through
+the same record types, and :func:`prometheus_exposition` renders a
+snapshot in the Prometheus text exposition format for scraping.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.observability.collector import RecordingCollector, SpanRecord
+from repro.observability.metrics import (
+    MetricsSnapshot,
+    ResidualRecord,
+    _Histogram,
+)
 
 PathLike = Union[str, Path]
 
@@ -55,10 +72,62 @@ class TraceData:
     counters: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, List[float]] = field(default_factory=dict)
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Decoded registry snapshot, when the file contained one (merged when
+    #: it contained several).
+    metrics: Optional[MetricsSnapshot] = None
+    #: Accuracy-ledger entries from ``residual`` records.
+    residuals: List[ResidualRecord] = field(default_factory=list)
 
 
-def write_trace(path: PathLike, collector: RecordingCollector) -> int:
-    """Dump *collector* as JSON lines to *path*; returns the record count."""
+def merge_trace_data(parts: Iterable[TraceData]) -> TraceData:
+    """Fold several decoded trace/metric files into one view.
+
+    Spans, outcomes, and residual ledgers concatenate in input order;
+    counters add; exact-histogram value lists concatenate; metric
+    snapshots merge with registry semantics (counters add, gauges take the
+    later file, bucketed histograms add). The multi-file story behind
+    ``repro stats FILE...`` — per-worker or per-shard dumps aggregate into
+    the same shapes a single-process run would have produced.
+    """
+    merged = TraceData()
+    for part in parts:
+        merged.spans.extend(part.spans)
+        for name, value in part.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0.0) + value
+        for name, values in part.histograms.items():
+            merged.histograms.setdefault(name, []).extend(values)
+        merged.outcomes.extend(part.outcomes)
+        merged.residuals.extend(part.residuals)
+        if part.metrics is not None:
+            merged.metrics = (
+                part.metrics if merged.metrics is None
+                else merged.metrics.merge(part.metrics)
+            )
+    return merged
+
+
+def _metrics_records(snapshot: MetricsSnapshot) -> List[Dict[str, Any]]:
+    """The JSONL records encoding *snapshot*: one ``metrics`` line plus one
+    ``residual`` line per retained ledger entry."""
+    records: List[Dict[str, Any]] = [
+        {"type": "metrics", **_jsonable(snapshot.to_dict())}
+    ]
+    for residual in snapshot.residuals:
+        records.append({"type": "residual", **_jsonable(residual.to_dict())})
+    return records
+
+
+def write_trace(
+    path: PathLike,
+    collector: RecordingCollector,
+    metrics: Optional[MetricsSnapshot] = None,
+) -> int:
+    """Dump *collector* as JSON lines to *path*; returns the record count.
+
+    When *metrics* is given, the snapshot and its residual ledger are
+    appended as ``metrics``/``residual`` records, so one ``--trace`` file
+    carries both the span profile and the accuracy telemetry.
+    """
     records: List[Dict[str, Any]] = []
     for span in collector.spans:
         records.append({
@@ -75,10 +144,42 @@ def write_trace(path: PathLike, collector: RecordingCollector) -> int:
         records.append({"type": "histogram", "name": name, "values": values})
     for outcome in collector.outcomes:
         records.append({"type": "outcome", **_jsonable(outcome)})
+    if metrics is not None:
+        records.extend(_metrics_records(metrics))
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     return len(records)
+
+
+def write_metrics_jsonl(path: PathLike, snapshot: MetricsSnapshot) -> int:
+    """Dump a bare metrics snapshot (no trace) as JSONL; returns the
+    record count. The write is atomic (temp file + rename) so a file seen
+    on disk is always complete — this is the :func:`repro.observability.
+    metrics.flush` / ``atexit`` durability path."""
+    records = _metrics_records(snapshot)
+    target = Path(path)
+    tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    tmp.replace(target)
+    return len(records)
+
+
+def read_metrics_jsonl(path: PathLike) -> MetricsSnapshot:
+    """Parse a metrics JSONL file back into a snapshot (ledger attached).
+
+    Accepts full trace files too — only the ``metrics``/``residual``
+    records are read. Raises ``ValueError`` when the file has no metrics
+    record or the snapshot schema is newer than this build supports.
+    """
+    data = read_trace(path)
+    if data.metrics is None:
+        raise ValueError(f"no metrics record found in {path}")
+    snapshot = data.metrics
+    snapshot.residuals = list(data.residuals)
+    return snapshot
 
 
 def read_trace(path: PathLike) -> TraceData:
@@ -114,6 +215,14 @@ def read_trace(path: PathLike) -> TraceData:
                     key: value for key, value in record.items()
                     if key != "type"
                 })
+            elif kind == "metrics":
+                snapshot = MetricsSnapshot.from_dict(record)
+                data.metrics = (
+                    snapshot if data.metrics is None
+                    else data.metrics.merge(snapshot)
+                )
+            elif kind == "residual":
+                data.residuals.append(ResidualRecord.from_dict(record))
     return data
 
 
@@ -229,3 +338,133 @@ def error_time_table(
         rows,
         title=title,
     )
+
+
+def residual_table(
+    residuals: Sequence[ResidualRecord], title: str = ""
+) -> str:
+    """Render the residual ledger aggregated per (source, estimator).
+
+    One row per group: observation count, mean/max finite relative error
+    (paper M1), the number of non-finite errors (zero-vs-nonzero), and
+    total attributed wall time.
+    """
+    from repro.sparsest.report import simple_table  # deferred: heavy package
+
+    groups: Dict[tuple, List[ResidualRecord]] = {}
+    for record in residuals:
+        groups.setdefault((record.source, record.estimator), []).append(record)
+    rows = []
+    for (source, estimator), records in sorted(groups.items()):
+        finite = [
+            r.relative_error for r in records
+            if math.isfinite(r.relative_error)
+        ]
+        rows.append([
+            source,
+            estimator,
+            len(records),
+            f"{sum(finite) / len(finite):.4f}" if finite else "-",
+            f"{max(finite):.4f}" if finite else "-",
+            len(records) - len(finite),
+            f"{sum(r.seconds for r in records):.6f}",
+        ])
+    return simple_table(
+        ["source", "estimator", "n", "mean err", "max err", "non-finite",
+         "seconds"],
+        rows,
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_PROM_PREFIX = "repro_"
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into the Prometheus charset."""
+    return _PROM_PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_value(value: float) -> str:
+    """Format a float the way the exposition format expects."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_label(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_exposition(snapshot: MetricsSnapshot) -> str:
+    """Render *snapshot* in the Prometheus text exposition format (0.0.4).
+
+    Counters gain a ``_total`` suffix, histograms are emitted as
+    cumulative ``_bucket{le="..."}`` series (log2 bucket upper bounds)
+    with ``_sum``/``_count``, and the residual ledger is aggregated into
+    labelled ``repro_residual_*`` series per (source, estimator). Every
+    line is either a ``# HELP``/``# TYPE`` comment or a single sample, so
+    the output parses line-by-line.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(snapshot.counters.items()):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+
+    for name, value in sorted(snapshot.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+
+    for name, state in sorted(snapshot.histograms.items()):
+        histogram = _Histogram.from_state(state)
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = histogram.zeros
+        if histogram.zeros:
+            lines.append(f'{prom}_bucket{{le="0"}} {cumulative}')
+        for index in sorted(histogram.buckets):
+            cumulative += histogram.buckets[index]
+            upper = _prom_value(2.0 ** (index + 1))
+            lines.append(f'{prom}_bucket{{le="{upper}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{prom}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{prom}_count {histogram.count}")
+
+    groups: Dict[tuple, List[ResidualRecord]] = {}
+    for record in snapshot.residuals:
+        groups.setdefault((record.source, record.estimator), []).append(record)
+    if groups:
+        base = _PROM_PREFIX + "residual_ledger"
+        lines.append(f"# TYPE {base}_count gauge")
+        lines.append(f"# TYPE {base}_error_mean gauge")
+        lines.append(f"# TYPE {base}_seconds_total gauge")
+        for (source, estimator), records in sorted(groups.items()):
+            labels = (
+                f'source="{_prom_label(source)}",'
+                f'estimator="{_prom_label(estimator)}"'
+            )
+            finite = [
+                r.relative_error for r in records
+                if math.isfinite(r.relative_error)
+            ]
+            mean = sum(finite) / len(finite) if finite else math.nan
+            seconds = sum(r.seconds for r in records)
+            lines.append(f"{base}_count{{{labels}}} {len(records)}")
+            lines.append(f"{base}_error_mean{{{labels}}} {_prom_value(mean)}")
+            lines.append(
+                f"{base}_seconds_total{{{labels}}} {_prom_value(seconds)}"
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""

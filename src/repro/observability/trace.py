@@ -32,6 +32,8 @@ import time
 from typing import Any, Callable, List, Optional, TypeVar
 
 from repro.observability.collector import SpanRecord, get_collector
+from repro.observability.flight import FLIGHT
+from repro.observability.metrics import METRICS
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -97,6 +99,22 @@ class trace:
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         if self._start is not None:
             self.seconds = time.perf_counter() - self._start
+            if exc_type is not None:
+                # Exception-safe spans: the record survives, flagged, and
+                # the flight recorder captures a postmortem. Only spans
+                # that were actually observed (traced or timed) reach
+                # here — a disabled plain ``trace`` stays zero-cost.
+                self.attrs["error"] = exc_type.__name__
+                FLIGHT.record(
+                    "span_error", self.name, seconds=self.seconds,
+                    detail={"error": exc_type.__name__},
+                )
+                FLIGHT.trigger_dump(
+                    "span_error", span=self.name,
+                    error=exc_type.__name__, message=str(exc),
+                )
+            elif FLIGHT.enabled:
+                FLIGHT.record("span", self.name, seconds=self.seconds)
         collector = self._collector
         if collector is not None:
             self._collector = None
@@ -183,14 +201,29 @@ def maybe_trace(name: str, **attrs: Any):
 
 
 def count(name: str, value: float = 1.0) -> None:
-    """Increment the counter *name* on the active collector."""
+    """Increment the counter *name*.
+
+    Always feeds the process-wide metrics registry (counters are cheap and
+    must survive untraced runs); additionally mirrors to the active
+    collector when a trace is being recorded, so trace files keep their
+    per-run counter tables.
+    """
+    METRICS.inc(name, value)
+    if FLIGHT.enabled:
+        FLIGHT.record("metric", name, detail={"delta": value})
     collector = get_collector()
     if collector.enabled:
         collector.increment(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    """Record one histogram observation on the active collector."""
+    """Record one histogram observation.
+
+    Always feeds the process-wide metrics registry (log-bucketed, bounded
+    memory); mirrors the exact value to the active collector when a trace
+    is being recorded.
+    """
+    METRICS.observe(name, value)
     collector = get_collector()
     if collector.enabled:
         collector.observe(name, value)

@@ -44,6 +44,8 @@ from repro.observability.collector import (
     get_collector,
     using_collector,
 )
+from repro.observability.flight import FLIGHT
+from repro.observability.metrics import METRICS
 from repro.observability.trace import count, timed_span
 
 #: Environment variable supplying the default worker count.
@@ -104,17 +106,31 @@ def _invoke(fn: Callable[[Any], Any], task: Any, tracing: bool):
     Returns ``(value_or_failure, payload_or_None)``. Exceptions never
     escape — they become :class:`TaskFailure` values so one bad cell
     cannot poison the pool.
+
+    Metrics travel the same road as traces: forked workers inherit the
+    parent's live registry, so the shim snapshots a baseline on entry and
+    ships only the task's *delta* back (inside ``payload.metrics``). That
+    keeps the merge crash-safe — a worker that dies mid-task contributes
+    nothing rather than a corrupt partial state — and is why a payload may
+    exist even when tracing is off.
     """
+    baseline = METRICS.snapshot()
     collector = RecordingCollector() if tracing else None
+
+    def payload_with_metrics() -> Optional[TracePayload]:
+        payload = collector.snapshot() if collector is not None else TracePayload()
+        payload.metrics = METRICS.snapshot().delta_since(baseline)
+        return None if payload.empty else payload
+
     try:
         if collector is None:
-            return fn(task), None
-        with using_collector(collector):
             value = fn(task)
-        return value, collector.snapshot()
+        else:
+            with using_collector(collector):
+                value = fn(task)
+        return value, payload_with_metrics()
     except Exception as exc:  # noqa: BLE001 - failures are data here
-        payload = collector.snapshot() if collector is not None else None
-        return _failure_from(exc), payload
+        return _failure_from(exc), payload_with_metrics()
 
 
 def run_tasks(
@@ -153,8 +169,13 @@ def _run_serial(fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[TaskResu
         try:
             results.append(TaskResult(index=index, value=fn(task)))
         except Exception as exc:  # noqa: BLE001 - mirrored pool semantics
-            results.append(TaskResult(index=index, failure=_failure_from(exc)))
+            failure = _failure_from(exc)
+            results.append(TaskResult(index=index, failure=failure))
             count("parallel.failures")
+            FLIGHT.trigger_dump(
+                "task_failure", task_index=index,
+                kind=failure.kind, message=failure.message,
+            )
     return results
 
 
@@ -183,23 +204,40 @@ def _run_pool(
                     message="worker process died before completing this task",
                 )
                 count("parallel.broken_pool_tasks")
+                FLIGHT.trigger_dump(
+                    "task_failure", task_index=index, kind="BrokenProcessPool",
+                )
                 continue
             except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
                 results[index].failure = _failure_from(exc)
                 count("parallel.failures")
+                FLIGHT.trigger_dump(
+                    "task_failure", task_index=index,
+                    kind=results[index].failure.kind,
+                    message=results[index].failure.message,
+                )
                 continue
             payloads[index] = payload
             if isinstance(value, TaskFailure):
                 results[index].failure = value
                 count("parallel.failures")
+                FLIGHT.trigger_dump(
+                    "task_failure", task_index=index,
+                    kind=value.kind, message=value.message,
+                )
             else:
                 results[index].value = value
-    # Merge worker traces in task order — deterministic independent of the
-    # order workers actually finished in.
-    if tracing:
-        for payload in payloads:
-            if payload is not None:
-                parent.merge(payload)
+    # Merge worker traces and metric deltas in task order — deterministic
+    # independent of the order workers actually finished in. Crashed
+    # workers shipped no payload, so the merged state is exactly the sum
+    # of the surviving tasks.
+    for payload in payloads:
+        if payload is None:
+            continue
+        if tracing:
+            parent.merge(payload)
+        if payload.metrics is not None:
+            METRICS.merge(payload.metrics)
     count("parallel.tasks", float(len(tasks)))
     return results
 

@@ -17,8 +17,9 @@ record; :class:`AllocationReport` aggregates records across a whole DAG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
+from repro.observability.metrics import metric_inc, metric_observe, record_residual
 from repro.runtime.formats import (
     MatrixFormat,
     choose_format,
@@ -69,6 +70,8 @@ def plan_allocation(
     shape: tuple[int, int],
     estimated_nnz: float,
     true_nnz: float,
+    *,
+    estimator: Optional[str] = None,
 ) -> AllocationDecision:
     """Make the allocation decision an estimator's output would cause.
 
@@ -76,6 +79,13 @@ def plan_allocation(
     for the *estimated* count in that format; requirements are evaluated at
     the true count in the chosen format, and the optimum at the true count
     in the truth-optimal format.
+
+    Every decision feeds the metrics registry: regret becomes a
+    first-class ``runtime.regret_bytes`` observation (with over-/under-
+    allocation and wrong-format counters), and the (estimate, truth) pair
+    joins the accuracy residual ledger under ``source="allocator"`` —
+    tagged with *estimator* when the caller knows which estimator produced
+    the estimate.
     """
     m, n = shape
     cells = max(m * n, 1)
@@ -85,13 +95,32 @@ def plan_allocation(
     allocated = memory_bytes(m, n, estimated_nnz, chosen)
     required = memory_bytes(m, n, true_nnz, chosen)
     optimal_bytes = optimal_memory_bytes(m, n, true_nnz)
-    return AllocationDecision(
+    decision = AllocationDecision(
         label=label, shape=(m, n),
         estimated_nnz=estimated_nnz, true_nnz=true_nnz,
         chosen_format=chosen, optimal_format=optimal,
         allocated_bytes=allocated, required_bytes=required,
         optimal_bytes=optimal_bytes,
     )
+    metric_inc("runtime.allocations")
+    metric_observe("runtime.regret_bytes", decision.regret_bytes)
+    if decision.over_allocated_bytes:
+        metric_inc("runtime.over_allocated_bytes", decision.over_allocated_bytes)
+    if decision.under_allocated_bytes:
+        metric_inc(
+            "runtime.under_allocated_bytes", decision.under_allocated_bytes
+        )
+    if not decision.format_correct:
+        metric_inc("runtime.wrong_format")
+    record_residual(
+        source="allocator",
+        estimator=estimator or "unknown",
+        workload=label,
+        op="alloc",
+        estimate=estimated_nnz,
+        truth=true_nnz,
+    )
+    return decision
 
 
 @dataclass

@@ -81,6 +81,9 @@ def execute_with_decisions(
                     estimated = synopses[id(node)].nnz_estimate
                 truth = float(truths[id(node)].nnz)
                 report.add(
-                    plan_allocation(node.label, node.shape, estimated, truth)
+                    plan_allocation(
+                        node.label, node.shape, estimated, truth,
+                        estimator=estimator.name,
+                    )
                 )
     return DecisionSummary(estimator=estimator.name, report=report)

@@ -42,6 +42,7 @@ from repro.ir.estimate import estimate_root_nnz
 from repro.ir.interpreter import evaluate
 from repro.ir.nodes import Expr
 from repro.observability.collector import get_collector
+from repro.observability.metrics import metric_inc, metric_observe, record_residual
 from repro.observability.recording import unwrap_estimator
 from repro.observability.trace import timed_span
 from repro.opcodes import Op
@@ -187,10 +188,28 @@ class EstimationResult:
 
 
 def _record_outcome(outcome: EstimateOutcome) -> EstimateOutcome:
-    """Report *outcome* to the active collector (error-vs-time telemetry)."""
+    """Report *outcome* to the active collector (error-vs-time telemetry)
+    and to the process-wide metrics registry / residual ledger.
+
+    Ground truth is computed for every cell anyway (the paper's M1 needs
+    it), so each ``ok`` outcome becomes an accuracy residual for free;
+    failed/unsupported/OOM cells only bump status counters.
+    """
     collector = get_collector()
     if collector.enabled:
         collector.record_outcome(asdict(outcome))
+    metric_inc(f"sparsest.outcomes.{outcome.status}")
+    if outcome.ok:
+        record_residual(
+            source="sparsest",
+            estimator=outcome.estimator,
+            workload=outcome.use_case,
+            op="dag",
+            estimate=outcome.estimated_nnz,
+            truth=outcome.true_nnz,
+            seconds=outcome.seconds,
+        )
+        metric_observe("sparsest.seconds", outcome.seconds)
     return outcome
 
 

@@ -49,6 +49,8 @@ from repro.core.sketch import MNCSketch
 from repro.errors import UnsupportedOperationError
 from repro.estimators.base import SparsityEstimator, make_estimator
 from repro.ir.estimate import estimate_root_nnz
+from repro.observability.metrics import record_residual
+from repro.observability.trace import timed_span
 from repro.opcodes import Op
 from repro.verify.generators import Case, exact_structure
 
@@ -119,6 +121,30 @@ def case_supported(estimator: SparsityEstimator, case: Case) -> bool:
 def estimate_case(estimator: SparsityEstimator, case: Case) -> float:
     """The estimator's non-zero estimate for the case root."""
     return float(estimate_root_nnz(case.root, estimator))
+
+
+def _measured_estimate(spec: EstimatorSpec, case: Case) -> Tuple[float, float]:
+    """``(truth, estimate)`` for a relational check, with the pair logged
+    to the accuracy residual ledger.
+
+    Every relational contract computes both values anyway, so fuzz runs
+    double as accuracy telemetry: each checked cell contributes one
+    ``source="verify"`` residual tagged with its generator coordinate and
+    root opcode.
+    """
+    truth = case.truth_nnz()
+    with timed_span("verify.estimate", estimator=spec.name) as span:
+        estimate = estimate_case(spec.make(), case)
+    record_residual(
+        source="verify",
+        estimator=spec.name,
+        workload=f"{case.generator}#{case.index}",
+        op=case.root.op.value,
+        estimate=estimate,
+        truth=truth,
+        seconds=span.seconds or 0.0,
+    )
+    return truth, estimate
 
 
 def _leaf_sketches(case: Case, with_extensions: bool = True) -> list[MNCSketch]:
@@ -252,8 +278,7 @@ def _applies_theorem31(spec: EstimatorSpec, case: Case) -> bool:
 
 
 def _check_theorem31(spec: EstimatorSpec, case: Case) -> Optional[str]:
-    truth = case.truth_nnz()
-    estimate = estimate_case(spec.make(), case)
+    truth, estimate = _measured_estimate(spec, case)
     if abs(estimate - truth) > _tol(truth):
         return (f"Theorem 3.1 case (max(hr)<=1 or max(hc)<=1) must be exact: "
                 f"estimate {estimate:.6g} != truth {truth:.6g}")
@@ -277,8 +302,7 @@ def _applies_single_op_tag(tag: str) -> Callable[[EstimatorSpec, Case], bool]:
 
 
 def _check_upper_bound(spec: EstimatorSpec, case: Case) -> Optional[str]:
-    truth = case.truth_nnz()
-    estimate = estimate_case(spec.make(), case)
+    truth, estimate = _measured_estimate(spec, case)
     if estimate < truth - _tol(truth):
         return (f"worst-case estimate {estimate:.6g} under-estimates "
                 f"truth {truth:.6g}")
@@ -299,8 +323,7 @@ def _applies_exact(spec: EstimatorSpec, case: Case) -> bool:
 
 
 def _check_exact(spec: EstimatorSpec, case: Case) -> Optional[str]:
-    truth = case.truth_nnz()
-    estimate = estimate_case(spec.make(), case)
+    truth, estimate = _measured_estimate(spec, case)
     if abs(estimate - truth) > _tol(truth):
         return (f"exact estimator drifted: estimate {estimate:.6g} != "
                 f"truth {truth:.6g}")
@@ -322,8 +345,7 @@ def _applies_lower_bound(spec: EstimatorSpec, case: Case) -> bool:
 
 
 def _check_lower_bound(spec: EstimatorSpec, case: Case) -> Optional[str]:
-    truth = case.truth_nnz()
-    estimate = estimate_case(spec.make(), case)
+    truth, estimate = _measured_estimate(spec, case)
     if estimate > truth + _tol(truth):
         return (f"biased sampling must lower-bound products: "
                 f"estimate {estimate:.6g} > truth {truth:.6g}")

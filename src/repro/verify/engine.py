@@ -35,6 +35,7 @@ from repro.estimators.exact import ExactOracle
 from repro.ir import nodes as ir
 from repro.ir.nodes import Expr
 from repro.matrix.conversion import as_csr
+from repro.observability.flight import FLIGHT
 from repro.observability.trace import count, timed_span
 from repro.opcodes import Op
 from repro.parallel.engine import resolve_workers, run_tasks
@@ -241,6 +242,17 @@ class FuzzEngine:
         count("verify.violations", float(len(report.violations)))
         for record in report.violations:
             count(f"verify.violations.{record.cell.contract}")
+            FLIGHT.record(
+                "violation", str(record.cell),
+                detail={"message": record.message[:200]},
+            )
+        if report.violations:
+            # A violated contract is a correctness event, not a crash — note
+            # it in the postmortem stream so an armed recorder captures the
+            # metrics state that accompanied the violation.
+            FLIGHT.trigger_dump(
+                "verify_violation", violations=len(report.violations),
+            )
         return report
 
     def _chunks(self, workers: int) -> List[Tuple[str, int, int]]:

@@ -22,6 +22,11 @@ from repro.ir.interpreter import evaluate
 from repro.ir.nodes import leaf, matmul, transpose
 from repro.matrix.random import random_sparse
 from repro.observability.collector import RecordingCollector, using_collector
+from repro.observability.metrics import (
+    METRICS,
+    metric_inc,
+    record_residual,
+)
 from repro.parallel.engine import (
     WORKERS_ENV,
     TaskFailure,
@@ -58,6 +63,29 @@ def _fail_on_three(x):
 def _die_on_two(x):
     if x == 2:
         os._exit(13)  # hard death: no exception, no cleanup
+    return x
+
+
+def _bump_metric(x):
+    metric_inc("test.pmerge.counter")
+    record_residual(
+        source="pmerge", estimator="E", workload=f"t{x}", op="op",
+        estimate=float(x), truth=float(x),
+    )
+    return x
+
+
+def _bump_then_fail(x):
+    metric_inc("test.pfail.counter")
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _bump_or_die(x):
+    if x == 2:
+        os._exit(13)
+    metric_inc("test.pcrash.counter")
     return x
 
 
@@ -129,6 +157,61 @@ class TestRunTasks:
         assert names.count("sparsest.run") == 2  # one per cell, from workers
         assert len(collector.outcomes) == 2
         assert collector.counters.get("parallel.pool_runs") == 1
+
+
+# ----------------------------------------------------------------------
+# Metric merge-back (PR 6): worker deltas fold into the parent registry
+# ----------------------------------------------------------------------
+
+class TestMetricMergeBack:
+    def _counter(self, name):
+        return METRICS.snapshot(sync_hotpath=False).counters.get(name, 0.0)
+
+    def test_worker_metric_deltas_merge_in_task_order(self):
+        before = self._counter("test.pmerge.counter")
+        seen_before = len(METRICS.residuals())
+        results = run_tasks(_bump_metric, list(range(4)), workers=2)
+        assert all(r.ok for r in results)
+        assert self._counter("test.pmerge.counter") - before == 4.0
+        # Residual ledger entries arrive in task order — deterministic
+        # regardless of which worker finished first.
+        tail = METRICS.residuals()[seen_before:]
+        assert [r.workload for r in tail if r.source == "pmerge"] == [
+            "t0", "t1", "t2", "t3",
+        ]
+
+    def test_merged_totals_identical_across_runs(self):
+        first = self._counter("test.pmerge.counter")
+        run_tasks(_bump_metric, list(range(5)), workers=3)
+        second = self._counter("test.pmerge.counter")
+        run_tasks(_bump_metric, list(range(5)), workers=3)
+        third = self._counter("test.pmerge.counter")
+        assert second - first == third - second == 5.0
+
+    def test_failed_tasks_still_ship_their_metrics(self):
+        # An in-worker exception is caught as a TaskFailure; the metric
+        # delta accumulated before the raise still merges back.
+        before = self._counter("test.pfail.counter")
+        results = run_tasks(_bump_then_fail, [1, 2, 3, 4], workers=2)
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert self._counter("test.pfail.counter") - before == 4.0
+
+    def test_crashed_workers_contribute_nothing(self):
+        # A hard worker death ships no payload: the merged snapshot is
+        # exactly the sum of the tasks that completed (ok or failed),
+        # never a corrupt partial state.
+        before = self._counter("test.pcrash.counter")
+        results = run_tasks(_bump_or_die, [1, 2, 3, 4], workers=2)
+        assert len(results) == 4
+        merged = self._counter("test.pcrash.counter") - before
+        survivors = sum(1 for r in results if r.ok)
+        assert merged == float(survivors)
+        assert merged < 4.0  # the dead task really contributed nothing
+
+    def test_serial_path_writes_metrics_directly(self):
+        before = self._counter("test.pmerge.counter")
+        run_tasks(_bump_metric, [7], workers=1)
+        assert self._counter("test.pmerge.counter") - before == 1.0
 
 
 # ----------------------------------------------------------------------
