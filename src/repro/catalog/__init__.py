@@ -10,6 +10,10 @@ optimization. This subsystem turns that into a serving-shaped architecture:
 - :mod:`repro.catalog.store` — a thread-safe, byte-budgeted LRU
   :class:`SketchStore` with optional ``.npz`` disk spill, warm start, and
   persistence built on :mod:`repro.core.serialize`;
+- :mod:`repro.catalog.sharded` — :class:`ShardedSketchStore`, the same
+  store interface partitioned by fingerprint prefix across independently
+  locked shards with per-shard budgets, a TTL demotion tier, and
+  concurrent warm start — the serving tier's store;
 - :mod:`repro.catalog.memo` — :class:`EstimateMemo`, memoized estimation
   results keyed on ``(fingerprint, estimator, tag)`` with explicit
   invalidation;
@@ -35,6 +39,7 @@ from repro.catalog.fingerprint import (
 )
 from repro.catalog.memo import EstimateMemo
 from repro.catalog.service import EstimationService, ServiceRequest
+from repro.catalog.sharded import ShardedSketchStore, ShardRouter
 from repro.catalog.store import DEFAULT_BUDGET_BYTES, SketchStore, StoreStats
 
 __all__ = [
@@ -43,6 +48,8 @@ __all__ = [
     "EstimationService",
     "ServiceRequest",
     "FINGERPRINT_VERSION",
+    "ShardRouter",
+    "ShardedSketchStore",
     "SketchStore",
     "StoreStats",
     "fingerprint_dag",

@@ -13,6 +13,19 @@ small objects; a byte budget would be overkill), and supports explicit
 invalidation by fingerprint and/or estimator — the hook for workloads where
 a registered matrix is replaced under the same logical name.
 
+Concurrency contract (the serving tier leans on all three):
+
+- ``get``/``put`` are individually atomic, so a reader never observes a
+  torn entry and concurrent full-value writes are last-writer-wins rather
+  than lost-update-prone read-modify-write;
+- :meth:`EstimateMemo.memoize` is **single-writer-per-key**: when several
+  threads miss the same key simultaneously, exactly one runs ``compute``
+  while the rest block on an in-flight marker and then read the stored
+  value — the cold path of a popular key costs one computation, not one
+  per concurrent request;
+- a ``compute`` that raises releases the in-flight marker, so one waiter
+  is promoted to writer instead of every waiter hanging or failing.
+
 Hits and misses are mirrored onto the observability counters
 (``catalog.memo.hit`` / ``catalog.memo.miss``).
 """
@@ -50,9 +63,13 @@ class EstimateMemo:
         self.max_entries = int(max_entries)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[MemoKey, Any]" = OrderedDict()
+        #: Keys whose value is being computed right now (memoize's
+        #: single-writer-per-key protocol); waiters block on the event.
+        self._inflight: Dict[MemoKey, threading.Event] = {}
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._compute_waits = 0
 
     def get(
         self, fingerprint: str, estimator: str, tag: str, default: Any = None
@@ -85,15 +102,51 @@ class EstimateMemo:
     ) -> Any:
         """Return the memoized value, computing and storing it on a miss.
 
-        ``compute`` runs outside the lock, so concurrent misses on the same
-        key may compute twice — both arrive at the same structural result,
-        and neither update is lost.
+        Atomic get-or-compute: when several threads miss the same key at
+        once, exactly one runs ``compute`` (outside the lock — computations
+        can be arbitrarily slow) while the others wait for it and then read
+        the stored value. If the computing thread raises, its waiters are
+        woken and one of them takes over the computation; the exception
+        propagates to the original caller.
         """
-        value = self.get(fingerprint, estimator, tag, default=_MISSING)
-        if value is _MISSING:
-            value = compute()
-            self.put(fingerprint, estimator, tag, value)
-        return value
+        key = (fingerprint, estimator, tag)
+        while True:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    count("catalog.memo.hit")
+                    return value
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = threading.Event()
+                    owner = True
+                    self._misses += 1
+                    count("catalog.memo.miss")
+                else:
+                    owner = False
+                    self._compute_waits += 1
+                    count("catalog.memo.compute_wait")
+            if owner:
+                try:
+                    value = compute()
+                except BaseException:
+                    # Promote a waiter to writer rather than caching the
+                    # failure or leaving everyone blocked forever.
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    pending.set()
+                    raise
+                self.put(fingerprint, estimator, tag, value)
+                with self._lock:
+                    self._inflight.pop(key, None)
+                pending.set()
+                return value
+            pending.wait()
+            # Re-check from the top: the usual case finds the stored value;
+            # if the writer failed (or the entry was already evicted) this
+            # thread competes to become the new writer.
 
     def invalidate(
         self,
@@ -144,6 +197,7 @@ class EstimateMemo:
                 "hits": self._hits,
                 "misses": self._misses,
                 "invalidations": self._invalidations,
+                "compute_waits": self._compute_waits,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
             }

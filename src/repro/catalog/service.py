@@ -31,6 +31,7 @@ rather than sharing one catalog.
 from __future__ import annotations
 
 import tempfile
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,7 +47,7 @@ from repro.matrix.conversion import MatrixLike
 from repro.observability.recording import unwrap_estimator
 from repro.observability.trace import count, timed_span
 from repro.opcodes import Op
-from repro.parallel.engine import resolve_workers, run_tasks
+from repro.parallel.engine import WorkerPool, resolve_workers, run_tasks
 from repro.parallel.spill import PortableDag, load_dag, spill_dag
 
 
@@ -94,9 +95,13 @@ class EstimationService:
 
     Args:
         estimator: a registered estimator name or instance (default MNC).
-        store: sketch store to use/share; a fresh in-memory
-            :class:`SketchStore` by default.
+        store: sketch store to use/share (any object speaking the
+            :class:`SketchStore` protocol, including
+            :class:`~repro.catalog.sharded.ShardedSketchStore`); a fresh
+            in-memory :class:`SketchStore` by default.
         memo: result memo to use/share; fresh by default.
+        pool: persistent :class:`~repro.parallel.engine.WorkerPool` for
+            parallel batches; ``None`` keeps the historical per-call pool.
     """
 
     def __init__(
@@ -104,14 +109,19 @@ class EstimationService:
         estimator: Union[str, SparsityEstimator] = "mnc",
         store: Optional[SketchStore] = None,
         memo: Optional[EstimateMemo] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         if isinstance(estimator, str):
             estimator = make_estimator(estimator)
         self.estimator = estimator
         self.store = store if store is not None else SketchStore()
         self.memo = memo if memo is not None else EstimateMemo()
+        self.pool = pool
         #: Logical name -> fingerprint for matrices registered with a name.
         self.names: Dict[str, str] = {}
+        # Counter lock: services are shared across server threads, and
+        # unsynchronized += would drop increments under contention.
+        self._counter_lock = threading.Lock()
         self._requests = 0
         self._hits = 0
 
@@ -136,6 +146,35 @@ class EstimationService:
                 self.memo.put(
                     fingerprint, key, "synopsis", self.estimator.build(matrix)
                 )
+        return fingerprint
+
+    def register_sketched(
+        self,
+        matrix: MatrixLike,
+        sketch: MNCSketch,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register *matrix* with a pre-built *sketch* as its leaf synopsis.
+
+        The distributed-ingest entry point: when shards were sketched
+        remotely and merged via :mod:`repro.core.distributed`, the merged
+        sketch — not a locally rebuilt one — must be what estimation sees,
+        because merging drops extension vectors along the merge axis and a
+        rebuild would silently answer with different (tighter) bounds than
+        the distributed pipeline that produced the catalog. The sketch is
+        stored under the matrix's structural fingerprint unconditionally,
+        replacing any cached sketch for the same non-zero pattern.
+        """
+        if sketch.shape != tuple(int(d) for d in matrix.shape):
+            raise SketchError(
+                f"sketch shape {sketch.shape} does not match matrix shape "
+                f"{tuple(matrix.shape)}"
+            )
+        fingerprint = fingerprint_matrix(matrix)
+        if name is not None:
+            self.names[name] = fingerprint
+        self.store.put(fingerprint, sketch)
+        count("catalog.service.register_sketched")
         return fingerprint
 
     def sketch_for(self, matrix: MatrixLike) -> MNCSketch:
@@ -215,7 +254,8 @@ class EstimationService:
 
         root_fingerprint = fingerprint_expr(expr)
         estimator_key = self._estimator_key(self.estimator)
-        self._requests += 1
+        with self._counter_lock:
+            self._requests += 1
         with timed_span(
             "catalog.service.estimate", estimator=estimator_key
         ) as span:
@@ -238,7 +278,8 @@ class EstimationService:
                 cached = False
                 count("catalog.service.miss")
             else:
-                self._hits += 1
+                with self._counter_lock:
+                    self._hits += 1
                 cached = True
                 count("catalog.service.hit")
             span.annotate(cached=cached, result_nnz=float(nnz))
@@ -299,8 +340,9 @@ class EstimationService:
                 pending.append((i, expr, fingerprint))
                 continue
             # Warm path: answer from the parent memo without shipping.
-            self._requests += 1
-            self._hits += 1
+            with self._counter_lock:
+                self._requests += 1
+                self._hits += 1
             count("catalog.service.hit")
             m, n = expr.shape
             results[i] = {
@@ -338,7 +380,7 @@ class EstimationService:
             ]
             task_results = run_tasks(
                 _estimate_worker, tasks, workers=workers,
-                label="catalog.service.fanout",
+                label="catalog.service.fanout", pool=self.pool,
             )
             for (index, expr, fingerprint), outcome in zip(pending, task_results):
                 if not outcome.ok:
@@ -347,7 +389,8 @@ class EstimationService:
                     count("catalog.service.fanout_retries")
                     results[index] = self._estimate_one(expr)
                     continue
-                self._requests += 1
+                with self._counter_lock:
+                    self._requests += 1
                 count("catalog.service.miss")
                 result = dict(outcome.value)
                 self.memo.put(fingerprint, estimator_key, "nnz", result["nnz"])

@@ -26,6 +26,8 @@ effectiveness.
 from __future__ import annotations
 
 import threading
+import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -42,6 +44,22 @@ from repro.observability.trace import count
 DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
 
 
+def load_sketch_or_none(path: Path) -> Optional[MNCSketch]:
+    """Load one catalog file, returning ``None`` for anything unreadable.
+
+    "Unreadable" covers the failure modes a live, shared catalog directory
+    actually produces: a file deleted between listing and open, a
+    partially-written or truncated npz (a writer mid-``save_sketch``, a
+    crashed spill), a zip that is not an npz at all, and payloads whose
+    sketch contents fail validation or carry a future format version.
+    """
+    try:
+        return load_sketch(path)
+    except (SketchError, OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile, zlib.error):
+        return None
+
+
 @dataclass(frozen=True)
 class StoreStats:
     """Point-in-time cache-effectiveness counters for one store."""
@@ -55,6 +73,22 @@ class StoreStats:
     entries: int
     bytes_used: int
     budget_bytes: int
+    warm_skipped: int = 0
+
+    def merge(self, other: "StoreStats") -> "StoreStats":
+        """Combine two stores' counters (the sharded store's roll-up)."""
+        return StoreStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            disk_hits=self.disk_hits + other.disk_hits,
+            puts=self.puts + other.puts,
+            evictions=self.evictions + other.evictions,
+            spills=self.spills + other.spills,
+            entries=self.entries + other.entries,
+            bytes_used=self.bytes_used + other.bytes_used,
+            budget_bytes=self.budget_bytes + other.budget_bytes,
+            warm_skipped=self.warm_skipped + other.warm_skipped,
+        )
 
     @property
     def requests(self) -> int:
@@ -105,6 +139,7 @@ class SketchStore:
         self._puts = 0
         self._evictions = 0
         self._spills = 0
+        self._warm_skipped = 0
 
     # ------------------------------------------------------------------
     # Core cache protocol
@@ -164,6 +199,26 @@ class SketchStore:
         with self._lock:
             return self._bytes_used
 
+    def demote(self, key: str) -> bool:
+        """Evict *key* from memory to the disk tier (spill, keep on disk).
+
+        The hook the TTL eviction tier uses: an expired entry stops costing
+        memory but stays reloadable as a disk hit. Without a spill
+        directory the entry is simply dropped. Returns ``True`` when the
+        key was resident.
+        """
+        with self._lock:
+            sketch = self._entries.get(key)
+            if sketch is None:
+                return False
+            del self._entries[key]
+            self._bytes_used -= self._sizes.pop(key)
+            self._evictions += 1
+            count("catalog.store.eviction")
+            self._spill(key, sketch)
+            self._publish_gauges()
+            return True
+
     def discard(self, key: str, remove_spill: bool = True) -> bool:
         """Forget *key* entirely (memory and, by default, its spill file).
 
@@ -207,6 +262,7 @@ class SketchStore:
                 entries=len(self._entries),
                 bytes_used=self._bytes_used,
                 budget_bytes=self.budget_bytes,
+                warm_skipped=self._warm_skipped,
             )
 
     # ------------------------------------------------------------------
@@ -221,17 +277,33 @@ class SketchStore:
         the filename stem. Files load in sorted filename order (so e.g.
         shard sketches keep their partition order); sketch contents are
         validated on load. Returns the keys in load order.
+
+        The scan is tolerant of a live catalog: files that vanish mid-scan
+        (a concurrent ``clear``/``discard``), partially-written spill
+        files, and corrupt or future-versioned payloads are skipped and
+        counted (``catalog.store.warm_skipped`` and the ``warm_skipped``
+        stats field) instead of aborting the whole warm start, so several
+        servers can warm from — and spill into — one directory at once.
         """
         source = Path(directory)
         if not source.is_dir():
             raise SketchError(f"catalog directory {source} does not exist")
         loaded: List[str] = []
         for path in sorted(source.glob("*.npz")):
-            sketch = load_sketch(path)
+            sketch = load_sketch_or_none(path)
+            if sketch is None:
+                self.note_warm_skipped()
+                continue
             self.put(path.stem, sketch)
             loaded.append(path.stem)
         count("catalog.store.warm_start", len(loaded))
         return loaded
+
+    def note_warm_skipped(self) -> None:
+        """Count one unreadable catalog file skipped during warm start."""
+        with self._lock:
+            self._warm_skipped += 1
+        count("catalog.store.warm_skipped")
 
     def persist(self, directory: Optional[str | Path] = None) -> int:
         """Write every resident sketch to *directory* (default: the spill

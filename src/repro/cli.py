@@ -12,7 +12,13 @@ Commands
   to an on-disk sketch catalog.
 - ``catalog {stats,warm,clear} DIR`` — inspect, pre-populate, or empty an
   on-disk sketch catalog (``<fingerprint>.npz`` files, see
-  ``docs/CATALOG.md``).
+  ``docs/CATALOG.md``); ``catalog stats --format json`` emits the same
+  summary as a JSON document for scripting.
+- ``serve [--host H --port P --catalog DIR --workers N --shards K
+  --budget-bytes B --ttl SECONDS --estimator NAME]`` — run the
+  multi-tenant estimation server (``POST /matrices``, ``POST /estimate``,
+  ``GET /stats|/metrics|/healthz``) over a fingerprint-sharded store
+  warm-started from ``--catalog``; see ``docs/SERVING.md``.
 - ``sparsest [--cases ...] [--estimators ...] [--scale S]`` — run SparsEst
   use cases and print the relative-error table.
 - ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
@@ -205,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarize the sketches stored in a catalog"
     )
     catalog_stats.add_argument("directory", help="catalog directory")
+    catalog_stats.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
     catalog_warm = catalog_sub.add_parser(
         "warm", help="sketch matrices into a catalog (skips cached entries)"
     )
@@ -216,6 +226,40 @@ def build_parser() -> argparse.ArgumentParser:
         "clear", help="delete every sketch in a catalog"
     )
     catalog_clear.add_argument("directory", help="catalog directory")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the multi-tenant estimation server",
+        parents=[parallelism],
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks a free port)",
+    )
+    serve_cmd.add_argument(
+        "--catalog", metavar="DIR", default=None,
+        help="sketch catalog directory: warm-started on boot, used as the "
+             "store's spill/persistence tier",
+    )
+    serve_cmd.add_argument(
+        "--shards", type=int, default=8,
+        help="store shard count (independent locks/budgets; default 8)",
+    )
+    serve_cmd.add_argument(
+        "--budget-bytes", type=int, default=None, metavar="B",
+        help="total in-memory sketch budget across shards (default 64 MiB)",
+    )
+    serve_cmd.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="idle seconds before a resident sketch demotes to the disk "
+             "tier (default: no TTL)",
+    )
+    serve_cmd.add_argument(
+        "--estimator", default="mnc",
+        help="registered estimator name (default mnc)",
+    )
     return parser
 
 
@@ -564,10 +608,11 @@ def _cmd_stats(
     return 0
 
 
-def _cmd_catalog_stats(directory: str) -> int:
+def _cmd_catalog_stats(directory: str, output_format: str = "table") -> int:
+    import json as json_module
     from pathlib import Path
 
-    from repro.core.serialize import load_sketch
+    from repro.catalog.store import load_sketch_or_none
 
     root = Path(directory)
     if not root.is_dir():
@@ -575,20 +620,48 @@ def _cmd_catalog_stats(directory: str) -> int:
               file=sys.stderr)
         return 2
     files = sorted(root.glob("*.npz"))
+    entries = []
+    skipped = 0
+    for path in files:
+        sketch = load_sketch_or_none(path)
+        if sketch is None:
+            skipped += 1
+            continue
+        entries.append((path.stem, sketch))
+    if output_format == "json":
+        payload = {
+            "directory": str(root),
+            "sketches": [
+                {
+                    "fingerprint": stem,
+                    "shape": [sketch.nrows, sketch.ncols],
+                    "nnz": int(sketch.total_nnz),
+                    "bytes": sketch.size_bytes(),
+                    "has_extensions": bool(sketch.has_extensions),
+                }
+                for stem, sketch in entries
+            ],
+            "count": len(entries),
+            "skipped": skipped,
+            "total_bytes": sum(s.size_bytes() for _, s in entries),
+            "total_nnz": int(sum(s.total_nnz for _, s in entries)),
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not files:
         print(f"catalog {directory}: empty")
         return 0
     total_bytes = 0
     total_nnz = 0
-    for path in files:
-        sketch = load_sketch(path)
+    for stem, sketch in entries:
         total_bytes += sketch.size_bytes()
         total_nnz += sketch.total_nnz
-        print(f"  {path.stem[:16]:<16}  {sketch.nrows:>8} x {sketch.ncols:<8} "
+        print(f"  {stem[:16]:<16}  {sketch.nrows:>8} x {sketch.ncols:<8} "
               f"nnz {sketch.total_nnz:>12,}  {sketch.size_bytes():>10,} B"
               + ("  +ext" if sketch.has_extensions else ""))
-    print(f"catalog {directory}: {len(files)} sketch(es), "
-          f"{total_bytes:,} bytes, {total_nnz:,} summarized non-zeros")
+    print(f"catalog {directory}: {len(entries)} sketch(es), "
+          f"{total_bytes:,} bytes, {total_nnz:,} summarized non-zeros"
+          + (f" ({skipped} unreadable file(s) skipped)" if skipped else ""))
     return 0
 
 
@@ -635,6 +708,55 @@ def _cmd_catalog_clear(directory: str) -> int:
     return 0
 
 
+def _cmd_serve(
+    host: str,
+    port: int,
+    catalog: Optional[str],
+    shards: int,
+    budget_bytes: Optional[int],
+    ttl: Optional[float],
+    estimator: str,
+    workers: Optional[int],
+) -> int:
+    from pathlib import Path
+
+    from repro.catalog.service import EstimationService
+    from repro.catalog.sharded import ShardedSketchStore
+    from repro.catalog.store import DEFAULT_BUDGET_BYTES
+    from repro.parallel import WorkerPool, resolve_workers
+    from repro.serve.server import EstimationServer
+
+    spill_dir = None
+    if catalog is not None:
+        spill_dir = Path(catalog)
+        spill_dir.mkdir(parents=True, exist_ok=True)
+    store = ShardedSketchStore(
+        num_shards=shards,
+        budget_bytes=budget_bytes if budget_bytes is not None else DEFAULT_BUDGET_BYTES,
+        spill_dir=spill_dir,
+        ttl_seconds=ttl,
+    )
+    if spill_dir is not None:
+        warmed = store.warm_start(spill_dir)
+        if warmed:
+            print(f"warm start: {len(warmed)} sketch(es) from {catalog}",
+                  file=sys.stderr)
+    pool = None
+    if resolve_workers(workers) > 1:
+        pool = WorkerPool(workers)
+    service = EstimationService(estimator, store=store, pool=pool)
+    server = EstimationServer(service=service, host=host, port=port)
+    try:
+        server.run(announce=lambda h, p: print(
+            f"repro serve: listening on http://{h}:{p}", file=sys.stderr))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        if spill_dir is not None:
+            store.persist(spill_dir)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
@@ -662,11 +784,17 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args.trace_files, args.format, args.prometheus)
     if args.command == "catalog":
         if args.catalog_command == "stats":
-            return _cmd_catalog_stats(args.directory)
+            return _cmd_catalog_stats(args.directory, args.format)
         if args.catalog_command == "warm":
             return _cmd_catalog_warm(args.directory, args.matrices)
         if args.catalog_command == "clear":
             return _cmd_catalog_clear(args.directory)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.catalog, args.shards,
+            args.budget_bytes, args.ttl, args.estimator,
+            workers=args.workers,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

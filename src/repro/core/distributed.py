@@ -79,6 +79,34 @@ def merge_col_partitions(sketches: Sequence[MNCSketch]) -> MNCSketch:
     )
 
 
+def merge_partitions(
+    sketches: Sequence[MNCSketch],
+    axis: int = 0,
+    indices: Optional[Sequence[int]] = None,
+) -> MNCSketch:
+    """Axis-dispatching merge tolerating out-of-order shard arrival.
+
+    Serving ingest receives shards over the network, where arrival order
+    is whatever the client's connections delivered. ``indices[i]`` names
+    the logical position of ``sketches[i]`` in the partitioning (must be a
+    permutation of ``0..len-1``); ``None`` means the list is already in
+    order. ``axis=0`` merges row partitions, ``axis=1`` column partitions.
+    """
+    if axis not in (0, 1):
+        raise SketchError(f"axis must be 0 or 1, got {axis}")
+    if indices is not None:
+        if sorted(indices) != list(range(len(sketches))):
+            raise SketchError(
+                f"shard indices must be a permutation of 0..{len(sketches) - 1}, "
+                f"got {list(indices)}"
+            )
+        order = sorted(range(len(sketches)), key=lambda i: indices[i])
+        sketches = [sketches[i] for i in order]
+    if axis == 0:
+        return merge_row_partitions(sketches)
+    return merge_col_partitions(sketches)
+
+
 def sketch_partitioned(
     matrix, axis: int = 0, num_partitions: int = 4
 ) -> MNCSketch:

@@ -36,3 +36,9 @@ class EstimationError(ReproError, RuntimeError):
 
 class PlanError(ReproError, ValueError):
     """A matrix-multiplication-chain plan is malformed or inconsistent."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A serving-protocol payload is malformed (bad JSON shape, unknown
+    operation, unresolvable matrix reference, ...). The server maps this
+    to an HTTP 400 rather than a 500."""

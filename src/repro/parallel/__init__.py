@@ -26,6 +26,7 @@ from repro.parallel.engine import (
     WORKERS_ENV,
     TaskFailure,
     TaskResult,
+    WorkerPool,
     map_values,
     resolve_workers,
     run_tasks,
@@ -38,6 +39,7 @@ __all__ = [
     "TaskFailure",
     "TaskResult",
     "WORKERS_ENV",
+    "WorkerPool",
     "load_dag",
     "map_values",
     "resolve_workers",

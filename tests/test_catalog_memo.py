@@ -1,6 +1,8 @@
 """Tests for the memoized estimation results table (repro.catalog.memo)."""
 
+import collections
 import threading
+import time
 
 import pytest
 
@@ -130,3 +132,120 @@ class TestConcurrency:
             thread.join()
         assert all(results) and len(results) == 400
         assert len(memo) == 10
+
+    def test_memoize_single_writer_per_key(self):
+        """Hammer one key from many threads: compute runs exactly once."""
+        memo = EstimateMemo()
+        barrier = threading.Barrier(8)
+        computes = []
+        values = []
+
+        def compute():
+            computes.append(1)
+            time.sleep(0.02)  # widen the window so misses really overlap
+            return 42.0
+
+        def worker():
+            barrier.wait()
+            values.append(memo.memoize("hot", "MNC", "nnz", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(computes) == 1
+        assert values == [42.0] * 8
+        stats = memo.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 7
+        assert stats["compute_waits"] == 7
+
+    def test_memoize_many_keys_compute_once_each(self):
+        """Threads race over a keyspace; every key computes exactly once."""
+        memo = EstimateMemo()
+        barrier = threading.Barrier(8)
+        computed = collections.Counter()
+        counter_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            for index in range(200):
+                key = f"fp{index % 16}"
+
+                def compute(key=key):
+                    with counter_lock:
+                        computed[key] += 1
+                    return key
+
+                assert memo.memoize(key, "MNC", "nnz", compute) == key
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(computed) == {f"fp{i}" for i in range(16)}
+        assert all(calls == 1 for calls in computed.values())
+
+    def test_memoize_failed_compute_promotes_a_waiter(self):
+        """A raising compute wakes waiters; one of them recomputes."""
+        memo = EstimateMemo()
+        barrier = threading.Barrier(2)
+        attempts = []
+        outcomes = []
+        attempts_lock = threading.Lock()
+
+        def compute():
+            with attempts_lock:
+                attempts.append(1)
+                first = len(attempts) == 1
+            time.sleep(0.02)
+            if first:
+                raise RuntimeError("transient failure")
+            return 7.0
+
+        def worker():
+            barrier.wait()
+            try:
+                outcomes.append(memo.memoize("flaky", "MNC", "nnz", compute))
+            except RuntimeError:
+                outcomes.append("raised")
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Exactly one caller saw the failure; the survivor recomputed.
+        assert sorted(outcomes, key=str) == [7.0, "raised"]
+        assert memo.get("flaky", "MNC", "nnz") == 7.0
+
+    def test_concurrent_put_and_memoize_lost_update_free(self):
+        """Direct puts racing memoize never leave the memo torn or stale
+        relative to both writers (one of the written values survives)."""
+        memo = EstimateMemo()
+        barrier = threading.Barrier(4)
+
+        def putter():
+            barrier.wait()
+            for index in range(500):
+                memo.put("contended", "MNC", "nnz", 1.0)
+
+        def memoizer():
+            barrier.wait()
+            for index in range(500):
+                value = memo.memoize("contended", "MNC", "nnz", lambda: 1.0)
+                assert value == 1.0
+
+        threads = [
+            threading.Thread(target=putter),
+            threading.Thread(target=putter),
+            threading.Thread(target=memoizer),
+            threading.Thread(target=memoizer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert memo.get("contended", "MNC", "nnz") == 1.0

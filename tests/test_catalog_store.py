@@ -151,6 +151,89 @@ class TestWarmStartPersist:
         with pytest.raises(SketchError):
             SketchStore().persist()
 
+    def test_warm_start_skips_corrupt_files(self, tmp_path):
+        """Partially-written / corrupt npz files are skipped and counted,
+        not raised mid-scan (ISSUE 7 satellite)."""
+        save_sketch(tmp_path / "good.npz", _sketch(1))
+        (tmp_path / "truncated.npz").write_bytes(b"PK\x03\x04 not a real zip")
+        (tmp_path / "empty.npz").write_bytes(b"")
+        (tmp_path / "notzip.npz").write_text("plain text, no zip magic")
+
+        store = SketchStore()
+        keys = store.warm_start(tmp_path)
+        assert keys == ["good"]
+        assert store.stats().warm_skipped == 3
+        assert store.get("good") is not None
+
+    def test_warm_start_skips_wrong_schema_npz(self, tmp_path):
+        """A valid npz that is not a sketch (missing fields) is skipped."""
+        save_sketch(tmp_path / "ok.npz", _sketch(2))
+        np.savez(tmp_path / "alien.npz", other=np.arange(3))
+        store = SketchStore()
+        assert store.warm_start(tmp_path) == ["ok"]
+        assert store.stats().warm_skipped == 1
+
+    def test_warm_start_skips_future_version(self, tmp_path):
+        """A payload from a future format version is skipped, not fatal."""
+        save_sketch(tmp_path / "ok.npz", _sketch(3))
+        arrays = dict(np.load(tmp_path / "ok.npz"))
+        arrays["version"] = np.array([99], dtype=np.int64)
+        np.savez(tmp_path / "future.npz", **arrays)
+        store = SketchStore()
+        assert store.warm_start(tmp_path) == ["ok"]
+        assert store.stats().warm_skipped == 1
+
+    def test_warm_start_concurrent_callers(self, tmp_path):
+        """Several threads warm-starting one directory (some files corrupt)
+        all complete; every good key ends up resident."""
+        good = {f"g{i}": _sketch(i) for i in range(6)}
+        for key, sketch in good.items():
+            save_sketch(tmp_path / f"{key}.npz", sketch)
+        (tmp_path / "bad.npz").write_bytes(b"\x00" * 16)
+
+        store = SketchStore()
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def warm():
+            try:
+                barrier.wait()
+                loaded = store.warm_start(tmp_path)
+                assert sorted(loaded) == sorted(good)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=warm) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for key in good:
+            assert store.get(key) is not None
+        assert store.stats().warm_skipped == 4  # the bad file, once per call
+
+
+class TestDemote:
+    def test_demote_moves_entry_to_disk_tier(self, tmp_path):
+        store = SketchStore(spill_dir=tmp_path)
+        store.put("k", _sketch(5))
+        assert store.demote("k")
+        assert len(store) == 0
+        assert (tmp_path / "k.npz").exists()
+        reloaded = store.get("k")  # disk hit promotes it back
+        assert reloaded is not None
+        assert store.stats().disk_hits == 1
+
+    def test_demote_without_spill_dir_drops(self):
+        store = SketchStore()
+        store.put("k", _sketch(6))
+        assert store.demote("k")
+        assert store.get("k") is None
+
+    def test_demote_missing_key(self):
+        assert not SketchStore().demote("absent")
+
 
 class TestConcurrency:
     def test_hammering_threads_no_lost_updates_budget_respected(self):

@@ -149,6 +149,38 @@ class TestCliCatalog:
         assert "removed 1 sketch(es)" in capsys.readouterr().out
         assert not list((tmp_path / "catalog").glob("*.npz"))
 
+    def test_stats_json_format(self, stored_pair, capsys, tmp_path):
+        import json
+
+        path_a, path_b = stored_pair
+        catalog_dir = str(tmp_path / "catalog")
+        assert main(["catalog", "warm", catalog_dir, path_a, path_b]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "stats", catalog_dir, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert payload["skipped"] == 0
+        assert payload["total_nnz"] == sum(
+            entry["nnz"] for entry in payload["sketches"]
+        )
+        for entry in payload["sketches"]:
+            assert set(entry) == {
+                "fingerprint", "shape", "nnz", "bytes", "has_extensions"
+            }
+
+    def test_stats_json_skips_unreadable(self, stored_pair, capsys, tmp_path):
+        import json
+
+        path_a, _ = stored_pair
+        catalog_dir = tmp_path / "catalog"
+        assert main(["catalog", "warm", str(catalog_dir), path_a]) == 0
+        (catalog_dir / "junk.npz").write_bytes(b"not a sketch")
+        capsys.readouterr()
+        assert main(["catalog", "stats", str(catalog_dir), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["skipped"] == 1
+
     def test_stats_missing_directory(self, capsys, tmp_path):
         code = main(["catalog", "stats", str(tmp_path / "absent")])
         assert code == 2
@@ -158,6 +190,58 @@ class TestCliCatalog:
         code = main(["catalog", "clear", str(tmp_path / "absent")])
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestCliServe:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.shards == 8
+        assert args.catalog is None
+        assert args.ttl is None
+        assert args.estimator == "mnc"
+
+    def test_subprocess_boot_serve_shutdown(self, tmp_path):
+        """`repro serve` binds, answers requests, persists its catalog on
+        SIGINT, and exits 0 — the same lifecycle the CI smoke job drives."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as _sys
+
+        catalog_dir = tmp_path / "served"
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(repo_src)
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--catalog", str(catalog_dir), "--shards", "2"],
+            stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            announce = proc.stderr.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", announce)
+            assert match, f"no announce line: {announce!r}"
+
+            from repro.serve import ServeClient
+
+            client = ServeClient(match.group(1), int(match.group(2)))
+            try:
+                assert client.healthz()["status"] == "ok"
+                matrix = random_sparse(20, 15, 0.2, seed=7)
+                client.register("M", matrix)
+                assert client.estimate({"ref": "M"})["nnz"] == float(matrix.nnz)
+            finally:
+                client.close()
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+        assert list(catalog_dir.glob("*.npz")), "catalog not persisted on exit"
 
 
 class TestDot:

@@ -6,6 +6,7 @@ import scipy.sparse as sp
 
 from repro.core.distributed import (
     merge_col_partitions,
+    merge_partitions,
     merge_row_partitions,
     sketch_partitioned,
 )
@@ -117,6 +118,75 @@ class TestColMerge:
     def test_empty_list_rejected(self):
         with pytest.raises(SketchError, match="empty list"):
             merge_col_partitions([])
+
+
+class TestMergePartitions:
+    """Degenerate inputs for the serving-ingest merge entry point."""
+
+    def test_single_shard_is_identity_modulo_extensions(self):
+        matrix = random_sparse(14, 11, 0.3, seed=20)
+        merged = merge_partitions([MNCSketch.from_matrix(matrix)], axis=0)
+        full = MNCSketch.from_matrix(matrix)
+        assert merged.shape == full.shape
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_empty_list_rejected(self, axis):
+        with pytest.raises(SketchError, match="empty list"):
+            merge_partitions([], axis=axis)
+
+    def test_invalid_axis_rejected(self):
+        sketch = MNCSketch.from_matrix(np.ones((2, 2)))
+        with pytest.raises(SketchError, match="axis"):
+            merge_partitions([sketch], axis=2)
+
+    def test_mismatched_cross_dimensions_rejected(self):
+        wide = MNCSketch.from_matrix(np.ones((3, 5)))
+        narrow = MNCSketch.from_matrix(np.ones((3, 4)))
+        with pytest.raises(SketchError, match="column count"):
+            merge_partitions([wide, narrow], axis=0)
+        tall = MNCSketch.from_matrix(np.ones((4, 3)))
+        short = MNCSketch.from_matrix(np.ones((5, 3)))
+        with pytest.raises(SketchError, match="row count"):
+            merge_partitions([tall, short], axis=1)
+
+    def test_out_of_order_shard_arrival(self):
+        matrix = random_sparse(30, 20, 0.2, seed=21)
+        top, middle, bottom = matrix[:10], matrix[10:20], matrix[20:]
+        # Shards arrive bottom, top, middle; indices name logical order.
+        merged = merge_partitions(
+            [MNCSketch.from_matrix(s) for s in (bottom, top, middle)],
+            axis=0,
+            indices=[2, 0, 1],
+        )
+        full = MNCSketch.from_matrix(matrix)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+
+    def test_out_of_order_col_shards(self):
+        matrix = random_sparse(20, 30, 0.2, seed=22)
+        left, right = as_csr(matrix[:, :15]), as_csr(matrix[:, 15:])
+        merged = merge_partitions(
+            [MNCSketch.from_matrix(right), MNCSketch.from_matrix(left)],
+            axis=1,
+            indices=[1, 0],
+        )
+        full = MNCSketch.from_matrix(matrix)
+        np.testing.assert_array_equal(merged.hc, full.hc)
+        np.testing.assert_array_equal(merged.hr, full.hr)
+
+    def test_bad_indices_rejected(self):
+        shards = [
+            MNCSketch.from_matrix(np.ones((2, 3))),
+            MNCSketch.from_matrix(np.ones((2, 3))),
+        ]
+        with pytest.raises(SketchError, match="permutation"):
+            merge_partitions(shards, axis=0, indices=[0, 0])
+        with pytest.raises(SketchError, match="permutation"):
+            merge_partitions(shards, axis=0, indices=[1, 2])
+        with pytest.raises(SketchError, match="permutation"):
+            merge_partitions(shards, axis=0, indices=[0])
 
 
 class TestSketchPartitioned:

@@ -397,3 +397,52 @@ class TestKeywordOnlySignatures:
 
     def test_keyword_construction_accepted(self):
         assert MNCEstimator(use_extensions=False, seed=1).name == "MNC"
+
+
+class TestWorkerPool:
+    """Persistent executor reuse (the serving tier's amortization hook)."""
+
+    def test_pool_reused_across_run_tasks_calls(self):
+        from repro.parallel.engine import WorkerPool
+
+        with WorkerPool(workers=2) as pool:
+            first = run_tasks(_square, [1, 2, 3, 4], pool=pool)
+            executor = pool._executor
+            assert executor is not None
+            second = run_tasks(_square, [5, 6, 7, 8], pool=pool)
+            assert pool._executor is executor  # same executor, no respawn
+        assert [r.value for r in first] == [1, 4, 9, 16]
+        assert [r.value for r in second] == [25, 36, 49, 64]
+
+    def test_pool_workers_supply_default_count(self):
+        from repro.parallel.engine import WorkerPool
+
+        with WorkerPool(workers=2) as pool:
+            results = run_tasks(_square, [1, 2, 3], pool=pool)
+        assert all(result.ok for result in results)
+
+    def test_broken_pool_recovers_on_next_use(self):
+        from repro.parallel.engine import WorkerPool
+
+        with WorkerPool(workers=2) as pool:
+            crashed = run_tasks(_die_on_two, [1, 2, 3], pool=pool)
+            assert any(not result.ok for result in crashed)
+            # The broken executor was discarded; the next batch works.
+            healthy = run_tasks(_square, [1, 2, 3, 4], pool=pool)
+            assert [r.value for r in healthy] == [1, 4, 9, 16]
+
+    def test_serial_fallback_ignores_pool(self):
+        from repro.parallel.engine import WorkerPool
+
+        with WorkerPool(workers=1) as pool:
+            results = run_tasks(_square, [1, 2, 3], pool=pool)
+            assert pool._executor is None  # never spawned
+        assert [r.value for r in results] == [1, 4, 9]
+
+    def test_close_is_idempotent(self):
+        from repro.parallel.engine import WorkerPool
+
+        pool = WorkerPool(workers=2)
+        run_tasks(_square, [1, 2], pool=pool)
+        pool.close()
+        pool.close()

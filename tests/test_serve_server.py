@@ -1,0 +1,310 @@
+"""End-to-end tests for the estimation server (repro.serve.server).
+
+Each test boots a real server on a loopback port (port 0 -> ephemeral) and
+talks to it over actual HTTP via :class:`ServeClient` — the same transport
+the CI smoke job and the serving benchmark use.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.catalog.service import EstimationService, ServiceRequest
+from repro.catalog.sharded import ShardedSketchStore
+from repro.matrix.random import random_sparse
+from repro.serve import EstimationServer, MatrixRegistry, ServeClient, start_server_thread
+from repro.serve.client import ServeClientError
+
+
+@pytest.fixture()
+def server():
+    service = EstimationService(store=ShardedSketchStore(num_shards=4))
+    handle = start_server_thread(EstimationServer(service=service, port=0))
+    client = ServeClient(handle.host, handle.port)
+    try:
+        yield client, handle.server
+    finally:
+        client.close()
+        handle.stop()
+
+
+def _matrices():
+    x = random_sparse(50, 40, 0.1, seed=11)
+    w = random_sparse(40, 30, 0.15, seed=12)
+    return x, w
+
+
+MATMUL_XW = {"op": "matmul", "inputs": [{"ref": "X"}, {"ref": "W"}]}
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        client, _ = server
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0
+
+    def test_register_and_estimate(self, server):
+        client, _ = server
+        x, w = _matrices()
+        reply = client.register("X", x)
+        assert reply["nnz"] == x.nnz and reply["shape"] == [50, 40]
+        client.register("W", w)
+        result = client.estimate(MATMUL_XW)
+        assert result["cached"] is False
+        assert result["nnz"] > 0
+        warm = client.estimate(MATMUL_XW)
+        assert warm["cached"] is True
+        assert warm["nnz"] == result["nnz"]
+        assert warm["fingerprint"] == result["fingerprint"]
+
+    def test_estimate_with_intermediates(self, server):
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        result = client.estimate(MATMUL_XW, include_intermediates=True)
+        assert len(result["intermediates"]) == 3  # two leaves + root
+
+    def test_batch(self, server):
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        results = client.estimate_batch([MATMUL_XW, {"ref": "X"}, MATMUL_XW])
+        assert len(results) == 3
+        assert results[1]["nnz"] == float(x.nnz)
+        assert results[0]["nnz"] == results[2]["nnz"]
+
+    def test_chain(self, server):
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        reply = client.optimize_chain(["X", "W"], seed=3)
+        assert reply["plan"] == [0, 1]
+        assert reply["cost"] > 0
+        assert reply["names"] == ["X", "W"]
+
+    def test_stats(self, server):
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        client.estimate({"ref": "X"})
+        stats = client.stats()
+        assert [m["name"] for m in stats["matrices"]] == ["X"]
+        assert stats["catalog"]["service"]["requests"] >= 1
+        assert stats["store_shards"] == 4
+
+    def test_metrics_scrape(self, server):
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        client.estimate({"ref": "X"})
+        text = client.metrics_text()
+        assert "repro_serve_requests_estimate_total" in text
+        assert "repro_serve_latency_seconds_estimate_bucket" in text
+        assert "repro_serve_requests_matrices_total" in text
+
+
+class TestShardMergedIngest:
+    def test_row_partitioned_registration(self, server):
+        client, srv = server
+        _, w = _matrices()
+        reply = client.register_partitioned("W", [w[:25], w[25:]], axis=0)
+        assert reply["merged"] is True and reply["shards"] == 2
+        assert reply["shape"] == [40, 30]
+        assert reply["nnz"] == w.nnz
+        # The reassembled matrix matches the original structurally.
+        stored = srv.registry.matrix("W")
+        np.testing.assert_array_equal(
+            (stored.toarray() != 0), (w.toarray() != 0)
+        )
+
+    def test_out_of_order_shards(self, server):
+        client, srv = server
+        _, w = _matrices()
+        reply = client.register_partitioned(
+            "W", [w[25:], w[:25]], axis=0, indices=[1, 0]
+        )
+        assert reply["nnz"] == w.nnz
+        stored = srv.registry.matrix("W")
+        np.testing.assert_array_equal(
+            (stored.toarray() != 0), (w.toarray() != 0)
+        )
+
+    def test_col_partitioned_registration(self, server):
+        client, _ = server
+        _, w = _matrices()
+        reply = client.register_partitioned("W", [w[:, :10], w[:, 10:]], axis=1)
+        assert reply["shape"] == [40, 30] and reply["nnz"] == w.nnz
+
+    def test_merged_sketch_is_the_served_synopsis(self, server):
+        """Estimates answered for a shard-merged matrix come from the
+        *merged* sketch — identical to a direct service using
+        register_sketched, not to one that re-sketched the full matrix."""
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register_partitioned("W", [w[:25], w[25:]], axis=0)
+        served = client.estimate(MATMUL_XW)
+
+        direct = EstimationService()
+        registry = MatrixRegistry(direct)
+        registry.register("X", x)
+        registry.register_partitioned("W", [w[:25], w[25:]], axis=0)
+        expr_direct = direct.submit(ServiceRequest.estimate(
+            __import__("repro.serve.protocol", fromlist=["decode_expr"]).decode_expr(
+                MATMUL_XW, registry.resolve
+            )
+        ))
+        assert served["nnz"] == expr_direct["nnz"]
+        assert served["fingerprint"] == expr_direct["fingerprint"]
+
+    def test_mismatched_shards_rejected(self, server):
+        client, _ = server
+        _, w = _matrices()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.register_partitioned("W", [w[:25], w[25:, :10]], axis=0)
+        assert excinfo.value.status == 400
+
+
+class TestBitIdentity:
+    def test_server_matches_direct_service(self, server):
+        """The acceptance property at test scale: every server answer is
+        bit-identical to a direct EstimationService fed the same
+        registrations and the same request order."""
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register_partitioned("W", [w[:20], w[20:]], axis=0)
+
+        direct = EstimationService()
+        registry = MatrixRegistry(direct)
+        registry.register("X", x)
+        registry.register_partitioned("W", [w[:20], w[20:]], axis=0)
+
+        from repro.serve.protocol import decode_expr
+
+        wires = [
+            MATMUL_XW,
+            {"ref": "X"},
+            {"op": "transpose", "inputs": [MATMUL_XW]},
+            MATMUL_XW,  # warm replay
+        ]
+        for wire in wires:
+            served = client.estimate(wire)
+            expected = direct.submit(
+                ServiceRequest.estimate(decode_expr(wire, registry.resolve))
+            )
+            assert served["nnz"] == expected["nnz"], wire
+            assert served["sparsity"] == expected["sparsity"], wire
+            assert served["fingerprint"] == expected["fingerprint"], wire
+            assert served["cached"] == expected["cached"], wire
+
+        served_chain = client.optimize_chain(["X", "W"], seed=9)
+        expected_chain = direct.submit(ServiceRequest.chain(
+            [registry.matrix("X"), registry.matrix("W")],
+            rng=np.random.default_rng(9),
+        ))
+        from repro.serve.protocol import encode_chain_solution
+
+        expected_encoded = encode_chain_solution(expected_chain)
+        assert served_chain["plan"] == expected_encoded["plan"]
+        assert served_chain["cost"] == expected_encoded["cost"]
+
+
+class TestErrors:
+    def test_unknown_path_404(self, server):
+        client, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_405(self, server):
+        client, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("POST", "/healthz", {})
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_400(self, server):
+        client, _ = server
+        import http.client
+
+        connection = http.client.HTTPConnection(client.host, client.port)
+        connection.request(
+            "POST", "/estimate", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_unknown_ref_400(self, server):
+        client, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.estimate({"ref": "ghost"})
+        assert excinfo.value.status == 400
+        assert "ghost" in excinfo.value.message
+
+    def test_shape_mismatch_400(self, server):
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.estimate({"op": "matmul", "inputs": [{"ref": "X"}, {"ref": "X"}]})
+        assert excinfo.value.status == 400
+
+    def test_server_survives_errors(self, server):
+        """Errors never poison the connection or the server."""
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        for _ in range(3):
+            with pytest.raises(ServeClientError):
+                client.estimate({"ref": "ghost"})
+            assert client.estimate({"ref": "X"})["nnz"] == float(x.nnz)
+
+
+class TestConcurrency:
+    def test_many_threads_one_server(self, server):
+        """Multi-tenant smoke: concurrent clients with distinct namespaces
+        all get consistent answers."""
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        baseline = client.estimate(MATMUL_XW)["nnz"]
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def tenant(worker):
+            own = ServeClient(client.host, client.port)
+            try:
+                barrier.wait()
+                for _ in range(10):
+                    assert own.estimate(MATMUL_XW)["nnz"] == baseline
+                    assert own.estimate({"ref": "X"})["nnz"] == float(x.nnz)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+            finally:
+                own.close()
+
+        threads = [threading.Thread(target=tenant, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_rebind_invalidates_old_estimates(self, server):
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        first = client.estimate({"ref": "X"})
+        replacement = random_sparse(50, 40, 0.3, seed=99)
+        client.register("X", replacement)
+        second = client.estimate({"ref": "X"})
+        assert second["nnz"] == float(replacement.nnz)
+        assert second["fingerprint"] != first["fingerprint"]
