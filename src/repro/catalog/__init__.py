@@ -32,7 +32,10 @@ effectiveness. See ``docs/CATALOG.md``.
 
 from repro.catalog.fingerprint import (
     FINGERPRINT_VERSION,
+    assign_fingerprint,
+    delta_fingerprint,
     fingerprint_dag,
+    fingerprint_delta,
     fingerprint_expr,
     fingerprint_matrix,
     fingerprint_sketch,
@@ -52,7 +55,10 @@ __all__ = [
     "ShardedSketchStore",
     "SketchStore",
     "StoreStats",
+    "assign_fingerprint",
+    "delta_fingerprint",
     "fingerprint_dag",
+    "fingerprint_delta",
     "fingerprint_expr",
     "fingerprint_matrix",
     "fingerprint_sketch",

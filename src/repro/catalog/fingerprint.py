@@ -142,6 +142,74 @@ def fingerprint_matrix(matrix: MatrixLike) -> str:
     return fingerprint
 
 
+def assign_fingerprint(matrix: object, fingerprint: str) -> None:
+    """Seed the weak matrix memo with a precomputed *fingerprint*.
+
+    The streaming path knows a mutated matrix's fingerprint in ``O(delta)``
+    via :func:`delta_fingerprint` chaining; assigning it here lets
+    :func:`fingerprint_matrix` (and therefore leaf/DAG fingerprinting over
+    the rematerialized matrix) resolve without an ``O(nnz)`` rehash.
+    """
+    _matrix_memo_put(matrix, fingerprint)
+
+
+def fingerprint_delta(delta) -> str:
+    """Canonical fingerprint of one incremental update (content only).
+
+    Covers the delta kind and its full payload — patterns, positions,
+    block origin and pattern bytes — so two deltas fingerprint identically
+    iff they describe the same structural change.
+    """
+    # Imported lazily: repro.core.incremental pulls in scipy/sketch
+    # machinery the fingerprint module does not otherwise need.
+    from repro.core.incremental import (
+        AppendCols,
+        AppendRows,
+        BlockUpdate,
+        DeleteCols,
+        DeleteRows,
+    )
+
+    if isinstance(delta, (AppendRows, AppendCols)):
+        kind = "append_rows" if isinstance(delta, AppendRows) else "append_cols"
+        return _digest(
+            f"delta:{kind}", *(_array_bytes(p) for p in delta.patterns)
+        )
+    if isinstance(delta, (DeleteRows, DeleteCols)):
+        kind = "delete_rows" if isinstance(delta, DeleteRows) else "delete_cols"
+        return _digest(f"delta:{kind}", _array_bytes(delta.positions))
+    if isinstance(delta, BlockUpdate):
+        origin = np.asarray(
+            [delta.row_start, delta.col_start, *delta.pattern.shape],
+            dtype=np.int64,
+        )
+        return _digest(
+            "delta:block",
+            _array_bytes(origin),
+            np.ascontiguousarray(delta.pattern, dtype=np.uint8).tobytes(),
+        )
+    raise TypeError(f"cannot fingerprint delta of type {type(delta).__name__}")
+
+
+def delta_fingerprint(base_fingerprint: str, delta) -> str:
+    """Chain a delta onto a matrix fingerprint in ``O(|delta|)``.
+
+    ``delta_fingerprint(fp(A), d)`` identifies "the matrix obtained by
+    applying ``d`` to the matrix fingerprinted ``fp(A)``" without touching
+    the ``O(nnz)`` structure. Chaining preserves the catalog's soundness
+    guarantee (equal fingerprints imply equal structure, because the chain
+    pins base structure and the exact edit); it deliberately does *not*
+    promise the converse — the same structure reached through a different
+    edit history (or sketched fresh) gets a different digest and merely
+    misses caches. See docs/STREAMING.md.
+    """
+    return _digest(
+        "delta-chain",
+        base_fingerprint.encode(),
+        fingerprint_delta(delta).encode(),
+    )
+
+
 def fingerprint_sketch(sketch) -> str:
     """Fingerprint of an :class:`~repro.core.sketch.MNCSketch`.
 

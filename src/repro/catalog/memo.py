@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.observability.metrics import metric_set
 from repro.observability.trace import count
@@ -66,6 +66,11 @@ class EstimateMemo:
         #: Keys whose value is being computed right now (memoize's
         #: single-writer-per-key protocol); waiters block on the event.
         self._inflight: Dict[MemoKey, threading.Event] = {}
+        #: Leaf-dependency index for partial invalidation (streaming):
+        #: ``depends_on`` fingerprints -> keys of entries derived from
+        #: them, plus the per-key inverse so eviction stays O(deps).
+        self._dependents: Dict[str, Set[MemoKey]] = {}
+        self._key_deps: Dict[MemoKey, Tuple[str, ...]] = {}
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
@@ -87,18 +92,55 @@ class EstimateMemo:
             count("catalog.memo.hit")
             return value
 
-    def put(self, fingerprint: str, estimator: str, tag: str, value: Any) -> None:
-        """Memoize *value*, evicting the LRU entry beyond the bound."""
+    def _unlink_deps(self, key: MemoKey) -> None:
+        """Drop *key* from the dependency index (caller holds the lock)."""
+        for dep in self._key_deps.pop(key, ()):
+            dependents = self._dependents.get(dep)
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._dependents[dep]
+
+    def put(
+        self,
+        fingerprint: str,
+        estimator: str,
+        tag: str,
+        value: Any,
+        *,
+        depends_on: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Memoize *value*, evicting the LRU entry beyond the bound.
+
+        ``depends_on`` lists the *leaf* fingerprints the value was derived
+        from; invalidating any of them (e.g. because a streaming delta
+        mutated that matrix) evicts this entry too, while entries over
+        untouched leaves survive. Omitting it keeps the pre-streaming
+        behavior: the entry is only dropped by its own fingerprint.
+        """
         key = (fingerprint, estimator, tag)
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._unlink_deps(key)
+            if depends_on:
+                deps = tuple(dict.fromkeys(depends_on))
+                self._key_deps[key] = deps
+                for dep in deps:
+                    self._dependents.setdefault(dep, set()).add(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._unlink_deps(evicted)
             metric_set("catalog.memo.entries", len(self._entries))
 
     def memoize(
-        self, fingerprint: str, estimator: str, tag: str, compute: Callable[[], Any]
+        self,
+        fingerprint: str,
+        estimator: str,
+        tag: str,
+        compute: Callable[[], Any],
+        *,
+        depends_on: Optional[Iterable[str]] = None,
     ) -> Any:
         """Return the memoized value, computing and storing it on a miss.
 
@@ -138,7 +180,10 @@ class EstimateMemo:
                         self._inflight.pop(key, None)
                     pending.set()
                     raise
-                self.put(fingerprint, estimator, tag, value)
+                self.put(
+                    fingerprint, estimator, tag, value,
+                    depends_on=depends_on,
+                )
                 with self._lock:
                     self._inflight.pop(key, None)
                 pending.set()
@@ -155,22 +200,38 @@ class EstimateMemo:
     ) -> int:
         """Drop entries matching the given fingerprint and/or estimator.
 
-        With both ``None`` this clears everything. Returns the number of
+        A fingerprint matches an entry keyed on it *and* every entry that
+        declared it in ``depends_on`` — so mutating one leaf evicts exactly
+        the results derived from that leaf, leaving memoized work over
+        untouched subexpressions in place (partial invalidation). With both
+        arguments ``None`` this clears everything. Returns the number of
         entries removed.
         """
         with self._lock:
             if fingerprint is None and estimator is None:
                 removed = len(self._entries)
                 self._entries.clear()
+                self._dependents.clear()
+                self._key_deps.clear()
             else:
+                dependents = (
+                    self._dependents.get(fingerprint, set())
+                    if fingerprint is not None
+                    else set()
+                )
                 doomed = [
                     key
                     for key in self._entries
-                    if (fingerprint is None or key[0] == fingerprint)
+                    if (
+                        fingerprint is None
+                        or key[0] == fingerprint
+                        or key in dependents
+                    )
                     and (estimator is None or key[1] == estimator)
                 ]
                 for key in doomed:
                     del self._entries[key]
+                    self._unlink_deps(key)
                 removed = len(doomed)
             self._invalidations += removed
             metric_set("catalog.memo.entries", len(self._entries))
@@ -200,4 +261,5 @@ class EstimateMemo:
                 "compute_waits": self._compute_waits,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
+                "dependency_tracked": len(self._key_deps),
             }

@@ -35,7 +35,12 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.catalog.fingerprint import fingerprint_expr, fingerprint_matrix
+from repro.catalog.fingerprint import (
+    delta_fingerprint,
+    fingerprint_dag,
+    fingerprint_expr,
+    fingerprint_matrix,
+)
 from repro.catalog.memo import EstimateMemo
 from repro.catalog.store import SketchStore
 from repro.core.sketch import MNCSketch
@@ -198,6 +203,32 @@ class EstimationService:
         except KeyError:
             raise SketchError(f"no matrix registered under name {name!r}") from None
 
+    def apply_update(self, name: str, incremental, delta) -> str:
+        """Apply a streaming *delta* to the matrix registered as *name*.
+
+        *incremental* is the caller-owned
+        :class:`~repro.core.incremental.IncrementalSketch` tracking the
+        matrix's structure. The delta is applied, the logical name is
+        rebound to the delta-chained fingerprint (``O(|delta|)``, no
+        structural rehash), and the old fingerprint is invalidated —
+        including, via the memo's dependency index, every memoized result
+        derived from the old structure, while entries over untouched
+        leaves survive (partial invalidation). Returns the new
+        fingerprint; the patched sketch is stored under it eagerly.
+        """
+        from repro.core.incremental import apply_update as _apply
+
+        old_fingerprint = self.resolve(name)
+        _apply(incremental, delta)
+        new_fingerprint = delta_fingerprint(old_fingerprint, delta)
+        self.store.discard(old_fingerprint)
+        self.memo.invalidate(fingerprint=old_fingerprint)
+        self.names[name] = new_fingerprint
+        if self._builds_canonical_sketch(self.estimator):
+            self.store.put(new_fingerprint, incremental.sketch())
+        count("catalog.service.updates")
+        return new_fingerprint
+
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
@@ -274,7 +305,10 @@ class EstimationService:
                 )
                 nnz = full["nnz"]
                 intermediates = full.get("intermediates")
-                self.memo.put(root_fingerprint, estimator_key, "nnz", nnz)
+                self.memo.put(
+                    root_fingerprint, estimator_key, "nnz", nnz,
+                    depends_on=_leaf_fingerprints(expr),
+                )
                 cached = False
                 count("catalog.service.miss")
             else:
@@ -393,7 +427,10 @@ class EstimationService:
                     self._requests += 1
                 count("catalog.service.miss")
                 result = dict(outcome.value)
-                self.memo.put(fingerprint, estimator_key, "nnz", result["nnz"])
+                self.memo.put(
+                    fingerprint, estimator_key, "nnz", result["nnz"],
+                    depends_on=_leaf_fingerprints(expr),
+                )
                 results[index] = result
         finally:
             if cleanup is not None:
@@ -446,7 +483,10 @@ class EstimationService:
             self.store.put(fingerprint, synopsis.sketch)
             return
         self.memo.put(
-            fingerprint, self._estimator_key(estimator), "synopsis", synopsis
+            fingerprint, self._estimator_key(estimator), "synopsis", synopsis,
+            depends_on=(
+                _leaf_fingerprints(node) if node.op is not Op.LEAF else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -503,6 +543,20 @@ class EstimationService:
         return isinstance(inner, MNCEstimator) and getattr(
             inner, "use_extensions", False
         )
+
+
+def _leaf_fingerprints(expr: Expr) -> Tuple[str, ...]:
+    """Distinct leaf fingerprints under *expr*, in first-visit order.
+
+    The memo's ``depends_on`` payload: a streaming delta to any one of
+    these leaves invalidates exactly the results derived from it. Cheap on
+    the hot path — every per-node digest is already memoized on the Expr
+    objects by :func:`fingerprint_dag`.
+    """
+    fingerprints = fingerprint_dag(expr)
+    return tuple(
+        dict.fromkeys(fingerprints[id(leaf)] for leaf in expr.leaves())
+    )
 
 
 def _estimate_worker(

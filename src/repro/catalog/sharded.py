@@ -132,17 +132,19 @@ class ShardedSketchStore:
         """The sketch under *key* (memory or disk tier), or ``None``."""
         index = self.router.shard_for(key)
         self._sweep_shard(index)
-        sketch = self._shards[index].get(key)
-        if sketch is not None:
-            self._touch(index, key)
+        with self._shards[index]._lock:
+            sketch = self._shards[index].get(key)
+            if sketch is not None:
+                self._touch(index, key)
         return sketch
 
     def put(self, key: str, sketch: MNCSketch) -> None:
         """Insert/refresh *sketch* in its shard, under that shard's budget."""
         index = self.router.shard_for(key)
         self._sweep_shard(index)
-        self._shards[index].put(key, sketch)
-        self._touch(index, key)
+        with self._shards[index]._lock:
+            self._shards[index].put(key, sketch)
+            self._touch(index, key)
 
     def __contains__(self, key: str) -> bool:
         return key in self._shards[self.router.shard_for(key)]
@@ -207,20 +209,31 @@ class ShardedSketchStore:
         if self.ttl_seconds is None:
             return 0
         shard = self._shards[index]
+        touched = self._touched[index]
         deadline = self._clock() - self.ttl_seconds
         with shard._lock:
             expired = [
-                key for key, touched in self._touched[index].items()
-                if touched <= deadline
+                key for key, stamp in touched.items() if stamp <= deadline
             ]
-            for key in expired:
-                del self._touched[index][key]
         demoted = 0
         for key in expired:
-            if shard.demote(key):
-                demoted += 1
+            # Re-validate and demote atomically: a put/get/warm_start that
+            # re-touched the key after collection wins, keeping the fresh
+            # entry resident. The timestamp is dropped only at the moment
+            # of demotion, inside the same critical section — previously
+            # the timestamp was removed first and demote() ran unlocked,
+            # so a warm start landing in that window had its just-loaded
+            # sketch demoted straight back to disk (shard._lock is an
+            # RLock, so nesting demote() under it is safe).
+            with shard._lock:
+                stamp = touched.get(key)
+                if stamp is None or stamp > deadline:
+                    continue
+                del touched[key]
+                if shard.demote(key):
+                    demoted += 1
+                    self._ttl_evictions += 1
         if demoted:
-            self._ttl_evictions += demoted
             count("catalog.store.ttl_eviction", demoted)
         return demoted
 
@@ -256,8 +269,12 @@ class ShardedSketchStore:
                 if sketch is None:
                     shard.note_warm_skipped()
                     continue
-                shard.put(path.stem, sketch)
-                self._touch(index, path.stem)
+                # put + touch must be one critical section: a TTL sweep
+                # interleaving between them would see the entry resident
+                # with only a stale (or missing) timestamp.
+                with shard._lock:
+                    shard.put(path.stem, sketch)
+                    self._touch(index, path.stem)
                 loaded.append(path.stem)
             return loaded
 

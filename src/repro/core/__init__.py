@@ -9,6 +9,8 @@
 - :mod:`repro.core.ops` — estimators and propagation for reorganizations and
   element-wise operations (Section 4, Equations 13–15).
 - :mod:`repro.core.rounding` — shared probabilistic rounding.
+- :mod:`repro.core.incremental` — incremental sketch maintenance under
+  row/column appends, deletes, and block updates (docs/STREAMING.md).
 """
 
 from repro.core.chain import (
@@ -27,6 +29,17 @@ from repro.core.distributed import (
     merge_col_partitions,
     merge_row_partitions,
     sketch_partitioned,
+)
+from repro.core.incremental import (
+    AppendCols,
+    AppendRows,
+    BlockUpdate,
+    DeleteCols,
+    DeleteRows,
+    IncrementalSketch,
+    apply_update,
+    apply_updates,
+    random_deltas,
 )
 from repro.core.intervals import NnzInterval, estimate_product_interval
 from repro.core.ops import (
@@ -49,8 +62,16 @@ from repro.core.rounding import probabilistic_round
 from repro.core.sketch import MNCSketch
 
 __all__ = [
+    "AppendCols",
+    "AppendRows",
+    "BlockUpdate",
+    "DeleteCols",
+    "DeleteRows",
+    "IncrementalSketch",
     "MNCSketch",
     "NnzInterval",
+    "apply_update",
+    "apply_updates",
     "chain_sketches",
     "estimate_all_subchains",
     "estimate_chain_nnz",
@@ -77,5 +98,6 @@ __all__ = [
     "propagate_reshape",
     "propagate_row_sums",
     "propagate_transpose",
+    "random_deltas",
     "sketch_partitioned",
 ]

@@ -17,6 +17,15 @@ pairs; estimating ``nnz(AB)`` is estimating ``|Z|``. The estimator:
 The sample fraction automatically shrinks when the expected number of
 sampled pairs would exceed ``max_pairs``, keeping the scan bounded the way
 the published algorithm's adaptive threshold does.
+
+This is also the repo's **streaming reference estimator** (tag
+``streaming``, see ``docs/STREAMING.md``): every hash decision depends
+only on a (row, column) identity and a fixed salt, never on build order
+or on any precomputed global statistic, so the estimate over a matrix
+that grew through :mod:`repro.core.incremental` deltas is bit-identical
+to the estimate over the same structure built from scratch. That makes
+it the natural independent cross-check for patched
+:class:`~repro.core.sketch.MNCSketch` objects on the streaming path.
 """
 
 from __future__ import annotations
@@ -76,6 +85,13 @@ class HashSynopsis(Synopsis):
 class HashEstimator(SparsityEstimator):
     """KMV + distinct-sampling estimator for single matrix products.
 
+    Tagged ``streaming``: estimates are a pure function of the current
+    structure and the salts, so this estimator needs no repair step after
+    a :mod:`repro.core.incremental` delta — rebuilding its synopsis from
+    the mutated matrix is the whole update. The streaming docs
+    (``docs/STREAMING.md``) use it as the reference check for patched
+    MNC sketches.
+
     Args:
         buffer_size: KMV buffer size ``k`` (paper suggests ``1/eps^2``).
         fraction: target pair-sampling probability ``f``.
@@ -85,7 +101,7 @@ class HashEstimator(SparsityEstimator):
     """
 
     name = "Hash"
-    contract_tags = frozenset({"randomized"})
+    contract_tags = frozenset({"randomized", "streaming"})
 
     def __init__(
         self,

@@ -14,7 +14,8 @@ asyncio HTTP/JSON server (stdlib only, no framework) in front of one
   expressions hit the fingerprint memo) and shard-merged registration via
   :mod:`repro.core.distributed`;
 - :mod:`repro.serve.server` — :class:`EstimationServer`, the handwritten
-  HTTP/1.1 front end: ``POST /matrices``, ``POST /estimate``,
+  HTTP/1.1 front end: ``POST /matrices``, ``POST /matrices/{name}/updates``
+  (streaming deltas, see ``docs/STREAMING.md``), ``POST /estimate``,
   ``GET /stats``, ``GET /metrics`` (Prometheus), ``GET /healthz``;
 - :mod:`repro.serve.client` — :class:`ServeClient`, a keep-alive
   ``http.client`` wrapper used by the tests, the benchmark, and the CI
@@ -29,6 +30,7 @@ from repro.serve.protocol import (
     canonical_expr_key,
     decode_expr,
     decode_matrix,
+    decode_update_request,
     encode_chain_solution,
     encode_estimate_result,
     encode_matrix,
@@ -43,6 +45,7 @@ __all__ = [
     "canonical_expr_key",
     "decode_expr",
     "decode_matrix",
+    "decode_update_request",
     "encode_chain_solution",
     "encode_estimate_result",
     "encode_matrix",

@@ -21,6 +21,14 @@ from repro.errors import ReproError
 from repro.serve.protocol import encode_matrix
 
 
+def _delta_payload(delta: Any) -> Dict[str, Any]:
+    if isinstance(delta, dict):
+        return delta
+    from repro.core.incremental import delta_to_payload
+
+    return delta_to_payload(delta)
+
+
 class ServeClientError(ReproError):
     """The server answered with an error status."""
 
@@ -133,6 +141,24 @@ class ServeClient:
             for entry, index in zip(payload["shards"], indices):
                 entry["index"] = int(index)
         return self.request("POST", "/matrices", payload)
+
+    def apply_update(self, name: str, delta: Any) -> Dict[str, Any]:
+        """Apply one streaming delta to the matrix registered as *name*.
+
+        *delta* is either a :mod:`repro.core.incremental` delta object or
+        an already-encoded wire payload dict.
+        """
+        return self.apply_updates(name, [delta])
+
+    def apply_updates(
+        self, name: str, deltas: Sequence[Any]
+    ) -> Dict[str, Any]:
+        """Apply an ordered batch of deltas in one request."""
+        return self.request(
+            "POST",
+            f"/matrices/{name}/updates",
+            {"deltas": [_delta_payload(delta) for delta in deltas]},
+        )
 
     def estimate(
         self, expr: Dict[str, Any], include_intermediates: bool = False

@@ -269,6 +269,39 @@ def decode_estimate_request(body: Dict[str, Any]) -> Dict[str, Any]:
     return {"kind": "optimize_chain", "chain": chain, "seed": seed, "workers": workers}
 
 
+def decode_update_request(body: Dict[str, Any]) -> List[Any]:
+    """Validate a ``POST /matrices/{name}/updates`` body.
+
+    The body carries either one ``"delta"`` or a non-empty ordered
+    ``"deltas"`` list, each entry in the
+    :func:`repro.core.incremental.delta_to_payload` wire format. Returns
+    the decoded delta objects in application order; malformed payloads are
+    a 400 (:class:`ProtocolError`), never a 500.
+    """
+    from repro.core.incremental import delta_from_payload
+    from repro.errors import SketchError
+
+    _require(isinstance(body, dict), "request body must be a JSON object")
+    has_delta = "delta" in body
+    has_deltas = "deltas" in body
+    _require(
+        has_delta != has_deltas,
+        "provide exactly one of 'delta' or 'deltas'",
+    )
+    raw = [body["delta"]] if has_delta else body["deltas"]
+    _require(
+        isinstance(raw, list) and bool(raw),
+        "'deltas' must be a non-empty list",
+    )
+    deltas: List[Any] = []
+    for position, payload in enumerate(raw):
+        try:
+            deltas.append(delta_from_payload(payload))
+        except SketchError as exc:
+            raise ProtocolError(f"delta {position}: {exc}") from None
+    return deltas
+
+
 def decode_register_request(body: Dict[str, Any]) -> Dict[str, Any]:
     """Validate a ``POST /matrices`` body (whole matrix or shards)."""
     _require(isinstance(body, dict), "request body must be a JSON object")

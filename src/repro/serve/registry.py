@@ -24,8 +24,10 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import scipy.sparse as sp
 
+from repro.catalog.fingerprint import assign_fingerprint
 from repro.catalog.service import EstimationService
 from repro.core.distributed import merge_partitions
+from repro.core.incremental import IncrementalSketch
 from repro.core.sketch import MNCSketch
 from repro.errors import ProtocolError, SketchError
 from repro.ir.nodes import Expr, leaf
@@ -41,6 +43,9 @@ class MatrixRegistry:
         self._matrices: Dict[str, sp.csr_array] = {}
         self._leaves: Dict[str, Expr] = {}
         self._fingerprints: Dict[str, str] = {}
+        #: Per-name streaming trackers, created lazily on the first delta
+        #: and discarded whenever the name is re-registered wholesale.
+        self._incrementals: Dict[str, IncrementalSketch] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -54,6 +59,7 @@ class MatrixRegistry:
             self._matrices[name] = matrix
             self._leaves[name] = leaf(matrix, name=name)
             self._fingerprints[name] = fingerprint
+            self._incrementals.pop(name, None)
         count("serve.registry.register")
         return fingerprint
 
@@ -93,7 +99,48 @@ class MatrixRegistry:
             self._matrices[name] = matrix
             self._leaves[name] = leaf(matrix, name=name)
             self._fingerprints[name] = fingerprint
+            self._incrementals.pop(name, None)
         count("serve.registry.register_partitioned")
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+
+    def apply_update(self, name: str, delta: Any) -> str:
+        """Apply a streaming *delta* to the matrix registered as *name*.
+
+        The name's :class:`~repro.core.incremental.IncrementalSketch` is
+        created lazily from the registered matrix on the first delta and
+        patched in place afterwards. The service chains the fingerprint in
+        ``O(|delta|)`` and partially invalidates memoized results
+        (:meth:`EstimationService.apply_update`); here the registry rebinds
+        the name to the rematerialized matrix and a fresh leaf Expr, with
+        the chained fingerprint pre-assigned so no ``O(nnz)`` rehash ever
+        runs. Held under the registry lock end to end, so concurrent
+        deltas on one name serialize. Returns the new fingerprint.
+        """
+        with self._lock:
+            if name not in self._matrices:
+                raise ProtocolError(
+                    f"no matrix registered under name {name!r}"
+                )
+            incremental = self._incrementals.get(name)
+            if incremental is None:
+                incremental = IncrementalSketch(self._matrices[name])
+                self._incrementals[name] = incremental
+            try:
+                fingerprint = self.service.apply_update(
+                    name, incremental, delta
+                )
+            except SketchError as exc:
+                raise ProtocolError(f"cannot apply delta: {exc}") from None
+            matrix = sp.csr_array(incremental.to_matrix())
+            assign_fingerprint(matrix, fingerprint)
+            self._matrices[name] = matrix
+            self._leaves[name] = leaf(matrix, name=name)
+            self._fingerprints[name] = fingerprint
+        count("serve.registry.update")
         return fingerprint
 
     def _invalidate_rebind(self, name: str) -> None:

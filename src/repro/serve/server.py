@@ -18,7 +18,9 @@ One process serves many tenants' estimation traffic over a shared catalog:
   entirely on memo hits (microseconds per estimate).
 
 Endpoints: ``POST /matrices`` (whole or row/col-partitioned, shards merged
-on ingest), ``POST /estimate`` (single / batch / chain), ``GET /stats``,
+on ingest), ``POST /matrices/{name}/updates`` (streaming deltas patched
+into the name's incremental sketch, fingerprint chained in ``O(|delta|)``),
+``POST /estimate`` (single / batch / chain), ``GET /stats``,
 ``GET /metrics`` (Prometheus text), ``GET /healthz``. Per-endpoint request
 counters and latency histograms land in the global metrics registry as
 ``serve.requests.<route>`` / ``serve.latency_seconds.<route>``.
@@ -48,6 +50,7 @@ from repro.serve.protocol import (
     decode_expr,
     decode_matrix,
     decode_register_request,
+    decode_update_request,
     encode_chain_solution,
     encode_estimate_result,
 )
@@ -282,6 +285,14 @@ class EstimationServer:
                 raise _HttpError(405, "use POST /estimate")
             payload = await self._in_executor(self._handle_estimate, _parse_json(body))
             return 200, _json_bytes(payload), _JSON
+        name = _update_target(path)
+        if name is not None:
+            if method != "POST":
+                raise _HttpError(405, f"use POST /matrices/{name}/updates")
+            payload = await self._in_executor(
+                self._handle_update, name, _parse_json(body)
+            )
+            return 200, _json_bytes(payload), _JSON
         raise _HttpError(404, f"unknown path {path!r}")
 
     async def _in_executor(self, fn, *args) -> Any:
@@ -352,6 +363,24 @@ class EstimationServer:
         payload["names"] = list(request["chain"])
         return payload
 
+    def _handle_update(self, name: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        deltas = decode_update_request(body)
+        # Same reasoning as registration: cached parses hold the name's old
+        # leaf Expr, which after a delta points at the pre-update structure.
+        with self._parse_lock:
+            self._parse_cache.clear()
+        fingerprint = self.registry.fingerprint(name)
+        for delta in deltas:
+            fingerprint = self.registry.apply_update(name, delta)
+        matrix = self.registry.matrix(name)
+        return {
+            "name": name,
+            "fingerprint": fingerprint,
+            "shape": [int(d) for d in matrix.shape],
+            "nnz": int(matrix.nnz),
+            "updates": len(deltas),
+        }
+
     def _parse_expr(self, wire: Any) -> Expr:
         key = canonical_expr_key(wire)
         with self._parse_lock:
@@ -391,7 +420,21 @@ def _route_name(method: str, path: str) -> str:
     known = {"/matrices", "/estimate", "/stats", "/metrics", "/healthz"}
     if path in known:
         return path.lstrip("/")
+    if _update_target(path) is not None:
+        # One label for every name, so per-route metrics stay bounded.
+        return "matrix_updates"
     return "unknown"
+
+
+def _update_target(path: str) -> Optional[str]:
+    """The matrix name in a ``/matrices/{name}/updates`` path, else None."""
+    prefix, suffix = "/matrices/", "/updates"
+    if not (path.startswith(prefix) and path.endswith(suffix)):
+        return None
+    name = path[len(prefix): -len(suffix)]
+    if not name or "/" in name:
+        return None
+    return name
 
 
 def _parse_json(body: bytes) -> Dict[str, Any]:

@@ -111,6 +111,161 @@ class TestInvalidation:
         assert stats["entries"] == 3
 
 
+class TestDependencyInvalidation:
+    """Partial invalidation via the ``depends_on`` leaf-dependency index."""
+
+    def test_invalidate_dependency_evicts_derived_entry(self):
+        memo = EstimateMemo()
+        memo.put("root", "MNC", "nnz", 9.0, depends_on=["leafA", "leafB"])
+        memo.put("other", "MNC", "nnz", 5.0, depends_on=["leafC"])
+        assert memo.invalidate(fingerprint="leafA") == 1
+        assert memo.get("root", "MNC", "nnz") is None
+        assert memo.get("other", "MNC", "nnz") == 5.0
+
+    def test_own_fingerprint_still_invalidates(self):
+        memo = EstimateMemo()
+        memo.put("root", "MNC", "nnz", 9.0, depends_on=["leafA"])
+        assert memo.invalidate(fingerprint="root") == 1
+        assert memo.get("root", "MNC", "nnz") is None
+
+    def test_estimator_filter_applies_to_dependents(self):
+        memo = EstimateMemo()
+        memo.put("root", "MNC", "nnz", 9.0, depends_on=["leaf"])
+        memo.put("root", "DMap", "nnz", 8.0, depends_on=["leaf"])
+        assert memo.invalidate(fingerprint="leaf", estimator="MNC") == 1
+        assert memo.get("root", "MNC", "nnz") is None
+        assert memo.get("root", "DMap", "nnz") == 8.0
+
+    def test_reput_replaces_dependencies(self):
+        memo = EstimateMemo()
+        memo.put("root", "MNC", "nnz", 9.0, depends_on=["leafA"])
+        memo.put("root", "MNC", "nnz", 10.0, depends_on=["leafB"])
+        # The stale leafA edge is gone; only leafB evicts the entry now.
+        assert memo.invalidate(fingerprint="leafA") == 0
+        assert memo.get("root", "MNC", "nnz") == 10.0
+        assert memo.invalidate(fingerprint="leafB") == 1
+
+    def test_lru_eviction_unlinks_dependencies(self):
+        memo = EstimateMemo(max_entries=2)
+        memo.put("r1", "MNC", "nnz", 1.0, depends_on=["leaf"])
+        memo.put("r2", "MNC", "nnz", 2.0)
+        memo.put("r3", "MNC", "nnz", 3.0)  # evicts r1
+        assert memo.stats()["dependency_tracked"] == 0
+        assert memo.invalidate(fingerprint="leaf") == 0
+
+    def test_memoize_records_dependencies(self):
+        memo = EstimateMemo()
+        memo.memoize("root", "MNC", "nnz", lambda: 4.0, depends_on=["leaf"])
+        assert memo.stats()["dependency_tracked"] == 1
+        assert memo.invalidate(fingerprint="leaf") == 1
+
+    def test_clear_resets_dependency_index(self):
+        memo = EstimateMemo()
+        memo.put("root", "MNC", "nnz", 1.0, depends_on=["leaf"])
+        memo.clear()
+        assert memo.stats()["dependency_tracked"] == 0
+        memo.put("fresh", "MNC", "nnz", 2.0, depends_on=["leaf"])
+        assert memo.invalidate(fingerprint="leaf") == 1
+
+    def test_shared_dependency_evicts_all_dependents(self):
+        memo = EstimateMemo()
+        memo.put("r1", "MNC", "nnz", 1.0, depends_on=["leaf"])
+        memo.put("r2", "MNC", "nnz", 2.0, depends_on=["leaf", "other"])
+        memo.put("r3", "MNC", "nnz", 3.0, depends_on=["other"])
+        assert memo.invalidate(fingerprint="leaf") == 2
+        assert memo.get("r3", "MNC", "nnz") == 3.0
+
+
+class TestPartialInvalidationThroughService:
+    """A streaming delta on one leaf evicts only results derived from it."""
+
+    def _matrices(self):
+        from repro.matrix.random import random_sparse
+
+        a = random_sparse(20, 16, 0.2, seed=11)
+        b = random_sparse(16, 12, 0.2, seed=22)
+        return a, b
+
+    def test_untouched_subexpression_memo_survives_delta(self):
+        import numpy as np
+
+        from repro.catalog.service import EstimationService
+        from repro.core.incremental import AppendRows, IncrementalSketch
+        from repro.ir.nodes import ewise_mult, leaf, matmul
+
+        a, b = self._matrices()
+        service = EstimationService("mnc")
+        old_fp_a = service.register(a, name="A")
+        fp_b = service.register(b, name="B")
+
+        expr_touched = matmul(leaf(a), leaf(b))
+        expr_untouched = ewise_mult(leaf(b), leaf(b))
+        touched_root = service.estimate(expr_touched)["fingerprint"]
+        untouched_root = service.estimate(expr_untouched)["fingerprint"]
+        key = service._estimator_key(service.estimator)
+        assert service.memo.get(touched_root, key, "nnz") is not None
+        assert service.memo.get(untouched_root, key, "nnz") is not None
+
+        incremental = IncrementalSketch(a)
+        delta = AppendRows([np.array([0, 3, 7])])
+        new_fp_a = service.apply_update("A", incremental, delta)
+
+        # The delta rebinds the name and evicts exactly the touched slice.
+        assert service.resolve("A") == new_fp_a
+        assert new_fp_a != old_fp_a
+        assert service.memo.get(touched_root, key, "nnz") is None
+        assert service.memo.get(untouched_root, key, "nnz") is not None
+        # The stale leaf sketch left the store; B's and the patched one stay.
+        assert service.store.get(old_fp_a) is None
+        assert service.store.get(fp_b) is not None
+        patched = service.store.get(new_fp_a)
+        assert patched is not None
+        assert patched.shape == (21, 16)
+
+        # The untouched expression still answers from the memo.
+        assert service.estimate(expr_untouched)["cached"] is True
+
+    def test_repeated_deltas_keep_evicting_current_results(self):
+        import numpy as np
+
+        from repro.catalog.service import EstimationService
+        from repro.core.incremental import (
+            AppendRows,
+            DeleteRows,
+            IncrementalSketch,
+        )
+        from repro.core.sketch import MNCSketch
+        from repro.ir.nodes import leaf, matmul
+
+        a, b = self._matrices()
+        service = EstimationService("mnc")
+        service.register(a, name="A")
+        service.register(b, name="B")
+        incremental = IncrementalSketch(a)
+
+        for delta in (
+            AppendRows([np.array([1, 2])]),
+            DeleteRows([0]),
+            AppendRows([np.array([5])]),
+        ):
+            fp = service.apply_update("A", incremental, delta)
+            stored = service.store.get(fp)
+            assert stored is not None
+            rebuilt = MNCSketch.from_matrix(incremental.to_matrix())
+            np.testing.assert_array_equal(stored.hr, rebuilt.hr)
+            np.testing.assert_array_equal(stored.hc, rebuilt.hc)
+
+        # The final stored sketch answers estimation identically to a
+        # from-scratch registration of the mutated matrix.
+        mutated = incremental.to_matrix()
+        fresh = EstimationService("mnc")
+        fresh.register(mutated, name="A")
+        fresh.register(b, name="B")
+        got = service.estimate(matmul(leaf(mutated), leaf(b)))["nnz"]
+        want = fresh.estimate(matmul(leaf(mutated), leaf(b)))["nnz"]
+        assert got == want
+
+
 class TestConcurrency:
     def test_parallel_memoize_no_lost_updates(self):
         memo = EstimateMemo()

@@ -223,6 +223,146 @@ class TestWarmStartPersist:
             ShardedSketchStore().persist()
 
 
+class TestTtlWarmStartRace:
+    """Lock-ordering regression tests for TTL demotion vs warm_start.
+
+    The original sweep deleted every expired timestamp up front, released
+    the shard lock, and then demoted unconditionally — so a warm start (or
+    any get/put) landing between collection and demotion had its freshly
+    loaded entry demoted straight back to disk while its new timestamp said
+    "resident and fresh". The fix re-validates each key's timestamp under
+    the shard lock at the moment of demotion and makes warm_start's
+    put+touch a single critical section.
+    """
+
+    def test_retouched_key_survives_inflight_sweep(self, tmp_path):
+        """A key refreshed after sweep collection must not be demoted.
+
+        Deterministic interleaving: the sweep collects both expired keys;
+        while it demotes the first, a refresh of the second lands. The
+        refresh is injected from the demote hook, which runs on the sweep
+        thread — the shard lock is an RLock, so this faithfully simulates
+        a touch winning the lock between the sweep's loop iterations
+        without risking a deadlock on the post-fix locking.
+        """
+        clock = {"now": 0.0}
+        store = ShardedSketchStore(
+            num_shards=1,
+            spill_dir=tmp_path,
+            ttl_seconds=10.0,
+            clock=lambda: clock["now"],
+        )
+        store.put("0aaa", _sketch(1))
+        store.put("0bbb", _sketch(2))
+        clock["now"] = 100.0  # both now expired
+
+        shard = store._shards[0]
+        real_demote = shard.demote
+
+        def demote_and_refresh(key):
+            resident = real_demote(key)
+            if key == "0aaa":
+                # A concurrent warm_start/get re-touches the *other*
+                # collected key before the sweep reaches it.
+                store._touch(0, "0bbb")
+            return resident
+
+        shard.demote = demote_and_refresh
+        try:
+            demoted = store.evict_expired()
+        finally:
+            shard.demote = real_demote
+
+        assert demoted == 1
+        assert store.ttl_evictions == 1
+        # The re-touched key stayed resident; only the stale one spilled.
+        assert store.keys() == ["0bbb"]
+        assert (tmp_path / "0aaa.npz").exists()
+        assert not (tmp_path / "0bbb.npz").exists()
+
+    def test_warm_started_entries_are_ttl_tracked_atomically(self, tmp_path):
+        clock = {"now": 0.0}
+        for index in range(3):
+            save_sketch(tmp_path / f"{index:x}0ws.npz", _sketch(index))
+        store = ShardedSketchStore(
+            num_shards=2,
+            spill_dir=tmp_path,
+            ttl_seconds=10.0,
+            clock=lambda: clock["now"],
+        )
+        assert len(store.warm_start(tmp_path)) == 3
+        # Every resident entry has a timestamp and vice versa.
+        for index, shard in enumerate(store._shards):
+            with shard._lock:
+                assert set(store._touched[index]) == set(shard.keys())
+        clock["now"] = 100.0
+        assert store.evict_expired() == 3
+        assert len(store) == 0
+
+    def test_warm_start_vs_ttl_sweep_hammer(self, tmp_path):
+        """Concurrent warm starts and sweeps: nothing lost, books balance."""
+        clock = {"now": 0.0}
+        clock_lock = threading.Lock()
+
+        def now():
+            with clock_lock:
+                return clock["now"]
+
+        sketches = {f"{i:x}race": _sketch(i) for i in range(10)}
+        for key, sketch in sketches.items():
+            save_sketch(tmp_path / f"{key}.npz", sketch)
+
+        store = ShardedSketchStore(
+            num_shards=2, spill_dir=tmp_path, ttl_seconds=1.0, clock=now
+        )
+        errors = []
+        barrier = threading.Barrier(3)
+        stop = threading.Event()
+
+        def warm():
+            try:
+                barrier.wait()
+                for _ in range(15):
+                    loaded = store.warm_start(tmp_path)
+                    assert sorted(loaded) == sorted(sketches)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def sweep():
+            try:
+                barrier.wait()
+                while not stop.is_set():
+                    with clock_lock:
+                        clock["now"] += 0.4
+                    store.evict_expired()
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=warm),
+            threading.Thread(target=sweep),
+            threading.Thread(target=sweep),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Bookkeeping consistency first (before get() re-promotes): every
+        # resident key is TTL-tracked and no timestamp outlives its entry —
+        # the racy sweep left fresh timestamps pointing at demoted entries.
+        for index, shard in enumerate(store._shards):
+            with shard._lock:
+                assert set(store._touched[index]) == set(shard.keys())
+        # Every key still answers from the memory+disk union, intact.
+        for key, sketch in sketches.items():
+            value = store.get(key)
+            assert value is not None
+            np.testing.assert_array_equal(value.hr, sketch.hr)
+
+
 class TestConcurrency:
     def test_hammering_threads_across_shards(self):
         """Many threads over many keys: no lost updates, total budget held."""

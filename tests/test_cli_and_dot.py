@@ -78,6 +78,24 @@ class TestCli:
         ])
         assert code == 2
 
+    def test_verify_reaches_incremental_contract(self, capsys, tmp_path):
+        # The streaming contract must be selectable from the CLI and its
+        # counters must surface through `repro stats` on the trace file.
+        trace = str(tmp_path / "trace.jsonl")
+        code = main([
+            "verify", "--cells", "mnc:incremental_equals_rebuild:*",
+            "--budget", "2", "--seed", "3", "--trace", trace,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incremental_equals_rebuild" in out
+        assert "0 violation(s)" in out
+
+        assert main(["stats", trace]) == 0
+        stats_out = capsys.readouterr().out
+        assert "incremental.updates" in stats_out
+        assert "verify.violations = 0" in stats_out
+
 
 class TestCliCatalog:
     def test_warm_then_stats(self, stored_pair, capsys, tmp_path):

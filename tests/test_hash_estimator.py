@@ -110,3 +110,81 @@ class TestHashEstimator:
         estimator = HashEstimator(buffer_size=100, seed=17)
         synopsis = estimator.build(random_sparse(50, 50, 0.2, seed=18))
         assert synopsis.size_bytes() == 100 * 8
+
+
+class TestStreamingReference:
+    """The properties that make Hash the streaming reference estimator."""
+
+    def test_tagged_streaming(self):
+        assert "streaming" in HashEstimator.contract_tags
+
+    def test_registered_spec_exposes_streaming_tag(self):
+        from repro.estimators.base import available_estimators, make_estimator
+
+        assert "hash" in available_estimators()
+        assert "streaming" in make_estimator("hash").contract_tags
+
+    def test_estimate_ignores_build_order(self):
+        # The streaming guarantee: a matrix that grew through deltas and
+        # the same structure built from scratch estimate bit-identically,
+        # because hashing depends only on (row, col) identities and salts.
+        from repro.core.incremental import (
+            AppendRows,
+            BlockUpdate,
+            DeleteCols,
+            IncrementalSketch,
+            apply_update,
+        )
+
+        base = random_sparse(60, 40, 0.1, seed=19)
+        incremental = IncrementalSketch(base)
+        rng = np.random.default_rng(20)
+        apply_update(
+            incremental,
+            AppendRows([np.flatnonzero(rng.random(40) < 0.15) for _ in range(5)]),
+        )
+        apply_update(incremental, DeleteCols([1, 7, 33]))
+        apply_update(
+            incremental, BlockUpdate(10, 4, (rng.random((6, 8)) < 0.3))
+        )
+        streamed = incremental.to_matrix()
+        rebuilt = streamed.copy()
+
+        estimator = HashEstimator(buffer_size=512, fraction=0.5, seed=21)
+        other = random_sparse(streamed.shape[1], 50, 0.1, seed=22)
+        via_streamed = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(streamed), estimator.build(other)]
+        )
+        via_rebuilt = estimator.estimate_nnz(
+            Op.MATMUL, [estimator.build(rebuilt), estimator.build(other)]
+        )
+        assert via_streamed == via_rebuilt
+
+    def test_tracks_truth_across_deltas(self):
+        # Used as the independent cross-check in docs/STREAMING.md: after
+        # every delta the hash estimate stays in the ballpark of the true
+        # product size with no repair step.
+        from repro.core.incremental import (
+            AppendRows,
+            DeleteRows,
+            IncrementalSketch,
+            apply_update,
+        )
+
+        incremental = IncrementalSketch(random_sparse(200, 150, 0.08, seed=23))
+        other = random_sparse(150, 180, 0.08, seed=24)
+        estimator = HashEstimator(buffer_size=1024, fraction=0.6, seed=25)
+        rng = np.random.default_rng(26)
+        deltas = [
+            AppendRows([np.flatnonzero(rng.random(150) < 0.1) for _ in range(8)]),
+            DeleteRows(list(range(0, 40, 5))),
+            AppendRows([np.flatnonzero(rng.random(150) < 0.1) for _ in range(4)]),
+        ]
+        for delta in deltas:
+            apply_update(incremental, delta)
+            current = incremental.to_matrix()
+            truth = mops.matmul(current, other).nnz
+            estimate = estimator.estimate_nnz(
+                Op.MATMUL, [estimator.build(current), estimator.build(other)]
+            )
+            assert truth / 1.6 <= estimate <= truth * 1.6

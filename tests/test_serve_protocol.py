@@ -14,6 +14,7 @@ from repro.serve.protocol import (
     decode_expr,
     decode_matrix,
     decode_register_request,
+    decode_update_request,
     encode_chain_solution,
     encode_estimate_result,
     encode_matrix,
@@ -234,3 +235,61 @@ class TestRequestCodec:
     def test_malformed_register_raises(self, payload):
         with pytest.raises(ProtocolError):
             decode_register_request(payload)
+
+
+class TestUpdateRequestCodec:
+    def test_single_delta_decodes(self):
+        from repro.core.incremental import AppendRows, delta_to_payload
+
+        delta = AppendRows([np.array([0, 2, 5])])
+        decoded = decode_update_request({"delta": delta_to_payload(delta)})
+        assert len(decoded) == 1
+        assert isinstance(decoded[0], AppendRows)
+        np.testing.assert_array_equal(decoded[0].patterns[0], [0, 2, 5])
+
+    def test_delta_batch_preserves_order(self):
+        from repro.core.incremental import (
+            AppendRows,
+            DeleteCols,
+            delta_to_payload,
+        )
+
+        deltas = [AppendRows([np.array([1])]), DeleteCols([0, 3])]
+        decoded = decode_update_request(
+            {"deltas": [delta_to_payload(d) for d in deltas]}
+        )
+        assert [type(d) for d in decoded] == [AppendRows, DeleteCols]
+        np.testing.assert_array_equal(decoded[1].positions, [0, 3])
+
+    def test_block_round_trips_through_request(self):
+        from repro.core.incremental import BlockUpdate, delta_to_payload
+
+        block = BlockUpdate(2, 3, np.array([[1, 0], [0, 1]]))
+        (decoded,) = decode_update_request(
+            {"delta": delta_to_payload(block)}
+        )
+        assert (decoded.row_start, decoded.col_start) == (2, 3)
+        np.testing.assert_array_equal(decoded.pattern, block.pattern)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"delta": {"kind": "append_rows"}, "deltas": []},
+            {"deltas": []},
+            {"deltas": "nope"},
+            {"delta": {"kind": "no_such_kind"}},
+            {"delta": "not an object"},
+            {"deltas": [{"kind": "delete_rows", "positions": "x"}]},
+        ],
+    )
+    def test_malformed_update_raises(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_update_request(payload)
+
+    def test_malformed_delta_error_names_position(self):
+        from repro.core.incremental import AppendRows, delta_to_payload
+
+        good = delta_to_payload(AppendRows([np.array([1])]))
+        with pytest.raises(ProtocolError, match="delta 1"):
+            decode_update_request({"deltas": [good, {"kind": "bogus"}]})

@@ -308,3 +308,130 @@ class TestConcurrency:
         second = client.estimate({"ref": "X"})
         assert second["nnz"] == float(replacement.nnz)
         assert second["fingerprint"] != first["fingerprint"]
+
+
+class TestStreamingUpdates:
+    def test_update_rebinds_name_and_estimates_fresh(self, server):
+        from repro.core.incremental import AppendRows
+
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        before = client.estimate(MATMUL_XW)
+        assert client.estimate(MATMUL_XW)["cached"] is True
+
+        reply = client.apply_update("X", AppendRows([np.array([0, 3, 7])]))
+        assert reply["name"] == "X"
+        assert reply["shape"] == [51, 40]
+        assert reply["nnz"] == x.nnz + 3
+        assert reply["updates"] == 1
+        assert reply["fingerprint"] != before["fingerprint"]
+
+        after = client.estimate(MATMUL_XW)
+        # The old memoized result was evicted; the new answer covers the
+        # appended row and is computed fresh.
+        assert after["cached"] is False
+        assert after["fingerprint"] != before["fingerprint"]
+        assert client.estimate({"ref": "X"})["nnz"] == float(x.nnz + 3)
+
+    def test_update_matches_from_scratch_registration(self, server):
+        """Server answers over a patched name are bit-identical to
+        registering the mutated matrix directly."""
+        from repro.core.incremental import (
+            AppendRows,
+            BlockUpdate,
+            DeleteRows,
+            IncrementalSketch,
+            apply_update,
+        )
+
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+
+        deltas = [
+            AppendRows([np.array([1, 4]), np.array([0, 2, 39])]),
+            DeleteRows([0, 5]),
+            BlockUpdate(2, 3, (np.arange(20).reshape(4, 5) % 3 == 0)),
+        ]
+        reply = client.apply_updates("X", deltas)
+        assert reply["updates"] == 3
+
+        local = IncrementalSketch(x)
+        for delta in deltas:
+            apply_update(local, delta)
+        mutated = local.to_matrix()
+        assert reply["shape"] == [mutated.shape[0], mutated.shape[1]]
+        assert reply["nnz"] == mutated.nnz
+        client.register("Y", mutated)
+
+        got = client.estimate(MATMUL_XW)["nnz"]
+        want = client.estimate(
+            {"op": "matmul", "inputs": [{"ref": "Y"}, {"ref": "W"}]}
+        )["nnz"]
+        assert got == want
+
+    def test_untouched_name_stays_cached_across_update(self, server):
+        from repro.core.incremental import DeleteCols
+
+        client, _ = server
+        x, w = _matrices()
+        client.register("X", x)
+        client.register("W", w)
+        w_expr = {
+            "op": "ewise_mult", "inputs": [{"ref": "W"}, {"ref": "W"}],
+        }
+        assert client.estimate(w_expr)["cached"] is False
+        client.apply_update("X", DeleteCols([0]))
+        # W was untouched: its memoized root estimate survived the delta
+        # (partial invalidation), even though the parse cache flushed.
+        assert client.estimate(w_expr)["cached"] is True
+
+    def test_update_unknown_name_400(self, server):
+        from repro.core.incremental import DeleteRows
+
+        client, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.apply_update("ghost", DeleteRows([0]))
+        assert excinfo.value.status == 400
+        assert "ghost" in excinfo.value.message
+
+    def test_update_out_of_range_delta_400(self, server):
+        from repro.core.incremental import DeleteRows
+
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.apply_update("X", DeleteRows([10_000]))
+        assert excinfo.value.status == 400
+
+    def test_update_malformed_payload_400(self, server):
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("POST", "/matrices/X/updates", {"delta": {"kind": "bogus"}})
+        assert excinfo.value.status == 400
+
+    def test_update_wrong_method_405(self, server):
+        client, _ = server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("GET", "/matrices/X/updates")
+        assert excinfo.value.status == 405
+
+    def test_reregister_resets_streaming_state(self, server):
+        from repro.core.incremental import AppendRows
+
+        client, _ = server
+        x, _ = _matrices()
+        client.register("X", x)
+        client.apply_update("X", AppendRows([np.array([0])]))
+        # Re-registering wholesale discards the incremental tracker; the
+        # next delta starts from the re-registered structure.
+        client.register("X", x)
+        reply = client.apply_update("X", AppendRows([np.array([1])]))
+        assert reply["shape"] == [51, 40]
+        assert reply["nnz"] == x.nnz + 1
