@@ -1,0 +1,159 @@
+"""Adaptive routing vs always-MNC (docs/ROUTING.md).
+
+Two request mixes, mirroring the accuracy/cost spectrum argument the
+router exploits:
+
+- **easy**: dense products where the MetaAC/MetaWC bracket already
+  collapses — the router must answer from the metadata tier and beat a
+  fresh MNC estimate by at least :data:`MIN_SPEEDUP` in total time, while
+  every estimate stays within the tolerance of ground truth.
+- **hard**: sparse products under a tight tolerance — the router must
+  escalate to a *certified* tier (Theorem 3.2 interval or exact) and the
+  estimates must still land within the tolerance of ground truth.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_router.py``) or
+under pytest; either way it emits ``benchmarks/results/BENCH_router.json``
+with both mixes' timings, tiers, and errors.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_scale, write_bench_json
+from repro.ir.estimate import estimate_root_nnz
+from repro.ir.interpreter import evaluate
+from repro.ir.nodes import leaf
+from repro.estimators import make_estimator
+from repro.matrix.conversion import as_csr
+from repro.matrix.random import random_sparse
+from repro.router import AdaptiveRouter
+
+#: Acceptance: on the easy mix, routed estimation must cost at most half
+#: of always-MNC (the issue's headline claim is ">= 2x cheaper").
+MIN_SPEEDUP = 2.0
+
+EASY_TOLERANCE = 0.5
+HARD_TOLERANCE = 0.05
+ROUNDS = 3
+
+
+def _product(m: int, k: int, n: int, density: float, seed: int):
+    """One matmul expression over canonical-CSR leaves (so the timed
+    section measures estimation, not one-time format conversion)."""
+    a = as_csr(random_sparse(m, k, density, seed=seed))
+    b = as_csr(random_sparse(k, n, density, seed=seed + 1))
+    return leaf(a, name=f"A{seed}") @ leaf(b, name=f"B{seed}")
+
+
+def _easy_mix(scale: float):
+    """Dense products: the metadata bracket collapses, cheap tiers win."""
+    side = max(300, int(6000 * scale))
+    return [
+        _product(side, side - 40, side, 0.15, seed=index * 10)
+        for index in range(6)
+    ]
+
+
+def _hard_mix(scale: float):
+    """Sparse products: wide metadata brackets force escalation."""
+    side = max(200, int(2000 * scale))
+    return [
+        _product(side, side - 20, side, 0.01, seed=1000 + index * 10)
+        for index in range(4)
+    ]
+
+
+def _relative_error(truth: float, estimate: float) -> float:
+    """The paper's M1 error, ``max / min`` (1.0 is perfect)."""
+    low, high = sorted((max(truth, 1e-12), max(estimate, 1e-12)))
+    return high / low
+
+
+def _run_mix(exprs, tolerance: float, seed: int) -> dict:
+    """Route every expression and time the same work done by fresh MNC."""
+    truths = [float(evaluate(root).nnz) for root in exprs]
+
+    auto_seconds = []
+    mnc_seconds = []
+    for _ in range(ROUNDS):
+        router = AdaptiveRouter(tolerance=tolerance, seed=seed)
+        start = time.perf_counter()
+        routed = [router.route(root) for root in exprs]
+        auto_seconds.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        mnc = [
+            estimate_root_nnz(root, make_estimator("mnc")) for root in exprs
+        ]
+        mnc_seconds.append(time.perf_counter() - start)
+
+    auto_best = min(auto_seconds)
+    mnc_best = min(mnc_seconds)
+    decisions = [decision for _, decision in routed]
+    errors = [
+        _relative_error(truth, nnz)
+        for truth, (nnz, _) in zip(truths, routed)
+    ]
+    return {
+        "expressions": len(exprs),
+        "tolerance": tolerance,
+        "auto_seconds": auto_best,
+        "mnc_seconds": mnc_best,
+        "speedup_vs_mnc": mnc_best / auto_best if auto_best else float("inf"),
+        "tiers": [decision.tier for decision in decisions],
+        "escalations": [decision.escalations for decision in decisions],
+        "widths": [decision.width for decision in decisions],
+        "certified": [decision.certified for decision in decisions],
+        "relative_errors": errors,
+        "max_relative_error": max(errors),
+        "mnc_relative_errors": [
+            _relative_error(truth, estimate)
+            for truth, estimate in zip(truths, mnc)
+        ],
+    }
+
+
+def run_router_benchmark(scale: float | None = None) -> dict:
+    scale = bench_scale() if scale is None else scale
+    easy = _run_mix(_easy_mix(scale), EASY_TOLERANCE, seed=0)
+    hard = _run_mix(_hard_mix(scale), HARD_TOLERANCE, seed=0)
+    return {
+        "benchmark": "router_adaptive_vs_mnc",
+        "scale": scale,
+        "easy": easy,
+        "hard": hard,
+    }
+
+
+def test_router_cheaper_on_easy_mix_within_tolerance():
+    payload = run_router_benchmark()
+    write_bench_json("router", payload)
+    easy, hard = payload["easy"], payload["hard"]
+    print(
+        f"router easy mix: auto {easy['auto_seconds'] * 1e3:.1f} ms vs "
+        f"mnc {easy['mnc_seconds'] * 1e3:.1f} ms "
+        f"({easy['speedup_vs_mnc']:.1f}x), tiers {sorted(set(easy['tiers']))}"
+    )
+    print(
+        f"router hard mix: tiers {sorted(set(hard['tiers']))}, "
+        f"max error {hard['max_relative_error']:.4f}"
+    )
+
+    # Easy mix: cheap tiers answer, and the saved work is real.
+    assert easy["speedup_vs_mnc"] >= MIN_SPEEDUP, (
+        f"auto only {easy['speedup_vs_mnc']:.2f}x cheaper than always-MNC "
+        f"on the easy mix (need >= {MIN_SPEEDUP:.0f}x)"
+    )
+    assert all(width <= EASY_TOLERANCE for width in easy["widths"])
+    assert easy["max_relative_error"] <= 1.0 + EASY_TOLERANCE
+
+    # Hard mix: the tight tolerance forces a certified answer that is
+    # actually within tolerance of ground truth.
+    assert all(hard["certified"])
+    assert all(width <= HARD_TOLERANCE for width in hard["widths"])
+    assert hard["max_relative_error"] <= 1.0 + HARD_TOLERANCE
+
+
+if __name__ == "__main__":
+    test_router_cheaper_on_easy_mix_within_tolerance()

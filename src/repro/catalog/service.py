@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import tempfile
 import threading
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.catalog.fingerprint import (
     delta_fingerprint,
@@ -47,6 +47,7 @@ from repro.core.sketch import MNCSketch
 from repro.errors import ReproError, SketchError
 from repro.estimators.base import SparsityEstimator, Synopsis, make_estimator
 from repro.estimators.mnc import MNCEstimator, MNCSynopsis
+from repro.estimators.spec import AUTO_NAME, EstimatorSpec
 from repro.ir.nodes import Expr
 from repro.matrix.conversion import MatrixLike
 from repro.observability.recording import unwrap_estimator
@@ -73,19 +74,36 @@ class ServiceRequest:
     include_intermediates: bool = False
     workers: Optional[int] = None
     rng: Any = None
+    #: Per-request estimator override (``None`` = the service's own). An
+    #: ``auto`` spec routes the request through the adaptive router.
+    estimator: Optional[EstimatorSpec] = None
 
     @classmethod
-    def estimate(cls, expr: Expr, *, include_intermediates: bool = False
-                 ) -> "ServiceRequest":
+    def estimate(
+        cls,
+        expr: Expr,
+        *,
+        include_intermediates: bool = False,
+        estimator: Union[EstimatorSpec, str, Mapping, None] = None,
+        tolerance: Optional[float] = None,
+    ) -> "ServiceRequest":
         """Estimate one expression root."""
         return cls(kind="estimate", exprs=(expr,),
-                   include_intermediates=include_intermediates)
+                   include_intermediates=include_intermediates,
+                   estimator=_request_spec(estimator, tolerance))
 
     @classmethod
-    def batch(cls, exprs: Sequence[Expr], *, workers: Optional[int] = None
-              ) -> "ServiceRequest":
+    def batch(
+        cls,
+        exprs: Sequence[Expr],
+        *,
+        workers: Optional[int] = None,
+        estimator: Union[EstimatorSpec, str, Mapping, None] = None,
+        tolerance: Optional[float] = None,
+    ) -> "ServiceRequest":
         """Estimate a batch of expression roots, optionally in parallel."""
-        return cls(kind="estimate_many", exprs=tuple(exprs), workers=workers)
+        return cls(kind="estimate_many", exprs=tuple(exprs), workers=workers,
+                   estimator=_request_spec(estimator, tolerance))
 
     @classmethod
     def chain(cls, matrices: Sequence[MatrixLike], *, rng: Any = None,
@@ -95,11 +113,26 @@ class ServiceRequest:
                    workers=workers)
 
 
+def _request_spec(
+    estimator: Union[EstimatorSpec, str, Mapping, None],
+    tolerance: Optional[float],
+) -> Optional[EstimatorSpec]:
+    """Parse a per-request estimator override; a bare *tolerance* implies
+    ``estimator="auto"`` (tolerance is a routing concept)."""
+    if estimator is None and tolerance is None:
+        return None
+    default = AUTO_NAME if tolerance is not None else "mnc"
+    return EstimatorSpec.parse(estimator, tolerance=tolerance, default=default)
+
+
 class EstimationService:
     """Memoized sparsity estimation over a shared sketch catalog.
 
     Args:
-        estimator: a registered estimator name or instance (default MNC).
+        estimator: a registered estimator name, an
+            :class:`~repro.estimators.spec.EstimatorSpec` (or the dict/str
+            forms it parses — ``"auto"`` selects adaptive routing), or an
+            estimator instance (default MNC).
         store: sketch store to use/share (any object speaking the
             :class:`SketchStore` protocol, including
             :class:`~repro.catalog.sharded.ShardedSketchStore`); a fresh
@@ -107,21 +140,43 @@ class EstimationService:
         memo: result memo to use/share; fresh by default.
         pool: persistent :class:`~repro.parallel.engine.WorkerPool` for
             parallel batches; ``None`` keeps the historical per-call pool.
+        policy: learned :class:`~repro.router.RoutingPolicy` for
+            ``estimator="auto"``; defaults to the policy persisted next to
+            the store's spill directory (when any), else a fresh one.
     """
 
     def __init__(
         self,
-        estimator: Union[str, SparsityEstimator] = "mnc",
+        estimator: Union[str, Mapping, EstimatorSpec, SparsityEstimator] = "mnc",
         store: Optional[SketchStore] = None,
         memo: Optional[EstimateMemo] = None,
         pool: Optional[WorkerPool] = None,
+        policy: Optional["RoutingPolicy"] = None,
     ):
-        if isinstance(estimator, str):
-            estimator = make_estimator(estimator)
-        self.estimator = estimator
         self.store = store if store is not None else SketchStore()
         self.memo = memo if memo is not None else EstimateMemo()
         self.pool = pool
+        self.router = None
+        self.spec: Optional[EstimatorSpec] = None
+        if isinstance(estimator, SparsityEstimator):
+            self.estimator = estimator
+        else:
+            spec = EstimatorSpec.parse(estimator)
+            self.spec = spec
+            if spec.is_auto:
+                from repro.router import AdaptiveRouter, RoutingPolicy
+
+                if policy is None:
+                    policy = RoutingPolicy.load(
+                        getattr(self.store, "spill_dir", None)
+                    )
+                self.router = AdaptiveRouter.from_spec(spec, policy=policy)
+                # Registration and chain optimization still go through the
+                # canonical MNC sketch (the store's shareable artifact);
+                # only estimation requests are routed.
+                self.estimator = make_estimator("mnc")
+            else:
+                self.estimator = spec.make()
         #: Logical name -> fingerprint for matrices registered with a name.
         self.names: Dict[str, str] = {}
         # Counter lock: services are shared across server threads, and
@@ -129,6 +184,9 @@ class EstimationService:
         self._counter_lock = threading.Lock()
         self._requests = 0
         self._hits = 0
+        #: Per-request estimator overrides resolve to cached sibling
+        #: services sharing this one's store/memo/pool/names.
+        self._derived: Dict[str, "EstimationService"] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -242,6 +300,11 @@ class EstimationService:
         for ``"estimate_many"``, and the optimizer's plan object for
         ``"optimize_chain"``.
         """
+        if request.estimator is not None:
+            service = self._service_for(request.estimator)
+            request = replace(request, estimator=None)
+            if service is not self:
+                return service.submit(request)
         count(f"catalog.service.requests.{request.kind}")
         if request.kind == "estimate":
             if len(request.exprs) != 1:
@@ -264,6 +327,33 @@ class EstimationService:
             )
         raise ReproError(f"unknown ServiceRequest kind {request.kind!r}")
 
+    def _service_for(self, spec: EstimatorSpec) -> "EstimationService":
+        """The service answering requests for *spec*: this one when the
+        spec matches, else a cached sibling sharing store/memo/pool/names
+        (so every cross-estimator cache layer stays shared)."""
+        if self.spec is not None and spec == self.spec:
+            return self
+        derived = self._derived.get(spec.key)
+        if derived is None:
+            shared_policy = None
+            if spec.is_auto:
+                # All auto routes against one service share one policy, no
+                # matter which tolerance each request asked for.
+                routers = [self.router] + [
+                    d.router for d in self._derived.values()
+                ]
+                for router in routers:
+                    if router is not None:
+                        shared_policy = router.policy
+                        break
+            derived = EstimationService(
+                estimator=spec, store=self.store, memo=self.memo,
+                pool=self.pool, policy=shared_policy,
+            )
+            derived.names = self.names
+            self._derived[spec.key] = derived
+        return derived
+
     def estimate(
         self, expr: Expr, include_intermediates: bool = False
     ) -> Dict[str, Any]:
@@ -283,6 +373,10 @@ class EstimationService:
     ) -> Dict[str, Any]:
         from repro.ir.estimate import estimate_dag
 
+        if self.router is not None:
+            return self._estimate_routed(
+                expr, include_intermediates=include_intermediates
+            )
         root_fingerprint = fingerprint_expr(expr)
         estimator_key = self._estimator_key(self.estimator)
         with self._counter_lock:
@@ -329,6 +423,67 @@ class EstimationService:
             result["intermediates"] = intermediates
         return result
 
+    def _estimate_routed(
+        self, expr: Expr, include_intermediates: bool = False
+    ) -> Dict[str, Any]:
+        """Adaptive-router analogue of the single-expression path.
+
+        Memoizes ``(nnz, router payload)`` under the spec's canonical key
+        with the ``"route"`` tag, so an ``auto`` request at one tolerance
+        never answers a request at another.
+        """
+        root_fingerprint = fingerprint_expr(expr)
+        estimator_key = self.spec.key
+        with self._counter_lock:
+            self._requests += 1
+        with timed_span(
+            "catalog.service.estimate", estimator=estimator_key
+        ) as span:
+            cached_value = (
+                None
+                if include_intermediates
+                else self.memo.get(root_fingerprint, estimator_key, "route")
+            )
+            intermediates = None
+            if cached_value is None:
+                nnz, decision = self.router.route(expr, catalog=self)
+                router_meta = decision.to_payload()
+                self.memo.put(
+                    root_fingerprint, estimator_key, "route",
+                    (nnz, router_meta), depends_on=_leaf_fingerprints(expr),
+                )
+                cached = False
+                count("catalog.service.miss")
+                if include_intermediates:
+                    from repro.ir.estimate import estimate_dag
+
+                    tier_estimator = self.router.make_tier_estimator(
+                        expr, decision.tier
+                    )
+                    full = estimate_dag(
+                        expr, tier_estimator, include_intermediates=True
+                    )
+                    intermediates = full.get("intermediates")
+            else:
+                nnz, router_meta = cached_value
+                with self._counter_lock:
+                    self._hits += 1
+                cached = True
+                count("catalog.service.hit")
+            span.annotate(cached=cached, result_nnz=float(nnz))
+        m, n = expr.shape
+        result: Dict[str, Any] = {
+            "nnz": nnz,
+            "sparsity": nnz / (m * n) if m and n else 0.0,
+            "seconds": span.seconds,
+            "fingerprint": root_fingerprint,
+            "cached": cached,
+            "router": dict(router_meta),
+        }
+        if intermediates is not None:
+            result["intermediates"] = intermediates
+        return result
+
     def estimate_many(
         self, exprs: Sequence[Expr], workers: Optional[int] = None
     ) -> List[Dict[str, Any]]:
@@ -364,13 +519,17 @@ class EstimationService:
         self, exprs: List[Expr], workers: int
     ) -> List[Dict[str, Any]]:
         """Fan uncached roots out to worker processes via shared spill."""
-        estimator_key = self._estimator_key(self.estimator)
+        routed = self.router is not None
+        tag = "route" if routed else "nnz"
+        estimator_key = (
+            self.spec.key if routed else self._estimator_key(self.estimator)
+        )
         results: List[Optional[Dict[str, Any]]] = [None] * len(exprs)
         pending: List[Tuple[int, Expr, str]] = []
         for i, expr in enumerate(exprs):
             fingerprint = fingerprint_expr(expr)
-            nnz = self.memo.get(fingerprint, estimator_key, "nnz")
-            if nnz is None:
+            value = self.memo.get(fingerprint, estimator_key, tag)
+            if value is None:
                 pending.append((i, expr, fingerprint))
                 continue
             # Warm path: answer from the parent memo without shipping.
@@ -378,6 +537,7 @@ class EstimationService:
                 self._requests += 1
                 self._hits += 1
             count("catalog.service.hit")
+            nnz, router_meta = value if routed else (value, None)
             m, n = expr.shape
             results[i] = {
                 "nnz": nnz,
@@ -386,6 +546,8 @@ class EstimationService:
                 "fingerprint": fingerprint,
                 "cached": True,
             }
+            if router_meta is not None:
+                results[i]["router"] = dict(router_meta)
         if not pending:
             return [result for result in results if result is not None]
         if len(pending) == 1:
@@ -408,8 +570,17 @@ class EstimationService:
                 (spill_dag(expr, directory), fingerprint)
                 for _, expr, fingerprint in pending
             ]
+            if routed:
+                # Workers route against the frozen policy snapshot this
+                # service would use, so parallel and serial batches take
+                # bit-identical routes.
+                shipped: Any = (
+                    _AUTO_TASK, self.spec, self.router.policy.snapshot()
+                )
+            else:
+                shipped = self.estimator
             tasks = [
-                (self.estimator, str(directory), portable)
+                (shipped, str(directory), portable)
                 for portable, _ in portables
             ]
             task_results = run_tasks(
@@ -427,8 +598,12 @@ class EstimationService:
                     self._requests += 1
                 count("catalog.service.miss")
                 result = dict(outcome.value)
+                value = (
+                    (result["nnz"], result["router"]) if routed
+                    else result["nnz"]
+                )
                 self.memo.put(
-                    fingerprint, estimator_key, "nnz", result["nnz"],
+                    fingerprint, estimator_key, tag, value,
                     depends_on=_leaf_fingerprints(expr),
                 )
                 results[index] = result
@@ -494,12 +669,44 @@ class EstimationService:
     # ------------------------------------------------------------------
 
     def warm(self, directory) -> List[str]:
-        """Warm-start the store from a catalog directory of sketch files."""
-        return self.store.warm_start(directory)
+        """Warm-start the store from a catalog directory of sketch files.
+
+        A routing policy persisted alongside the sketches
+        (``routing_policy.json``) is folded into the active router's
+        policy, so routing keeps improving across sessions.
+        """
+        loaded = self.store.warm_start(directory)
+        router = self._router()
+        if router is not None:
+            from repro.router import RoutingPolicy
+
+            persisted = RoutingPolicy.load(str(directory))
+            if persisted is not None:
+                router.policy.merge(persisted)
+        return loaded
 
     def persist(self, directory=None) -> int:
-        """Write resident sketches out as a catalog directory."""
-        return self.store.persist(directory)
+        """Write resident sketches out as a catalog directory (plus the
+        routing policy, when this service routes). Returns the number of
+        sketches written."""
+        written = self.store.persist(directory)
+        router = self._router()
+        if router is not None:
+            target = directory if directory is not None else getattr(
+                self.store, "spill_dir", None
+            )
+            if target is not None:
+                router.policy.save(str(target))
+        return written
+
+    def _router(self):
+        """The active router: this service's, or the first derived one."""
+        if self.router is not None:
+            return self.router
+        for derived in self._derived.values():
+            if derived.router is not None:
+                return derived.router
+        return None
 
     def invalidate(self, target: Union[str, MatrixLike]) -> None:
         """Forget everything cached for a matrix, fingerprint, or name."""
@@ -516,16 +723,29 @@ class EstimationService:
         self.memo.clear()
 
     def stats(self) -> Dict[str, Any]:
-        """Combined service/store/memo cache-effectiveness counters."""
-        return {
+        """Combined service/store/memo cache-effectiveness counters.
+
+        Requests answered by derived (per-request estimator) siblings are
+        folded in; a ``router`` section appears whenever adaptive routing
+        is active on this service or any sibling.
+        """
+        requests = self._requests + sum(
+            d._requests for d in self._derived.values()
+        )
+        hits = self._hits + sum(d._hits for d in self._derived.values())
+        payload: Dict[str, Any] = {
             "service": {
-                "requests": self._requests,
-                "hits": self._hits,
-                "hit_rate": self._hits / self._requests if self._requests else 0.0,
+                "requests": requests,
+                "hits": hits,
+                "hit_rate": hits / requests if requests else 0.0,
             },
             "store": self.store.stats().as_dict(),
             "memo": self.memo.stats(),
         }
+        router = self._router()
+        if router is not None:
+            payload["router"] = router.describe()
+        return payload
 
     # ------------------------------------------------------------------
     # Internals
@@ -559,18 +779,34 @@ def _leaf_fingerprints(expr: Expr) -> Tuple[str, ...]:
     )
 
 
+#: Sentinel heading the shipped-estimator tuple for routed fan-out tasks.
+_AUTO_TASK = "__auto__"
+
+
 def _estimate_worker(
-    task: Tuple[SparsityEstimator, str, PortableDag]
+    task: Tuple[Any, str, PortableDag]
 ) -> Dict[str, Any]:
     """Worker entry point for the parallel ``estimate_many`` path.
 
     Rebuilds one spilled expression against a store warm-started from the
     shared catalog directory, estimates it with a private service, and
-    returns the plain result dict.
+    returns the plain result dict. Routed tasks ship
+    ``(_AUTO_TASK, spec, policy snapshot)`` in the estimator slot; the
+    worker routes against that frozen snapshot, never its own ledger, so
+    its route matches what the parent would have taken serially.
     """
     estimator, directory, portable = task
     store = SketchStore(spill_dir=directory)
     store.warm_start(directory)
-    service = EstimationService(estimator=estimator, store=store)
+    if isinstance(estimator, tuple) and estimator and estimator[0] == _AUTO_TASK:
+        from repro.router import RoutingPolicy
+
+        _, spec, policy_snapshot = estimator
+        service = EstimationService(
+            estimator=spec, store=store,
+            policy=RoutingPolicy.from_snapshot(policy_snapshot),
+        )
+    else:
+        service = EstimationService(estimator=estimator, store=store)
     expr = load_dag(portable, directory)
     return service._estimate_one(expr)

@@ -4,23 +4,33 @@ Commands
 --------
 
 - ``info`` — library version, registered estimators, use cases.
+- ``estimators [--format json]`` — the authoritative estimator listing
+  (``repro.estimators.available_estimators()``): every registered name
+  with its contract tags and adaptive-router cost tier, plus the
+  ``auto`` routing pseudo-estimator.
 - ``sketch FILE.npz`` — build and summarize the MNC sketch of a stored
   matrix.
-- ``estimate A.npz B.npz [--estimator NAME] [--catalog DIR]`` — estimate
-  the sparsity of the product ``A B`` (optionally comparing against the
-  exact result); with ``--catalog`` sketches are reused from and persisted
-  to an on-disk sketch catalog.
+- ``estimate A.npz B.npz [--estimator NAME|auto] [--tolerance W]
+  [--exact] [--catalog DIR]`` — estimate the sparsity of the product
+  ``A B``; ``--estimator auto`` (implied by ``--tolerance``) routes
+  through the adaptive tier ladder and reports the chosen tier (see
+  ``docs/ROUTING.md``); with ``--catalog`` sketches are reused from and
+  persisted to an on-disk sketch catalog.
 - ``catalog {stats,warm,clear} DIR`` — inspect, pre-populate, or empty an
   on-disk sketch catalog (``<fingerprint>.npz`` files, see
   ``docs/CATALOG.md``); ``catalog stats --format json`` emits the same
   summary as a JSON document for scripting.
 - ``serve [--host H --port P --catalog DIR --workers N --shards K
-  --budget-bytes B --ttl SECONDS --estimator NAME]`` — run the
-  multi-tenant estimation server (``POST /matrices``, ``POST /estimate``,
-  ``GET /stats|/metrics|/healthz``) over a fingerprint-sharded store
-  warm-started from ``--catalog``; see ``docs/SERVING.md``.
-- ``sparsest [--cases ...] [--estimators ...] [--scale S]`` — run SparsEst
-  use cases and print the relative-error table.
+  --budget-bytes B --ttl SECONDS --estimator NAME|auto --tolerance W]``
+  — run the multi-tenant estimation server (``POST /matrices``,
+  ``POST /estimate``, ``GET /stats|/metrics|/healthz``) over a
+  fingerprint-sharded store warm-started from ``--catalog``; with
+  ``--catalog`` the learned routing policy is persisted alongside the
+  sketches on shutdown; see ``docs/SERVING.md``.
+- ``sparsest [--cases ...] [--estimators ...] [--scale S]
+  [--tolerance W]`` — run SparsEst use cases and print the
+  relative-error table (``auto`` is a valid estimator entry and obeys
+  ``--tolerance``).
 - ``optimize --dims d0,d1,...,dk --sparsities s1,...,sk`` — optimize a
   random matrix chain with the dense and sparsity-aware DPs.
 - ``verify [--cells ... --budget N --seed S --corpus DIR]`` — fuzz every
@@ -99,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("info", help="show version, estimators, use cases")
 
+    estimators_cmd = commands.add_parser(
+        "estimators",
+        help="list registered estimators with contract tags and router "
+             "cost tiers",
+    )
+    estimators_cmd.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+
     sketch_cmd = commands.add_parser(
         "sketch", help="summarize a matrix's MNC sketch", parents=[tracing]
     )
@@ -111,7 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_cmd.add_argument("left", help="path to A (.npz)")
     estimate_cmd.add_argument("right", help="path to B (.npz)")
     estimate_cmd.add_argument(
-        "--estimator", default="mnc", help="registered estimator name (default mnc)"
+        "--estimator", default=None, metavar="NAME",
+        help="estimator name as listed by 'repro estimators', or 'auto' for "
+             "adaptive tier routing (default: mnc, or auto when --tolerance "
+             "is given)",
+    )
+    estimate_cmd.add_argument(
+        "--tolerance", type=float, default=None, metavar="W",
+        help="maximum relative uncertainty width for adaptive routing "
+             "(implies --estimator auto)",
     )
     estimate_cmd.add_argument(
         "--exact", action="store_true",
@@ -135,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sparsest_cmd.add_argument("--scale", type=float, default=0.05)
     sparsest_cmd.add_argument("--seed", type=int, default=0)
+    sparsest_cmd.add_argument(
+        "--tolerance", type=float, default=None, metavar="W",
+        help="maximum relative uncertainty width for 'auto' estimator "
+             "entries (ignored by concrete estimators)",
+    )
 
     optimize_cmd = commands.add_parser(
         "optimize", help="optimize a random matrix-product chain",
@@ -257,8 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
              "tier (default: no TTL)",
     )
     serve_cmd.add_argument(
-        "--estimator", default="mnc",
-        help="registered estimator name (default mnc)",
+        "--estimator", default=None, metavar="NAME",
+        help="estimator name as listed by 'repro estimators', or 'auto' for "
+             "adaptive tier routing (default: mnc, or auto when --tolerance "
+             "is given)",
+    )
+    serve_cmd.add_argument(
+        "--tolerance", type=float, default=None, metavar="W",
+        help="default maximum relative uncertainty width for adaptive "
+             "routing (implies --estimator auto; requests may override)",
     )
     return parser
 
@@ -283,6 +323,34 @@ def _cmd_info() -> int:
     return 0
 
 
+def _cmd_estimators(output_format: str = "table") -> int:
+    """The authoritative estimator listing.
+
+    ``repro.estimators.available_estimators()`` is the source of truth for
+    valid ``--estimator`` names; this command decorates it with each
+    estimator's contract tags and its rung on the adaptive router's cost
+    ladder (``-`` for estimators the router never picks, e.g. bitset).
+    """
+    import json as json_module
+
+    from repro.router import estimator_catalog
+
+    rows = estimator_catalog()
+    if output_format == "json":
+        print(json_module.dumps({"estimators": rows}, indent=2, sort_keys=True))
+        return 0
+    header = f"{'name':<14} {'label':<10} {'cost tier':>9}  tags"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        tier = "-" if row["cost_tier"] is None else str(row["cost_tier"])
+        print(f"{row['name']:<14} {row['label']:<10} {tier:>9}  "
+              f"{', '.join(row['tags'])}")
+    print(f"{'auto':<14} {'Auto':<10} {'adaptive':>9}  "
+          f"routes across tiers until --tolerance is met")
+    return 0
+
+
 def _cmd_sketch(path: str) -> int:
     from repro.core.sketch import MNCSketch
     from repro.matrix.io import load_matrix
@@ -300,39 +368,73 @@ def _cmd_sketch(path: str) -> int:
     return 0
 
 
+def _print_route(decision) -> None:
+    """Render one routing decision's summary lines."""
+    certainty = "certified" if decision.certified else "heuristic"
+    print(f"router: tier {decision.tier} ({decision.estimator}), "
+          f"{decision.escalations} escalation(s), {decision.skipped} "
+          f"tier(s) skipped")
+    print(f"  width {decision.width:.4g} <= tolerance {decision.tolerance:g} "
+          f"({certainty} interval [{decision.lower:,.0f}, "
+          f"{decision.upper:,.0f}])")
+
+
 def _cmd_estimate(
     left: str,
     right: str,
-    estimator_name: str,
+    estimator_name: Optional[str],
     exact: bool,
     catalog_dir: Optional[str] = None,
     workers: Optional[int] = None,
+    tolerance: Optional[float] = None,
 ) -> int:
-    from repro.estimators import make_estimator
+    from repro.estimators.spec import AUTO_NAME, EstimatorSpec
     from repro.matrix.io import load_matrix
     from repro.opcodes import Op
 
+    default = AUTO_NAME if tolerance is not None else "mnc"
+    spec = EstimatorSpec.parse(estimator_name, tolerance=tolerance, default=default)
     a = load_matrix(left)
     b = load_matrix(right)
-    estimator = _maybe_record(make_estimator(estimator_name))
+    label = spec.name
     if catalog_dir:
         from repro.catalog import EstimationService, ServiceRequest, SketchStore
         from repro.ir.nodes import leaf
 
         service = EstimationService(
-            estimator, store=SketchStore(spill_dir=catalog_dir)
+            spec, store=SketchStore(spill_dir=catalog_dir)
         )
         request = ServiceRequest.batch([leaf(a) @ leaf(b)], workers=workers)
-        nnz = service.submit(request)[0]["nnz"]
+        result = service.submit(request)[0]
+        nnz = result["nnz"]
         stored = service.persist(catalog_dir)
         store_stats = service.store.stats()
         print(f"catalog: {store_stats.disk_hits} sketch(es) reused from "
               f"{catalog_dir}, {stored} persisted")
+        router_meta = result.get("router")
+        if router_meta is not None:
+            label = router_meta["estimator"]
+            print(f"router: tier {router_meta['tier']} ({label}), "
+                  f"{router_meta['escalations']} escalation(s), "
+                  f"width {router_meta['width']:.4g} <= tolerance "
+                  f"{router_meta['tolerance']:g}")
+        else:
+            label = spec.make().name
+    elif spec.is_auto:
+        from repro.ir.nodes import leaf
+        from repro.router import AdaptiveRouter
+
+        router = AdaptiveRouter.from_spec(spec)
+        nnz, decision = router.route(leaf(a) @ leaf(b))
+        label = decision.estimator
+        _print_route(decision)
     else:
+        estimator = _maybe_record(spec.make())
         synopses = [estimator.build(a), estimator.build(b)]
         nnz = estimator.estimate_nnz(Op.MATMUL, synopses)
+        label = estimator.name
     cells = a.shape[0] * b.shape[1]
-    print(f"{estimator.name} estimate: nnz ~ {nnz:,.0f}, "
+    print(f"{label} estimate: nnz ~ {nnz:,.0f}, "
           f"sparsity ~ {nnz / cells:.6g}")
     if exact:
         from repro.matrix.ops import matmul
@@ -350,6 +452,7 @@ def _cmd_sparsest(
     scale: float,
     seed: int,
     workers: Optional[int] = None,
+    tolerance: Optional[float] = None,
 ) -> int:
     from repro.sparsest import all_use_cases, get_use_case
     from repro.sparsest.report import outcomes_table, timings_table
@@ -361,9 +464,12 @@ def _cmd_sparsest(
         selected = all_use_cases()
     names = [name.strip() for name in estimators.split(",")]
     # Name-based requests: each (use case, estimator) cell materializes a
-    # fresh, identically-seeded estimator — in workers or in-process — so
-    # the tables are the same for every --workers value.
-    requests = requests_for(selected, names, scale=scale, seed=seed)
+    # fresh, identically-seeded estimator (or adaptive router, for "auto"
+    # entries) — in workers or in-process — so the tables are the same for
+    # every --workers value.
+    requests = requests_for(
+        selected, names, scale=scale, seed=seed, tolerance=tolerance
+    )
     outcomes = execute_outcomes(requests, workers=workers)
     print(outcomes_table(outcomes, title=f"SparsEst relative errors (scale={scale})"))
     print()
@@ -715,17 +821,21 @@ def _cmd_serve(
     shards: int,
     budget_bytes: Optional[int],
     ttl: Optional[float],
-    estimator: str,
+    estimator: Optional[str],
     workers: Optional[int],
+    tolerance: Optional[float] = None,
 ) -> int:
     from pathlib import Path
 
     from repro.catalog.service import EstimationService
     from repro.catalog.sharded import ShardedSketchStore
     from repro.catalog.store import DEFAULT_BUDGET_BYTES
+    from repro.estimators.spec import AUTO_NAME, EstimatorSpec
     from repro.parallel import WorkerPool, resolve_workers
     from repro.serve.server import EstimationServer
 
+    default = AUTO_NAME if tolerance is not None else "mnc"
+    spec = EstimatorSpec.parse(estimator, tolerance=tolerance, default=default)
     spill_dir = None
     if catalog is not None:
         spill_dir = Path(catalog)
@@ -744,7 +854,7 @@ def _cmd_serve(
     pool = None
     if resolve_workers(workers) > 1:
         pool = WorkerPool(workers)
-    service = EstimationService(estimator, store=store, pool=pool)
+    service = EstimationService(spec, store=store, pool=pool)
     server = EstimationServer(service=service, host=host, port=port)
     try:
         server.run(announce=lambda h, p: print(
@@ -753,24 +863,27 @@ def _cmd_serve(
         print("repro serve: shutting down", file=sys.stderr)
     finally:
         if spill_dir is not None:
-            store.persist(spill_dir)
+            # Persists the sketches and, when routing, the learned policy.
+            service.persist(str(spill_dir))
     return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
+    if args.command == "estimators":
+        return _cmd_estimators(args.format)
     if args.command == "sketch":
         return _cmd_sketch(args.matrix)
     if args.command == "estimate":
         return _cmd_estimate(
             args.left, args.right, args.estimator, args.exact, args.catalog,
-            workers=args.workers,
+            workers=args.workers, tolerance=args.tolerance,
         )
     if args.command == "sparsest":
         return _cmd_sparsest(
             args.cases, args.estimators, args.scale, args.seed,
-            workers=args.workers,
+            workers=args.workers, tolerance=args.tolerance,
         )
     if args.command == "optimize":
         return _cmd_optimize(args.dims, args.sparsities, args.seed)
@@ -793,7 +906,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(
             args.host, args.port, args.catalog, args.shards,
             args.budget_bytes, args.ttl, args.estimator,
-            workers=args.workers,
+            workers=args.workers, tolerance=args.tolerance,
         )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

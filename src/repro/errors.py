@@ -34,6 +34,34 @@ class EstimationError(ReproError, RuntimeError):
     """An estimator failed to produce an estimate (e.g. degenerate sample)."""
 
 
+class EstimatorError(ReproError, ValueError):
+    """Estimator selection or configuration failed.
+
+    Carries an optional structured ``details`` payload (e.g. the offending
+    name and ``available_estimators()``) that the serving path merges into
+    its 400 response body, so wire clients get a machine-readable error
+    instead of a bare string.
+    """
+
+    def __init__(self, message: str, *, details=None):
+        super().__init__(message)
+        self.details = dict(details or {})
+
+
+class UnknownEstimatorError(EstimatorError, UnsupportedOperationError):
+    """A name was not found in the estimator registry.
+
+    Subclasses :class:`UnsupportedOperationError` for backward
+    compatibility: ``make_estimator`` historically raised that class for
+    unknown names, and callers catch it.
+    """
+
+
+class EstimatorOptionError(EstimatorError, TypeError):
+    """Estimator options are malformed (bad keyword, bad value, or an
+    option that is meaningless for the selected estimator)."""
+
+
 class PlanError(ReproError, ValueError):
     """A matrix-multiplication-chain plan is malformed or inconsistent."""
 

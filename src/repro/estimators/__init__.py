@@ -20,6 +20,12 @@ Registry name       Estimator (paper reference)                    Class
 ``quadtree_map``    dynamic (quad-tree) density map, Sec 2.2       QuadTreeEstimator
 ``exact``           ground-truth oracle                            ExactOracle
 ==================  =============================================  ========
+
+:func:`available_estimators` is the authoritative name list (``repro
+estimators`` prints it with contract tags and cost tiers). The
+pseudo-name ``"auto"`` — accepted by :class:`EstimatorSpec` and every
+spec-aware surface — selects adaptive routing (:mod:`repro.router`) and
+is deliberately *not* a registry entry.
 """
 
 from repro.estimators.base import (
@@ -50,12 +56,15 @@ from repro.estimators.sampling import (
     SamplingSynopsis,
     UnbiasedSamplingEstimator,
 )
+from repro.estimators.spec import AUTO_NAME, EstimatorSpec, estimator_accepts_seed
 
 __all__ = [
+    "AUTO_NAME",
     "BitsetEstimator",
     "BitsetSynopsis",
     "DensityMapEstimator",
     "DensityMapSynopsis",
+    "EstimatorSpec",
     "ExactOracle",
     "ExactSynopsis",
     "HashEstimator",
@@ -77,6 +86,7 @@ __all__ = [
     "Synopsis",
     "UnbiasedSamplingEstimator",
     "available_estimators",
+    "estimator_accepts_seed",
     "make_estimator",
     "pack_matrix",
     "register_estimator",

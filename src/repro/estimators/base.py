@@ -23,7 +23,12 @@ from __future__ import annotations
 import abc
 from typing import Any, Callable, Dict, Sequence
 
-from repro.errors import UnsupportedOperationError
+from repro.errors import (
+    EstimatorOptionError,
+    ReproError,
+    UnknownEstimatorError,
+    UnsupportedOperationError,
+)
 from repro.matrix.conversion import MatrixLike
 from repro.observability.flight import FLIGHT
 from repro.observability.metrics import metric_inc
@@ -234,14 +239,34 @@ def make_estimator(name: str, **kwargs: Any) -> SparsityEstimator:
     """Instantiate a registered estimator by name.
 
     Args:
-        name: registry key (see :func:`available_estimators`).
+        name: registry key (see :func:`available_estimators` — the
+            authoritative name list; ``repro estimators`` prints it with
+            contract tags and cost tiers).
         **kwargs: forwarded to the estimator constructor (e.g.
             ``block_size=256`` for the density map).
+
+    Raises:
+        UnknownEstimatorError: *name* is not registered (a subclass of the
+            historical :class:`UnsupportedOperationError`).
+        EstimatorOptionError: the constructor rejected **kwargs** (unknown
+            keyword or invalid value).
     """
     try:
         factory = _REGISTRY[name]
     except KeyError:
-        raise UnsupportedOperationError(
-            f"unknown estimator {name!r}; available: {available_estimators()}"
+        raise UnknownEstimatorError(
+            f"unknown estimator {name!r}; available: {available_estimators()}",
+            details={
+                "estimator": name,
+                "available_estimators": available_estimators(),
+            },
         ) from None
-    return factory(**kwargs)
+    try:
+        return factory(**kwargs)
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, ReproError):
+            raise
+        raise EstimatorOptionError(
+            f"invalid options for estimator {name!r}: {exc}",
+            details={"estimator": name, "options": sorted(kwargs)},
+        ) from exc

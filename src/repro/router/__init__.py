@@ -1,0 +1,42 @@
+"""Adaptive estimator routing (``estimator="auto"``).
+
+The router walks the accuracy/cost ladder (:mod:`repro.router.tiers`)
+from the cheapest admissible estimator upward, stopping as soon as its
+uncertainty about the answer — a Theorem 3.2 interval, the MetaAC/MetaWC
+bracket, or a learned error band — fits the caller's tolerance. The
+:class:`RoutingPolicy` learns those bands from the residual ledger and
+persists them alongside the catalog. See ``docs/ROUTING.md``.
+"""
+
+from repro.router.adaptive import (
+    DEFAULT_TOLERANCE,
+    AdaptiveRouter,
+    RouteDecision,
+    derive_tier_seed,
+)
+from repro.router.policy import POLICY_FILENAME, ErrorStats, RoutingPolicy
+from repro.router.probe import ProbeReport, probe_hardness
+from repro.router.tiers import (
+    TIER_LADDER,
+    Tier,
+    admissible_tiers,
+    estimator_catalog,
+    tier_by_name,
+)
+
+__all__ = [
+    "AdaptiveRouter",
+    "DEFAULT_TOLERANCE",
+    "ErrorStats",
+    "POLICY_FILENAME",
+    "ProbeReport",
+    "RouteDecision",
+    "RoutingPolicy",
+    "TIER_LADDER",
+    "Tier",
+    "admissible_tiers",
+    "derive_tier_seed",
+    "estimator_catalog",
+    "probe_hardness",
+    "tier_by_name",
+]

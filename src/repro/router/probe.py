@@ -1,0 +1,111 @@
+"""Du-style cheap hardness probe for routing start-tier selection.
+
+Du et al. (PAPERS.md) predict whether a cheap estimator will do by
+spending a tiny sampled probe on the instance first. Our analogue reads
+two nearly-free signals before any sketching happens:
+
+- **metadata spread**: the ratio between the MetaWC and MetaAC root
+  estimates. When the worst-case and average-case formulas agree, the
+  instance has little structural room to surprise anybody and the cheap
+  tiers are likely adequate; a wide bracket means structure matters.
+- **row-degree skew**: max/mean non-zeros per row over a small
+  deterministic sample of leaf rows. Skewed degree distributions are the
+  classic failure mode of density-blind estimators.
+
+The probe is advisory only — it moves the router's *starting* tier, never
+its stopping rule — and is off by default (``options={"probe": True}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.estimators.base import make_estimator
+from repro.ir.estimate import estimate_root_nnz
+from repro.ir.nodes import Expr
+from repro.opcodes import Op
+
+#: meta_wc / meta_ac spread above which an instance is "hard".
+HARD_SPREAD = 16.0
+#: Row-degree skew above which an instance is "hard".
+HARD_SKEW = 8.0
+#: Spread below which (with mild skew) an instance is "easy".
+EASY_SPREAD = 1.5
+#: Skew at or below which an instance may still be "easy".
+EASY_SKEW = 4.0
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """Outcome of one hardness probe.
+
+    ``hardness`` is ``"easy"``, ``"medium"``, or ``"hard"``.
+    """
+
+    hardness: str
+    row_skew: float
+    meta_spread: float
+    sampled_rows: int
+
+    def to_payload(self) -> dict:
+        return {
+            "hardness": self.hardness,
+            "row_skew": round(self.row_skew, 4),
+            "meta_spread": round(self.meta_spread, 4),
+            "sampled_rows": self.sampled_rows,
+        }
+
+
+def _leaf_row_skew(root: Expr, sample_rows: int, seed: int) -> tuple[float, int]:
+    """Max/mean sampled row-degree ratio over all leaf matrices."""
+    rng = np.random.default_rng(seed)
+    worst = 1.0
+    sampled = 0
+    for node in root.postorder():
+        if node.op is not Op.LEAF or node.matrix is None:
+            continue
+        csr = node.matrix
+        rows = csr.shape[0]
+        if rows == 0:
+            continue
+        take = min(sample_rows, rows)
+        if take == rows:
+            idx = np.arange(rows)
+        else:
+            idx = rng.choice(rows, size=take, replace=False)
+        degrees = np.diff(csr.indptr)[np.sort(idx)]
+        sampled += take
+        mean = float(degrees.mean())
+        if mean <= 0.0:
+            continue
+        worst = max(worst, float(degrees.max()) / mean)
+    return worst, sampled
+
+
+def _meta_spread(root: Expr) -> float:
+    """(MetaWC + 1) / (MetaAC + 1) at the root — the structural bracket
+    width the free metadata formulas already reveal."""
+    ac = estimate_root_nnz(root, make_estimator("meta_ac"))
+    wc = estimate_root_nnz(root, make_estimator("meta_wc"))
+    low, high = min(ac, wc), max(ac, wc)
+    return (high + 1.0) / (low + 1.0)
+
+
+def probe_hardness(root: Expr, *, sample_rows: int = 64, seed: int = 0) -> ProbeReport:
+    """Classify *root*'s hardness from the two cheap signals.
+
+    Deterministic for a given ``(root, sample_rows, seed)``.
+    """
+    skew, sampled = _leaf_row_skew(root, sample_rows, seed)
+    spread = _meta_spread(root)
+    if spread > HARD_SPREAD or skew > HARD_SKEW:
+        hardness = "hard"
+    elif spread < EASY_SPREAD and skew <= EASY_SKEW:
+        hardness = "easy"
+    else:
+        hardness = "medium"
+    return ProbeReport(
+        hardness=hardness, row_skew=skew, meta_spread=spread, sampled_rows=sampled
+    )

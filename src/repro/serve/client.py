@@ -29,13 +29,29 @@ def _delta_payload(delta: Any) -> Dict[str, Any]:
     return delta_to_payload(delta)
 
 
-class ServeClientError(ReproError):
-    """The server answered with an error status."""
+def _add_estimator(
+    body: Dict[str, Any], estimator: Any, tolerance: Optional[float]
+) -> None:
+    if estimator is not None:
+        body["estimator"] = (
+            estimator.to_wire() if hasattr(estimator, "to_wire") else estimator
+        )
+    if tolerance is not None:
+        body["tolerance"] = float(tolerance)
 
-    def __init__(self, status: int, message: str):
+
+class ServeClientError(ReproError):
+    """The server answered with an error status.
+
+    ``details`` holds the full decoded error body — estimator-selection
+    failures, for instance, carry ``available_estimators`` there.
+    """
+
+    def __init__(self, status: int, message: str, details: Optional[Dict] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.details = dict(details or {})
 
 
 class ServeClient:
@@ -102,7 +118,10 @@ class ServeClient:
                 if isinstance(decoded, dict)
                 else str(decoded)
             )
-            raise ServeClientError(response.status, message)
+            raise ServeClientError(
+                response.status, message,
+                details=decoded if isinstance(decoded, dict) else None,
+            )
         return decoded
 
     # ------------------------------------------------------------------
@@ -161,19 +180,36 @@ class ServeClient:
         )
 
     def estimate(
-        self, expr: Dict[str, Any], include_intermediates: bool = False
+        self,
+        expr: Dict[str, Any],
+        include_intermediates: bool = False,
+        estimator: Any = None,
+        tolerance: Optional[float] = None,
     ) -> Dict[str, Any]:
+        """Estimate one wire expression.
+
+        *estimator* is a registry name, ``"auto"``, or a spec dict;
+        *tolerance* (implies ``"auto"``) caps the routed uncertainty
+        width. Routed responses carry a ``"router"`` payload with the
+        chosen tier and escalation count.
+        """
         body: Dict[str, Any] = {"expr": expr}
         if include_intermediates:
             body["include_intermediates"] = True
+        _add_estimator(body, estimator, tolerance)
         return self.request("POST", "/estimate", body)
 
     def estimate_batch(
-        self, exprs: Sequence[Dict[str, Any]], workers: Optional[int] = None
+        self,
+        exprs: Sequence[Dict[str, Any]],
+        workers: Optional[int] = None,
+        estimator: Any = None,
+        tolerance: Optional[float] = None,
     ) -> List[Dict[str, Any]]:
         body: Dict[str, Any] = {"exprs": list(exprs)}
         if workers is not None:
             body["workers"] = int(workers)
+        _add_estimator(body, estimator, tolerance)
         return self.request("POST", "/estimate", body)["results"]
 
     def optimize_chain(

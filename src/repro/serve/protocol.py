@@ -184,6 +184,11 @@ def encode_estimate_result(result: Dict[str, Any]) -> Dict[str, Any]:
         "cached": bool(result["cached"]),
         "seconds": float(result.get("seconds", 0.0)),
     }
+    router = result.get("router")
+    if router is not None:
+        # Routed requests echo the decision: chosen tier, escalation
+        # count, and the uncertainty interval the stop was based on.
+        payload["router"] = _jsonable_dict(router)
     intermediates = result.get("intermediates")
     if intermediates is not None:
         # estimate_dag reports id(node) -> NodeEstimate; node identity is
@@ -217,7 +222,13 @@ def _jsonable(value: Any) -> Any:
         return value.item()
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return _jsonable_dict(value)
     return value
+
+
+def _jsonable_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {str(key): _jsonable(value) for key, value in payload.items()}
 
 
 # ----------------------------------------------------------------------
@@ -244,16 +255,28 @@ def decode_estimate_request(body: Dict[str, Any]) -> Dict[str, Any]:
             workers = int(workers)
         except (TypeError, ValueError):
             raise ProtocolError(f"'workers' must be an integer, got {workers!r}") from None
+    estimator_spec = _decode_estimator(body)
     if "expr" in body:
         return {
             "kind": "estimate",
             "expr": body["expr"],
             "include_intermediates": bool(body.get("include_intermediates", False)),
+            "estimator_spec": estimator_spec,
         }
     if "exprs" in body:
         exprs = body["exprs"]
         _require(isinstance(exprs, list) and exprs, "'exprs' must be a non-empty list")
-        return {"kind": "estimate_many", "exprs": exprs, "workers": workers}
+        return {
+            "kind": "estimate_many",
+            "exprs": exprs,
+            "workers": workers,
+            "estimator_spec": estimator_spec,
+        }
+    _require(
+        estimator_spec is None,
+        "'estimator'/'tolerance' do not apply to chain optimization "
+        "(plans cost with the catalog's canonical sketches)",
+    )
     chain = body["chain"]
     _require(isinstance(chain, list) and len(chain) >= 2, "'chain' must list >= 2 matrix names")
     _require(
@@ -267,6 +290,34 @@ def decode_estimate_request(body: Dict[str, Any]) -> Dict[str, Any]:
         except (TypeError, ValueError):
             raise ProtocolError(f"'seed' must be an integer, got {seed!r}") from None
     return {"kind": "optimize_chain", "chain": chain, "seed": seed, "workers": workers}
+
+
+def _decode_estimator(body: Dict[str, Any]):
+    """Optional per-request estimator selection.
+
+    ``"estimator"`` may be a name string (``"auto"`` routes adaptively) or
+    a spec object (``{"name": ..., "options": ..., ...}``); a bare
+    ``"tolerance"`` implies ``"auto"``. Returns an
+    :class:`~repro.estimators.spec.EstimatorSpec` or ``None``. Malformed
+    selections raise :class:`~repro.errors.EstimatorError` subclasses,
+    which the server maps to a structured 400.
+    """
+    from repro.estimators.spec import AUTO_NAME, EstimatorSpec
+
+    estimator = body.get("estimator")
+    tolerance = body.get("tolerance")
+    seed = body.get("seed") if "expr" in body or "exprs" in body else None
+    if estimator is None and tolerance is None and seed is None:
+        return None
+    if seed is not None:
+        try:
+            seed = int(seed)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"'seed' must be an integer, got {seed!r}") from None
+    default = AUTO_NAME if tolerance is not None else "mnc"
+    return EstimatorSpec.parse(
+        estimator, tolerance=tolerance, seed=seed, default=default
+    )
 
 
 def decode_update_request(body: Dict[str, Any]) -> List[Any]:

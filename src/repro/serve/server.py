@@ -39,7 +39,8 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.catalog.service import EstimationService, ServiceRequest
-from repro.errors import ProtocolError, ReproError
+from repro.errors import EstimatorError, ProtocolError, ReproError
+from repro.estimators.base import available_estimators
 from repro.ir.nodes import Expr
 from repro.observability.export import prometheus_exposition
 from repro.observability.metrics import metric_observe, metrics_snapshot
@@ -247,6 +248,14 @@ class EstimationServer:
             content_type = _JSON
         except ProtocolError as exc:
             status, payload, content_type = 400, _json_bytes({"error": str(exc)}), _JSON
+        except EstimatorError as exc:
+            # Estimator selection failures get a structured body: the
+            # offending name/options plus the authoritative estimator list,
+            # so wire clients can self-correct without a docs round-trip.
+            detail: Dict[str, Any] = {"error": str(exc)}
+            detail.update(exc.details)
+            detail.setdefault("available_estimators", available_estimators())
+            status, payload, content_type = 400, _json_bytes(detail), _JSON
         except ReproError as exc:
             status, payload, content_type = 400, _json_bytes({"error": str(exc)}), _JSON
         except Exception as exc:  # noqa: BLE001 - last-resort 500
@@ -340,14 +349,20 @@ class EstimationServer:
             expr = self._parse_expr(request["expr"])
             result = self.service.submit(
                 ServiceRequest.estimate(
-                    expr, include_intermediates=request["include_intermediates"]
+                    expr,
+                    include_intermediates=request["include_intermediates"],
+                    estimator=request["estimator_spec"],
                 )
             )
             return encode_estimate_result(result)
         if request["kind"] == "estimate_many":
             exprs = [self._parse_expr(wire) for wire in request["exprs"]]
             results = self.service.submit(
-                ServiceRequest.batch(exprs, workers=request["workers"])
+                ServiceRequest.batch(
+                    exprs,
+                    workers=request["workers"],
+                    estimator=request["estimator_spec"],
+                )
             )
             return {"results": [encode_estimate_result(result) for result in results]}
         matrices = [self.registry.matrix(name) for name in request["chain"]]

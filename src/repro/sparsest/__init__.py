@@ -18,6 +18,7 @@ from repro.sparsest.metrics import (
     relative_error,
 )
 from repro.sparsest.runner import (
+    AUTO_LABEL,
     EstimateOutcome,
     EstimationRequest,
     EstimationResult,
@@ -35,6 +36,7 @@ from repro.sparsest.usecases import (
 )
 
 __all__ = [
+    "AUTO_LABEL",
     "EstimateOutcome",
     "EstimationRequest",
     "EstimationResult",

@@ -30,13 +30,14 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import asdict, dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.fingerprint import fingerprint_expr
 from repro.catalog.memo import EstimateMemo
-from repro.errors import UnsupportedOperationError
-from repro.estimators.base import SparsityEstimator, make_estimator
+from repro.errors import EstimatorOptionError, UnsupportedOperationError
+from repro.estimators.base import SparsityEstimator
+from repro.estimators.spec import AUTO_NAME, EstimatorSpec
 from repro.estimators.bitset import BitsetEstimator
 from repro.ir.estimate import estimate_root_nnz
 from repro.ir.interpreter import evaluate
@@ -105,41 +106,69 @@ class EstimationRequest:
         use_case: use-case id (e.g. ``"B2.3"``, preferred) or a
             :class:`UseCase` instance (accepted for ad-hoc cases outside
             the registry; forces serial execution).
-        estimator: registry name (preferred — materialized fresh per
-            request, safe to ship to workers) or a live estimator instance
-            (legacy shims; forces serial execution, shares state across
-            requests).
-        estimator_options: constructor keyword arguments for name-based
-            estimators, as a sorted tuple of ``(key, value)`` pairs so the
-            request hashes and pickles deterministically.
+        estimator: registry name or ``"auto"`` (preferred — materialized
+            fresh per request, safe to ship to workers), an
+            :class:`~repro.estimators.spec.EstimatorSpec`, or a live
+            estimator instance (legacy shims; forces serial execution,
+            shares state across requests).
+        estimator_options: deprecated — fold options into an
+            :class:`EstimatorSpec` instead. Still honored: constructor
+            keyword arguments for name-based estimators, as a sorted
+            tuple of ``(key, value)`` pairs.
         scale: use-case dimension scale.
-        seed: base data seed.
+        seed: base data seed (also the adaptive router's base seed for
+            ``"auto"`` requests).
         repetitions: > 1 aggregates seeds ``seed .. seed+repetitions-1``
             with the paper's additive rule (Section 5); a single
             unsupported/OOM repetition short-circuits.
         memory_budget_bytes: bitset OOM threshold.
+        tolerance: maximum relative interval width for ``"auto"``
+            requests; rejected for concrete estimators.
     """
 
     use_case: Union[str, UseCase]
-    estimator: Union[str, SparsityEstimator]
+    estimator: Union[str, EstimatorSpec, SparsityEstimator]
     estimator_options: Tuple[Tuple[str, Any], ...] = ()
     scale: float = 1.0
     seed: int = 0
     repetitions: int = 1
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES
+    tolerance: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError(
                 f"repetitions must be positive, got {self.repetitions}"
             )
+        if self.estimator_options:
+            warnings.warn(
+                "EstimationRequest.estimator_options is deprecated; pass an "
+                "EstimatorSpec with options as the estimator instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if self.tolerance is not None and not self.is_auto:
+            raise EstimatorOptionError(
+                "'tolerance' is only meaningful with estimator='auto' "
+                f"(got estimator={self.estimator_label!r})"
+            )
+
+    @property
+    def is_auto(self) -> bool:
+        """Whether this request routes through the adaptive router."""
+        if isinstance(self.estimator, EstimatorSpec):
+            return self.estimator.is_auto
+        return self.estimator == AUTO_NAME if isinstance(self.estimator, str) else False
 
     @property
     def portable(self) -> bool:
         """Whether this request can be shipped to a worker process: both
-        the use case and the estimator are registry references, so the
-        worker reconstructs them instead of sharing live objects."""
-        return isinstance(self.estimator, str) and isinstance(self.use_case, str)
+        the use case and the estimator are registry references (or a
+        picklable spec), so the worker reconstructs them instead of
+        sharing live objects."""
+        return isinstance(self.estimator, (str, EstimatorSpec)) and isinstance(
+            self.use_case, str
+        )
 
     def resolve_use_case(self) -> UseCase:
         if isinstance(self.use_case, str):
@@ -150,15 +179,45 @@ class EstimationRequest:
     def use_case_id(self) -> str:
         return self.use_case if isinstance(self.use_case, str) else self.use_case.id
 
+    def estimator_spec(self) -> EstimatorSpec:
+        """This request's estimator as a unified :class:`EstimatorSpec`.
+
+        Only meaningful for name/spec requests (``portable`` ones); folds
+        the deprecated ``estimator_options`` tuple and the request-level
+        ``tolerance`` into the spec, and defaults the router seed for
+        ``"auto"`` requests to the request's data ``seed`` so routed runs
+        are reproducible from the request alone.
+        """
+        if isinstance(self.estimator, SparsityEstimator):
+            raise EstimatorOptionError(
+                "estimator instances have no spec; pass a registry name or "
+                "an EstimatorSpec"
+            )
+        if isinstance(self.estimator, EstimatorSpec):
+            spec = self.estimator
+        else:
+            spec = EstimatorSpec.parse(self.estimator)
+        if self.estimator_options:
+            merged = dict(spec.options_dict())
+            merged.update(dict(self.estimator_options))
+            spec = replace(spec, options=tuple(sorted(merged.items())))
+        if self.tolerance is not None and spec.tolerance is None:
+            spec = replace(spec, tolerance=self.tolerance)
+        if spec.is_auto and spec.seed is None:
+            spec = replace(spec, seed=self.seed)
+        return spec
+
     def materialize_estimator(self) -> SparsityEstimator:
         """A fresh estimator for this request (instances pass through).
 
-        Name-based estimators are wrapped in the telemetry proxy when a
-        collector is listening, matching what the CLI does for instances.
+        Name/spec-based estimators are wrapped in the telemetry proxy when
+        a collector is listening, matching what the CLI does for instances.
+        ``"auto"`` requests have no single estimator — they are routed per
+        cell by :func:`execute_request` instead.
         """
-        if not isinstance(self.estimator, str):
+        if isinstance(self.estimator, SparsityEstimator):
             return self.estimator
-        estimator = make_estimator(self.estimator, **dict(self.estimator_options))
+        estimator = self.estimator_spec().make()
         if get_collector().enabled:
             from repro.observability.recording import RecordingEstimator
 
@@ -277,6 +336,55 @@ def _run_cell(
     ))
 
 
+#: Outcome label for adaptively routed cells (the router picks a concrete
+#: tier per cell; the aggregate row is labelled by the routing mode).
+AUTO_LABEL = "Auto"
+
+
+def _run_cell_routed(
+    use_case: UseCase,
+    router: Any,
+    scale: float,
+    seed: int,
+) -> EstimateOutcome:
+    """One routed (use case, seed) cell: the adaptive router starts at the
+    cheapest admissible tier and escalates until the uncertainty width
+    clears its tolerance.
+
+    Besides the usual ``sparsest``-sourced residual (labelled
+    ``AUTO_LABEL``), the cell credits a ``router``-sourced residual to the
+    *chosen tier's* estimator label — that is the feedback signal
+    :meth:`repro.router.RoutingPolicy.sync_from_registry` consumes to
+    tighten or widen per-tier error bands over time.
+    """
+    root = use_case.build(scale=scale, seed=seed)
+    truth = true_nnz_of(root)
+    with timed_span(
+        "sparsest.run", use_case=use_case.id, estimator=AUTO_LABEL
+    ) as span:
+        try:
+            nnz, decision = router.route(root, workload=use_case.id)
+        except UnsupportedOperationError:
+            return _record_outcome(EstimateOutcome(
+                use_case.id, AUTO_LABEL, truth, math.nan, math.inf, 0.0,
+                "unsupported",
+            ))
+    seconds = span.seconds
+    record_residual(
+        source="router",
+        estimator=decision.estimator,
+        workload=use_case.id,
+        op="dag",
+        estimate=nnz,
+        truth=truth,
+        seconds=seconds,
+    )
+    error = relative_error(truth, nnz)
+    return _record_outcome(EstimateOutcome(
+        use_case.id, AUTO_LABEL, truth, nnz, error, seconds, "ok"
+    ))
+
+
 def execute_request(request: EstimationRequest) -> EstimateOutcome:
     """Execute one request to completion (the worker entry point).
 
@@ -285,29 +393,45 @@ def execute_request(request: EstimationRequest) -> EstimateOutcome:
     ("we additively aggregate ... and compute the final error as
     max(S, s*n) / min(S, s*n)"), with timings summed and a single
     unsupported/OOM repetition short-circuiting.
+
+    ``"auto"`` requests route each cell through a fresh
+    :class:`~repro.router.AdaptiveRouter` built from the request's spec.
+    The router's policy starts empty (never synced mid-request), so a
+    worker process and the serial path make identical tier choices.
     """
     use_case = request.resolve_use_case()
-    estimator = request.materialize_estimator()
+    if request.is_auto:
+        from repro.router import AdaptiveRouter
+
+        router = AdaptiveRouter.from_spec(request.estimator_spec())
+
+        def cell(seed: int) -> EstimateOutcome:
+            return _run_cell_routed(use_case, router, request.scale, seed)
+    else:
+        estimator = request.materialize_estimator()
+
+        def cell(seed: int) -> EstimateOutcome:
+            return _run_cell(
+                use_case, estimator, request.scale, seed,
+                request.memory_budget_bytes,
+            )
+
     if request.repetitions == 1:
-        return _run_cell(
-            use_case, estimator, request.scale, request.seed,
-            request.memory_budget_bytes,
-        )
+        return cell(request.seed)
     true_counts: List[float] = []
     estimates: List[float] = []
     seconds = 0.0
+    label = request.estimator_label
     for seed in range(request.seed, request.seed + request.repetitions):
-        outcome = _run_cell(
-            use_case, estimator, request.scale, seed,
-            request.memory_budget_bytes,
-        )
+        outcome = cell(seed)
         if not outcome.ok:
             return outcome
+        label = outcome.estimator
         true_counts.append(outcome.true_nnz)
         estimates.append(outcome.estimated_nnz)
         seconds += outcome.seconds
     return EstimateOutcome(
-        use_case.id, estimator.name,
+        use_case.id, label,
         sum(true_counts), sum(estimates),
         aggregate_relative_error(true_counts, estimates),
         seconds, "ok",
@@ -400,9 +524,14 @@ def requests_for(
     seed: int = 0,
     repetitions: int = 1,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    tolerance: Optional[float] = None,
 ) -> List[EstimationRequest]:
     """Cartesian (use case x estimator) request list, use-case-major —
-    the same cell order the legacy ``run_estimators`` produced."""
+    the same cell order the legacy ``run_estimators`` produced.
+
+    *tolerance* applies to ``"auto"`` entries only (concrete estimators
+    reject it, so a mixed sweep keeps working).
+    """
     return [
         EstimationRequest(
             use_case=case if isinstance(case, str) else case.id,
@@ -411,6 +540,7 @@ def requests_for(
             seed=seed,
             repetitions=repetitions,
             memory_budget_bytes=memory_budget_bytes,
+            tolerance=tolerance if name == AUTO_NAME else None,
         )
         for case in use_cases
         for name in estimators

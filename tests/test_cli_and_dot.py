@@ -221,7 +221,9 @@ class TestCliServe:
         assert args.shards == 8
         assert args.catalog is None
         assert args.ttl is None
-        assert args.estimator == "mnc"
+        # None resolves to "mnc", or to "auto" when --tolerance is given.
+        assert args.estimator is None
+        assert args.tolerance is None
 
     def test_subprocess_boot_serve_shutdown(self, tmp_path):
         """`repro serve` binds, answers requests, persists its catalog on
