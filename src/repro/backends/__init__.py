@@ -1,0 +1,69 @@
+"""Multi-backend kernel dispatch for the estimation hot paths.
+
+``repro.backends`` hosts the compiled-kernel backend layer: the
+:class:`~repro.backends.base.Backend` interface, the always-available
+vectorized numpy reference, a numba-jitted backend, and a plain-Python
+debug backend that runs the numba kernel definitions under the
+interpreter. Selection is driven by ``REPRO_BACKEND`` (see
+:mod:`repro.backends.registry`); all backends are bit-identical by
+construction.
+
+Importing this package stays light: backend modules (and numba itself)
+load lazily, on first activation.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendUnavailable
+from repro.backends.registry import (
+    AUTO_ORDER,
+    BACKEND_ENV,
+    REFERENCE_BACKEND,
+    available_backends,
+    get_backend,
+    numba_importable,
+    register_backend,
+    resolve_backend_name,
+    set_backend,
+    use_backend,
+    warmup,
+)
+
+__all__ = [
+    "AUTO_ORDER",
+    "BACKEND_ENV",
+    "Backend",
+    "BackendUnavailable",
+    "REFERENCE_BACKEND",
+    "available_backends",
+    "get_backend",
+    "numba_importable",
+    "register_backend",
+    "resolve_backend_name",
+    "set_backend",
+    "use_backend",
+    "warmup",
+]
+
+
+def _numpy_factory() -> Backend:
+    from repro.backends.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _python_factory() -> Backend:
+    from repro.backends.jit_backend import KernelBackend
+
+    return KernelBackend()
+
+
+def _numba_factory() -> Backend:
+    from repro.backends.jit_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("python", _python_factory)
+register_backend("numba", _numba_factory, probe=numba_importable)

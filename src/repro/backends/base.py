@@ -1,0 +1,193 @@
+"""Backend interface for the compiled-kernel dispatch layer.
+
+A :class:`Backend` implements the proven-hot inner loops of the MNC
+reproduction — Algorithm 1's dot products and density-map fallback,
+Eq 11 scale-and-round, ``_reconcile_totals``' bulk rounding, and the
+bitset popcount kernels — as pure array-in/array-out primitives. The
+surrounding driver code (shape checks, sketch objects, RNG draws,
+tracing guards) lives once in ``repro.core`` and calls whichever
+backend :func:`repro.backends.get_backend` resolved.
+
+Bit-identity contract (docs/PERFORMANCE.md "Backends"): every backend
+must produce **byte-identical** results for identical inputs. The
+primitives are designed so this holds by construction on any machine:
+
+- integer-valued float64 arithmetic (dot products, histogram totals,
+  capped sums) is exact below 2**53, so summation order is free;
+- element-wise kernels (multiply, floor, compare, the shared log1p
+  formulation) are IEEE-754 correctly rounded per element in every
+  implementation;
+- the single order-sensitive float reduction (the density map's
+  log-space sum) uses an explicitly specified halving-tree order (see
+  :meth:`Backend.tree_sum`) rather than deferring to ``np.sum``, whose
+  accumulation order is an implementation detail of the numpy build;
+- randomness is drawn from the caller's ``numpy.random.Generator`` in
+  driver code and threaded into the kernels, never re-derived inside.
+
+All array arguments are C-contiguous with the documented dtypes;
+drivers guarantee this (count vectors come from the sketches' cached
+views, scratch comes from :class:`repro.core.scratch.ScratchBuffer`).
+Output arrays are owned by the caller: a backend must never retain a
+reference to (or return a view of) any buffer it was handed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised by a backend factory whose runtime requirements are missing."""
+
+
+class Backend:
+    """Abstract kernel backend (see module docstring for the contract)."""
+
+    #: Registry name (``"numpy"``, ``"numba"``, ``"python"``).
+    name: str = "abstract"
+    #: True when the kernels run as compiled machine code.
+    compiled: bool = False
+    #: True for the always-available reference implementation.
+    is_reference: bool = False
+
+    # -- Algorithm 1 ----------------------------------------------------
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Dot product of two integer-valued float64 count vectors.
+
+        Exact (hence order-independent) because every partial sum of
+        products of counts stays below 2**53.
+        """
+        raise NotImplementedError
+
+    def subtract(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        """``out[i] = a[i] - b[i]`` (float64; exact on integer-valued input)."""
+        raise NotImplementedError
+
+    def dm_collision_log1p(
+        self,
+        v_a: np.ndarray,
+        v_b: np.ndarray,
+        neg_inv_cells: float,
+        out: np.ndarray,
+    ) -> bool:
+        """Density-map collision probabilities, in log space.
+
+        Writes ``out[i] = log1p((v_a[i] * v_b[i]) * neg_inv_cells)`` using
+        the shared log1p formulation of ``repro.backends.kernels`` and
+        returns True when any slice saturates (``<= -1``), in which case
+        ``out`` is unspecified and the caller returns ``cells``.
+        """
+        raise NotImplementedError
+
+    def tree_sum(self, values: np.ndarray) -> float:
+        """Float64 sum in the shared halving-tree order.
+
+        The tree folds the top half onto the bottom half
+        (``v[i] += v[ceil(m/2) + i]``) until one element remains; with an
+        odd length the middle element is carried down untouched. The
+        order is part of the cross-backend contract. **Destroys**
+        ``values`` (drivers pass consumable scratch).
+        """
+        raise NotImplementedError
+
+    # -- probabilistic rounding / Eq 11 scaling -------------------------
+
+    def prob_round_into(
+        self,
+        values: np.ndarray,
+        draws: np.ndarray,
+        maximum: int,
+        out: np.ndarray,
+    ) -> None:
+        """``out[i] = min(floor(max(values[i], 0)) + (draws[i] < frac), maximum)``.
+
+        ``draws`` are the caller's uniform [0, 1) variates (one per entry,
+        already consumed from the caller's generator); ``maximum < 0``
+        disables the cap; ``out`` is int64.
+        """
+        raise NotImplementedError
+
+    def scale_round_into(
+        self,
+        histogram: np.ndarray,
+        factor: float,
+        draws: np.ndarray,
+        maximum: int,
+        out: np.ndarray,
+    ) -> None:
+        """Fused Eq 11 scale + probabilistic round of an int64 histogram.
+
+        Equivalent to ``prob_round_into(histogram * factor, ...)``; the
+        fusion saves the intermediate array without changing a bit
+        (``int64 -> float64`` conversion is exact for counts).
+        """
+        raise NotImplementedError
+
+    def reconcile_bulk(self, target: np.ndarray, remaining: int) -> int:
+        """Bulk phase of ``_reconcile_totals`` (int64, exact arithmetic).
+
+        Binary-searches the largest full-round count ``r`` with
+        ``sum(min(target, r)) <= remaining`` over the positive entries,
+        applies ``target = max(target - r, 0)`` in place, and returns the
+        units still to remove (handled by the driver's random partial
+        round).
+        """
+        raise NotImplementedError
+
+    # -- bitset popcount kernels ----------------------------------------
+
+    def popcount_sum(self, bits: np.ndarray) -> int:
+        """Total set bits of a packed uint8 bit matrix."""
+        raise NotImplementedError
+
+    def or_popcount(self, bits: np.ndarray) -> int:
+        """Set bits of the OR of all rows of a packed uint8 bit matrix."""
+        raise NotImplementedError
+
+    def bitset_block_or(
+        self,
+        block: np.ndarray,
+        b_bits: np.ndarray,
+        out: np.ndarray,
+        start: int,
+    ) -> None:
+        """Boolean matmul of an unpacked row block against packed B.
+
+        For each row ``r`` of the boolean ``block``,
+        ``out[start + r] |= b_bits[k]`` for every ``k`` with
+        ``block[r, k]`` set.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------
+
+    def warmup(self) -> None:
+        """Touch every primitive once on tiny inputs.
+
+        For compiled backends this forces JIT compilation (or loads the
+        on-disk cache) so first-request latency and benchmark timings
+        exclude compile time. The base implementation exercises the full
+        interface and is shared by all backends.
+        """
+        v = np.array([3.0, 0.0, 1.0, 2.0], dtype=np.float64)
+        w = np.array([1.0, 2.0, 0.0, 1.0], dtype=np.float64)
+        scratch = np.empty(4, dtype=np.float64)
+        self.dot(v, w)
+        self.subtract(v, w, scratch)
+        self.dm_collision_log1p(v, w, -0.125, scratch)
+        self.tree_sum(scratch)
+        draws = np.array([0.1, 0.9, 0.5, 0.2], dtype=np.float64)
+        out_i = np.empty(4, dtype=np.int64)
+        self.prob_round_into(v, draws, -1, out_i)
+        hist = np.array([4, 0, 2, 1], dtype=np.int64)
+        self.scale_round_into(hist, 0.5, draws, 3, out_i)
+        self.reconcile_bulk(out_i, 1)
+        bits = np.array([[3, 1], [0, 255]], dtype=np.uint8)
+        self.popcount_sum(bits)
+        self.or_popcount(bits)
+        block = np.array([[True, False]], dtype=np.bool_)
+        self.bitset_block_or(block, bits, np.zeros((1, 2), dtype=np.uint8), 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r} compiled={self.compiled}>"

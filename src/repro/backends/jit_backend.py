@@ -1,0 +1,93 @@
+"""Kernel-driven backends: numba-compiled and plain-Python debug.
+
+Both backends execute the exact same kernel *definitions*
+(``repro.backends.kernels``); the only difference is the wrapper —
+``numba.njit(cache=True, nogil=True)`` for the compiled backend, the
+bare interpreter for the ``python`` debug backend. The debug backend
+exists so the kernel code paths (and their bit-identity against the
+numpy reference) stay testable on machines without numba, including the
+no-numba CI leg; it is never auto-selected.
+
+``nogil=True`` matters for the chain DP: ``optimize_chain_sparse``
+evaluates one span's cells from a thread pool, and compiled kernels
+release the GIL so those threads actually overlap. ``cache=True``
+persists compiled machine code next to ``kernels.py``, so only the
+first process on a machine pays the compile; either way
+``repro.backends.warmup()`` moves that cost out of the serving/benching
+path and records it as ``backend.jit_compile_seconds``.
+"""
+
+from __future__ import annotations
+
+from repro.backends import kernels as _k
+from repro.backends.base import Backend, BackendUnavailable
+
+
+class KernelBackend(Backend):
+    """Runs the shared kernel definitions, optionally through a jit."""
+
+    name = "python"
+    compiled = False
+
+    def __init__(self, jit=None) -> None:
+        wrap = (lambda fn: fn) if jit is None else jit
+        self._dot = wrap(_k.dot_f64)
+        self._subtract = wrap(_k.subtract_f64)
+        self._tree_sum = wrap(_k.tree_sum_f64)
+        self._dm = wrap(_k.dm_collision_log1p)
+        self._prob_round = wrap(_k.prob_round_into)
+        self._scale_round = wrap(_k.scale_round_into)
+        self._reconcile = wrap(_k.reconcile_bulk)
+        self._popcount = wrap(_k.popcount_sum_u8)
+        self._or_popcount = wrap(_k.or_popcount_u8)
+        self._block_or = wrap(_k.bitset_block_or)
+
+    def dot(self, a, b):
+        return float(self._dot(a, b))
+
+    def subtract(self, a, b, out):
+        self._subtract(a, b, out)
+
+    def dm_collision_log1p(self, v_a, v_b, neg_inv_cells, out):
+        return bool(self._dm(v_a, v_b, neg_inv_cells, out))
+
+    def tree_sum(self, values):
+        return float(self._tree_sum(values))
+
+    def prob_round_into(self, values, draws, maximum, out):
+        self._prob_round(values, draws, maximum, out)
+
+    def scale_round_into(self, histogram, factor, draws, maximum, out):
+        self._scale_round(histogram, factor, draws, maximum, out)
+
+    def reconcile_bulk(self, target, remaining):
+        return int(self._reconcile(target, remaining))
+
+    def popcount_sum(self, bits):
+        return int(self._popcount(bits))
+
+    def or_popcount(self, bits):
+        return int(self._or_popcount(bits))
+
+    def bitset_block_or(self, block, b_bits, out, start):
+        self._block_or(block, b_bits, out, start)
+
+
+class NumbaBackend(KernelBackend):
+    """The kernels compiled to machine code with numba.
+
+    Compilation is lazy per signature (``warmup()`` forces it); compiled
+    code is disk-cached beside ``kernels.py`` via ``cache=True``.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except Exception as exc:  # ImportError or a broken install
+            raise BackendUnavailable(
+                f"numba backend requested but numba failed to import: {exc}"
+            ) from exc
+        super().__init__(jit=numba.njit(cache=True, nogil=True))

@@ -1,0 +1,243 @@
+"""Always-available vectorized numpy reference backend.
+
+This is the ground truth the compiled backends are checked against: the
+primitives reproduce the pre-dispatch hot-path op sequences (multiply
+into scratch, clamp/floor/compare rounding, binary-searched bulk
+reconciliation, popcount reductions) with one deliberate exception —
+the density map's ``log1p`` and log-space sum follow the explicitly
+specified shared formulations of ``repro.backends.kernels`` instead of
+``np.log1p``/``np.sum``, whose last-ulp behavior and accumulation order
+vary across numpy builds. That is what makes the bit-identity contract
+between backends machine-independent (docs/PERFORMANCE.md "Backends").
+
+All intermediates live in per-thread scratch buffers owned by this
+backend, keeping the reference path allocation-free like the kernels it
+replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.kernels import (
+    _LG1,
+    _LG2,
+    _LG3,
+    _LG4,
+    _LG5,
+    _LG6,
+    _LG7,
+    _LN2_HI,
+    _LN2_LO,
+    _LOG1P_TINY,
+    _SQRT_HALF,
+)
+from repro.core.scratch import ScratchBuffer
+
+
+class NumpyBackend(Backend):
+    """Vectorized reference implementation of the kernel interface."""
+
+    name = "numpy"
+    compiled = False
+    is_reference = True
+
+    def __init__(self) -> None:
+        # log1p temporaries (one buffer per role; see _log1p_into).
+        self._u = ScratchBuffer(np.float64)
+        self._c = ScratchBuffer(np.float64)
+        self._f = ScratchBuffer(np.float64)
+        self._e = ScratchBuffer(np.int32)
+        self._k = ScratchBuffer(np.float64)
+        self._hfsq = ScratchBuffer(np.float64)
+        self._s = ScratchBuffer(np.float64)
+        self._z = ScratchBuffer(np.float64)
+        self._w = ScratchBuffer(np.float64)
+        self._t1 = ScratchBuffer(np.float64)
+        self._t2 = ScratchBuffer(np.float64)
+        self._tiny = ScratchBuffer(np.float64)
+        self._cond = ScratchBuffer(np.bool_)
+        # probabilistic-rounding temporaries.
+        self._round_clip = ScratchBuffer(np.float64)
+        self._round_floor = ScratchBuffer(np.float64)
+        self._round_bump = ScratchBuffer(np.bool_)
+        self._scale = ScratchBuffer(np.float64)
+
+    # -- Algorithm 1 ----------------------------------------------------
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        # BLAS accumulation order is machine-specific but irrelevant:
+        # count dot products are exact below 2**53.
+        return float(a @ b)
+
+    def subtract(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        np.subtract(a, b, out=out)
+
+    def dm_collision_log1p(
+        self,
+        v_a: np.ndarray,
+        v_b: np.ndarray,
+        neg_inv_cells: float,
+        out: np.ndarray,
+    ) -> bool:
+        np.multiply(v_a, v_b, out=out)
+        np.multiply(out, neg_inv_cells, out=out)
+        if out.size and out.min() <= -1.0:
+            return True
+        self._log1p_into(out)
+        return False
+
+    def tree_sum(self, values: np.ndarray) -> float:
+        m = values.shape[0]
+        if m == 0:
+            return 0.0
+        while m > 1:
+            k = m // 2
+            hi = m - k
+            # hi >= k always, so the two slices never overlap.
+            np.add(values[:k], values[hi:m], out=values[:k])
+            m = hi
+        return float(values[0])
+
+    def _log1p_into(self, x: np.ndarray) -> None:
+        """In-place ``log1p`` over ``(-1, 0]`` values.
+
+        Vectorized mirror of the scalar sequence embedded in
+        ``kernels.dm_collision_log1p`` — every numbered step below
+        performs the same correctly-rounded elementary operation, so the
+        selected results agree bit-for-bit. Keep the two in sync.
+        """
+        n = x.shape[0]
+        if n == 0:
+            return
+        u = self._u.get(n)
+        c = self._c.get(n)
+        f = self._f.get(n)
+        e = self._e.get(n)
+        k = self._k.get(n)
+        hfsq = self._hfsq.get(n)
+        s = self._s.get(n)
+        z = self._z.get(n)
+        w = self._w.get(n)
+        t1 = self._t1.get(n)
+        t2 = self._t2.get(n)
+        tiny = self._tiny.get(n)
+        cond = self._cond.get(n)
+        np.add(x, 1.0, out=u)                     # u = 1 + x
+        np.subtract(u, 1.0, out=c)
+        np.subtract(x, c, out=c)                  # c = x - (u - 1)
+        np.frexp(u, f, e)                         # u = f * 2**e, f in [1/2, 1)
+        np.less(f, _SQRT_HALF, out=cond)          # reduce f to [sqrt(1/2), sqrt(2))
+        np.add(f, f, out=f, where=cond)
+        np.subtract(e, cond, out=e)
+        np.add(e, 0.0, out=k)                     # k = float(e)
+        np.subtract(f, 1.0, out=f)                # f now holds F = f - 1
+        np.multiply(f, f, out=hfsq)
+        np.multiply(hfsq, 0.5, out=hfsq)          # hfsq = F*F * 0.5
+        np.add(f, 2.0, out=s)
+        np.divide(f, s, out=s)                    # s = F / (2 + F)
+        np.multiply(s, s, out=z)
+        np.multiply(z, z, out=w)
+        np.multiply(w, _LG6, out=t1)              # t1 = w*(Lg2 + w*(Lg4 + w*Lg6))
+        np.add(t1, _LG4, out=t1)
+        np.multiply(t1, w, out=t1)
+        np.add(t1, _LG2, out=t1)
+        np.multiply(t1, w, out=t1)
+        np.multiply(w, _LG7, out=t2)              # t2 = z*(Lg1 + w*(Lg3 + ...))
+        np.add(t2, _LG5, out=t2)
+        np.multiply(t2, w, out=t2)
+        np.add(t2, _LG3, out=t2)
+        np.multiply(t2, w, out=t2)
+        np.add(t2, _LG1, out=t2)
+        np.multiply(t2, z, out=t2)
+        np.add(t2, t1, out=t1)                    # r = t2 + t1
+        np.add(hfsq, t1, out=t1)                  # inner = hfsq + r
+        np.multiply(s, t1, out=t1)                # inner = s * inner
+        np.divide(c, u, out=c)                    # corr = c / u
+        np.multiply(k, _LN2_LO, out=u)            # u free: klo = k * ln2_lo
+        np.add(u, c, out=c)                       # corr = klo + corr
+        np.add(t1, c, out=t1)                     # inner = inner + corr
+        np.subtract(hfsq, t1, out=t1)             # res = hfsq - inner
+        np.subtract(t1, f, out=t1)                # res = res - F
+        np.multiply(k, _LN2_HI, out=k)            # khi = k * ln2_hi
+        np.multiply(x, x, out=tiny)               # small-|x| branch: x - x*x/2
+        np.multiply(tiny, 0.5, out=tiny)
+        np.subtract(x, tiny, out=tiny)
+        np.absolute(x, out=u)
+        np.less(u, _LOG1P_TINY, out=cond)
+        np.subtract(k, t1, out=x)                 # log1p = khi - res
+        np.copyto(x, tiny, where=cond)
+
+    # -- probabilistic rounding / Eq 11 scaling -------------------------
+
+    def prob_round_into(
+        self,
+        values: np.ndarray,
+        draws: np.ndarray,
+        maximum: int,
+        out: np.ndarray,
+    ) -> None:
+        n = values.shape[0]
+        clipped = self._round_clip.get(n)
+        np.maximum(values, 0.0, out=clipped)
+        floor = self._round_floor.get(n)
+        np.floor(clipped, out=floor)
+        np.subtract(clipped, floor, out=clipped)
+        bump = self._round_bump.get(n)
+        np.less(draws, clipped, out=bump)
+        np.copyto(out, floor, casting="unsafe")
+        out += bump
+        if maximum >= 0:
+            np.minimum(out, maximum, out=out)
+
+    def scale_round_into(
+        self,
+        histogram: np.ndarray,
+        factor: float,
+        draws: np.ndarray,
+        maximum: int,
+        out: np.ndarray,
+    ) -> None:
+        scaled = self._scale.get(histogram.shape[0])
+        np.multiply(histogram, factor, out=scaled)
+        self.prob_round_into(scaled, draws, maximum, out)
+
+    def reconcile_bulk(self, target: np.ndarray, remaining: int) -> int:
+        values = target[target > 0]
+        lo, hi = 0, int(values.max()) if values.size else 0
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if int(np.minimum(values, mid).sum()) <= remaining:
+                lo = mid
+            else:
+                hi = mid - 1
+        if lo > 0:
+            remaining -= int(np.minimum(values, lo).sum())
+            np.subtract(target, lo, out=target)
+            np.maximum(target, 0, out=target)
+        return int(remaining)
+
+    # -- bitset popcount kernels ----------------------------------------
+
+    def popcount_sum(self, bits: np.ndarray) -> int:
+        return int(np.bitwise_count(bits).sum())
+
+    def or_popcount(self, bits: np.ndarray) -> int:
+        if bits.shape[0] == 0:
+            return 0
+        merged = np.bitwise_or.reduce(bits, axis=0)
+        return int(np.bitwise_count(merged).sum())
+
+    def bitset_block_or(
+        self,
+        block: np.ndarray,
+        b_bits: np.ndarray,
+        out: np.ndarray,
+        start: int,
+    ) -> None:
+        for offset in range(block.shape[0]):
+            k_indices = np.flatnonzero(block[offset])
+            if k_indices.size == 0:
+                continue
+            out[start + offset] = np.bitwise_or.reduce(b_bits[k_indices], axis=0)

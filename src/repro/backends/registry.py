@@ -1,0 +1,188 @@
+"""Backend registry: selection, graceful fallback, and JIT warmup.
+
+Selection rules (docs/PERFORMANCE.md "Backends"):
+
+- ``REPRO_BACKEND=numpy|numba|python`` picks a backend explicitly (the
+  CLI ``--backend`` flag sets the same variable so worker processes
+  inherit it);
+- unset or ``auto``: numba when importable, else the numpy reference;
+- a requested backend that is registered but fails to come up (for
+  example numba's import breaking mid-selection) falls back to numpy
+  with a one-time warning and a ``backend.fallbacks`` counter bump —
+  estimation keeps working, just slower;
+- an unknown name from the environment degrades the same way; passing
+  an unknown name to :func:`set_backend` programmatically is an error.
+
+The resolved backend is cached process-wide; ``set_backend(None)``
+re-resolves from the environment (worker processes therefore pick their
+backend up from the inherited ``REPRO_BACKEND``). Backend *instances*
+are also cached per name, so switching back and forth (benchmarks, the
+equivalence suite) never recompiles.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.backends.base import Backend, BackendUnavailable
+from repro.observability.metrics import metric_inc, metric_set
+from repro.observability.trace import timed_span
+
+#: Environment variable driving backend selection.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The always-available reference backend every fallback lands on.
+REFERENCE_BACKEND = "numpy"
+
+#: Auto-detection preference order (``python`` is debug-only, never auto).
+AUTO_ORDER = ("numba", "numpy")
+
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_PROBES: Dict[str, Callable[[], bool]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_ACTIVE: Optional[Backend] = None
+_WARNED: set = set()
+_LOCK = threading.Lock()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend],
+    probe: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register a backend *factory* under *name*.
+
+    *probe* is a cheap availability check (no heavy imports) used by
+    auto-detection and :func:`available_backends`; the factory itself
+    may still raise :class:`BackendUnavailable` when probing was too
+    optimistic.
+    """
+    _FACTORIES[name] = factory
+    _PROBES[name] = probe if probe is not None else (lambda: True)
+
+
+def available_backends() -> Dict[str, bool]:
+    """Registered backend names mapped to cheap availability probes."""
+    return {name: bool(_PROBES[name]()) for name in sorted(_FACTORIES)}
+
+
+def numba_importable() -> bool:
+    """Whether a numba distribution is present (without importing it)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def resolve_backend_name(requested: Optional[str] = None) -> str:
+    """The backend name selection would pick for *requested* (or the env)."""
+    name = requested if requested is not None else os.environ.get(BACKEND_ENV, "")
+    name = (name or "").strip().lower()
+    if not name or name == "auto":
+        for candidate in AUTO_ORDER:
+            if candidate in _FACTORIES and _PROBES[candidate]():
+                return candidate
+        return REFERENCE_BACKEND
+    return name
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _instantiate(name: str) -> Backend:
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        backend = _FACTORIES[name]()
+        _INSTANCES[name] = backend
+    return backend
+
+
+def _activate(name: str, from_env: bool) -> Backend:
+    global _ACTIVE
+    with _LOCK:
+        if name not in _FACTORIES:
+            if not from_env:
+                raise ValueError(
+                    f"unknown backend {name!r}; registered: {sorted(_FACTORIES)}"
+                )
+            _warn_once(
+                f"unknown:{name}",
+                f"{BACKEND_ENV}={name!r} names no registered backend "
+                f"(registered: {sorted(_FACTORIES)}); "
+                f"falling back to {REFERENCE_BACKEND}",
+            )
+            metric_inc("backend.fallbacks")
+            backend = _instantiate(REFERENCE_BACKEND)
+        else:
+            try:
+                backend = _instantiate(name)
+            except BackendUnavailable as exc:
+                _warn_once(
+                    f"unavailable:{name}",
+                    f"backend {name!r} is unavailable ({exc}); "
+                    f"falling back to {REFERENCE_BACKEND}",
+                )
+                metric_inc("backend.fallbacks")
+                backend = _instantiate(REFERENCE_BACKEND)
+        _ACTIVE = backend
+        metric_set("backend.compiled", 1.0 if backend.compiled else 0.0)
+        metric_inc(f"backend.selected.{backend.name}")
+        return backend
+
+
+def get_backend() -> Backend:
+    """The process-wide active backend (resolving it on first use)."""
+    backend = _ACTIVE
+    if backend is not None:
+        return backend
+    return _activate(resolve_backend_name(), from_env=True)
+
+
+def set_backend(name: Optional[str]) -> Backend:
+    """Select a backend by name; ``None`` re-resolves from the environment.
+
+    An unknown *name* raises ``ValueError``; a registered-but-unavailable
+    one (numba missing) falls back to the reference backend with a
+    one-time warning, mirroring the environment-variable semantics.
+    """
+    global _ACTIVE
+    if name is None:
+        with _LOCK:
+            _ACTIVE = None
+        return get_backend()
+    return _activate(resolve_backend_name(name), from_env=False)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Temporarily activate backend *name* (restores the previous one)."""
+    previous = _ACTIVE
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        with _LOCK:
+            globals()["_ACTIVE"] = previous
+
+
+def warmup() -> float:
+    """Force-compile the active backend's kernels; returns the seconds spent.
+
+    Called by ``repro serve`` startup and the benchmark harness so
+    first-request latency and timings exclude JIT compile time. The
+    duration is recorded as the ``backend.jit_compile_seconds`` gauge
+    and traced as a ``backend.warmup`` span.
+    """
+    backend = get_backend()
+    with timed_span("backend.warmup", backend=backend.name) as span:
+        backend.warmup()
+    seconds = float(span.seconds or 0.0)
+    metric_set("backend.jit_compile_seconds", seconds)
+    metric_inc("backend.warmups")
+    return seconds

@@ -57,6 +57,14 @@ processes (default ``$REPRO_WORKERS`` or 1; results match a serial run —
 see ``docs/PARALLEL.md``). Worker traces are merged into the parent's
 ``--trace`` output.
 
+Data commands (and ``estimators``/``serve``) accept ``--backend NAME``
+to pick the kernel backend for the estimation hot paths — ``numpy``
+(always-available reference), ``numba`` (compiled), ``python`` (debug),
+or ``auto`` (default: ``$REPRO_BACKEND``, else numba when importable).
+The selection is exported via ``$REPRO_BACKEND`` so ``--workers``
+subprocesses inherit it; estimates are bit-identical across backends
+(see docs/PERFORMANCE.md "Backends").
+
 Matrices are exchanged in scipy ``.npz`` sparse format
 (:func:`repro.matrix.io.save_matrix`).
 """
@@ -107,12 +115,24 @@ def build_parser() -> argparse.ArgumentParser:
              "serial run)",
     )
 
+    # Shared kernel-backend flag; exported via $REPRO_BACKEND so worker
+    # processes inherit the selection (results are bit-identical across
+    # backends either way — see docs/PERFORMANCE.md "Backends").
+    backend_opts = argparse.ArgumentParser(add_help=False)
+    backend_opts.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="kernel backend for the estimation hot paths: numpy, numba, "
+             "python, or auto (default: $REPRO_BACKEND, else auto-detect; "
+             "an unavailable backend falls back to numpy with a warning)",
+    )
+
     commands.add_parser("info", help="show version, estimators, use cases")
 
     estimators_cmd = commands.add_parser(
         "estimators",
         help="list registered estimators with contract tags and router "
              "cost tiers",
+        parents=[backend_opts],
     )
     estimators_cmd.add_argument(
         "--format", choices=("table", "json"), default="table",
@@ -120,13 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sketch_cmd = commands.add_parser(
-        "sketch", help="summarize a matrix's MNC sketch", parents=[tracing]
+        "sketch", help="summarize a matrix's MNC sketch",
+        parents=[tracing, backend_opts]
     )
     sketch_cmd.add_argument("matrix", help="path to a .npz sparse matrix")
 
     estimate_cmd = commands.add_parser(
         "estimate", help="estimate the sparsity of a product A @ B",
-        parents=[tracing, parallelism],
+        parents=[tracing, parallelism, backend_opts],
     )
     estimate_cmd.add_argument("left", help="path to A (.npz)")
     estimate_cmd.add_argument("right", help="path to B (.npz)")
@@ -151,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sparsest_cmd = commands.add_parser(
-        "sparsest", help="run SparsEst use cases", parents=[tracing, parallelism]
+        "sparsest", help="run SparsEst use cases",
+        parents=[tracing, parallelism, backend_opts]
     )
     sparsest_cmd.add_argument(
         "--cases", default="",
@@ -171,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     optimize_cmd = commands.add_parser(
         "optimize", help="optimize a random matrix-product chain",
-        parents=[tracing],
+        parents=[tracing, backend_opts],
     )
     optimize_cmd.add_argument(
         "--dims", required=True,
@@ -185,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify_cmd = commands.add_parser(
         "verify", help="fuzz estimator contracts against the exact oracle",
-        parents=[tracing, parallelism],
+        parents=[tracing, parallelism, backend_opts],
     )
     verify_cmd.add_argument(
         "--budget", type=int, default=100,
@@ -262,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_cmd = commands.add_parser(
         "serve", help="run the multi-tenant estimation server",
-        parents=[parallelism],
+        parents=[parallelism, backend_opts],
     )
     serve_cmd.add_argument(
         "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
@@ -312,6 +334,18 @@ def _maybe_record(estimator):
     return estimator
 
 
+def _backend_summary() -> str:
+    """One-line description of the active kernel backend."""
+    from repro import backends
+
+    backend = backends.get_backend()
+    kind = "compiled" if backend.compiled else "interpreted"
+    availability = ", ".join(
+        name for name, ok in backends.available_backends().items() if ok
+    )
+    return f"{backend.name} ({kind}; available: {availability})"
+
+
 def _cmd_info() -> int:
     import repro
     from repro.estimators import available_estimators
@@ -320,6 +354,7 @@ def _cmd_info() -> int:
     print(f"repro {repro.__version__} — MNC sparsity estimation")
     print(f"estimators: {', '.join(available_estimators())}")
     print(f"use cases:  {', '.join(use_case_ids())}")
+    print(f"backend:    {_backend_summary()}")
     return 0
 
 
@@ -335,9 +370,20 @@ def _cmd_estimators(output_format: str = "table") -> int:
 
     from repro.router import estimator_catalog
 
+    from repro import backends
+
     rows = estimator_catalog()
     if output_format == "json":
-        print(json_module.dumps({"estimators": rows}, indent=2, sort_keys=True))
+        backend = backends.get_backend()
+        payload = {
+            "estimators": rows,
+            "backend": {
+                "name": backend.name,
+                "compiled": backend.compiled,
+                "available": backends.available_backends(),
+            },
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0
     header = f"{'name':<14} {'label':<10} {'cost tier':>9}  tags"
     print(header)
@@ -348,6 +394,7 @@ def _cmd_estimators(output_format: str = "table") -> int:
               f"{', '.join(row['tags'])}")
     print(f"{'auto':<14} {'Auto':<10} {'adaptive':>9}  "
           f"routes across tiers until --tolerance is met")
+    print(f"kernel backend: {_backend_summary()}")
     return 0
 
 
@@ -659,9 +706,18 @@ def _cmd_stats(
             print(f"prometheus exposition -> {prometheus}", file=sys.stderr)
 
     if output_format == "json":
-        print(json_module.dumps(_stats_json(data), indent=2, sort_keys=True))
+        payload = _stats_json(data)
+        from repro import backends
+
+        backend = backends.get_backend()
+        payload["backend"] = {
+            "name": backend.name,
+            "compiled": backend.compiled,
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0
 
+    print(f"Kernel backend: {_backend_summary()}")
     empty = not (
         data.spans or data.counters or data.histograms or data.outcomes
         or data.residuals or (data.metrics is not None)
@@ -834,8 +890,16 @@ def _cmd_serve(
     from repro.parallel import WorkerPool, resolve_workers
     from repro.serve.server import EstimationServer
 
+    from repro import backends
+
     default = AUTO_NAME if tolerance is not None else "mnc"
     spec = EstimatorSpec.parse(estimator, tolerance=tolerance, default=default)
+    # Warm the kernel backend before accepting traffic so the first
+    # request never pays JIT compile time; the cost is recorded as the
+    # backend.jit_compile_seconds gauge (visible under GET /metrics).
+    # The report prints after the announce line — tooling reads the
+    # first stderr line for the listening URL.
+    warm_seconds = backends.warmup()
     spill_dir = None
     if catalog is not None:
         spill_dir = Path(catalog)
@@ -856,9 +920,13 @@ def _cmd_serve(
         pool = WorkerPool(workers)
     service = EstimationService(spec, store=store, pool=pool)
     server = EstimationServer(service=service, host=host, port=port)
+    def _announce(h: str, p: int) -> None:
+        print(f"repro serve: listening on http://{h}:{p}", file=sys.stderr)
+        print(f"backend: {backends.get_backend().name} kernels warm "
+              f"in {warm_seconds:.3f}s", file=sys.stderr)
+
     try:
-        server.run(announce=lambda h, p: print(
-            f"repro serve: listening on http://{h}:{p}", file=sys.stderr))
+        server.run(announce=_announce)
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
     finally:
@@ -914,6 +982,16 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    backend_name = getattr(args, "backend", None)
+    if backend_name:
+        import os
+
+        from repro import backends
+
+        # Export through the environment (not just set_backend) so worker
+        # processes spawned by --workers inherit the same selection.
+        os.environ[backends.BACKEND_ENV] = backend_name
+        backends.set_backend(None)
     trace_path = getattr(args, "trace", None)
     flight_path = getattr(args, "flight_recorder", None)
     metrics_path = getattr(args, "metrics", None)

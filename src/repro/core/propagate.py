@@ -9,8 +9,10 @@ diagonal and square, the other operand's sketch is propagated unchanged
 
 Hot-path notes (docs/PERFORMANCE.md): derived sketches are built through
 the trusted tier (:meth:`MNCSketch.trusted` — scaling and reconciliation
-re-establish every invariant by construction), Eq 11 scaling runs in a
-reused scratch buffer, and tracing spans are entered only when a
+re-establish every invariant by construction), Eq 11 scale-and-round and
+the bulk reconciliation rounds dispatch through
+:func:`repro.backends.get_backend` with the rounding draws threaded in
+from the caller's generator, and tracing spans are entered only when a
 collector listens.
 """
 
@@ -18,16 +20,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.estimate import estimate_product_nnz
-from repro.core.rounding import SeedLike, probabilistic_round, resolve_rng
+from repro.core.rounding import SeedLike, resolve_rng
 from repro.core.scratch import ScratchBuffer
 from repro.core.sketch import MNCSketch
 from repro.errors import ShapeError
 from repro.observability.trace import trace, tracing_enabled
 
-#: Scratch for the Eq 11 scaled histogram (consumed by probabilistic
-#: rounding before the next ``scale_histogram`` call can reuse it).
-_SCALE_SCRATCH = ScratchBuffer(np.float64)
+#: Scratch for the Eq 11 rounding draws (one per call site; the scale
+#: itself is fused into the backend's ``scale_round_into`` primitive).
+_SCALE_DRAW_SCRATCH = ScratchBuffer(np.float64)
 
 
 def scale_histogram(
@@ -51,9 +54,18 @@ def scale_histogram(
     current_total = float(histogram.sum())
     if current_total <= 0 or target_total <= 0:
         return np.zeros_like(histogram)
-    scaled = _SCALE_SCRATCH.get(histogram.size)
-    np.multiply(histogram, target_total / current_total, out=scaled)
-    return probabilistic_round(scaled, rng=rng, maximum=maximum)
+    generator = resolve_rng(rng)
+    n = histogram.size
+    # Draws come from the caller's generator exactly as the unfused
+    # scale-then-round formulation consumed them (one uniform per entry),
+    # so fusing the multiply into the backend changes no rounding decision.
+    draws = _SCALE_DRAW_SCRATCH.get(n)
+    generator.random(out=draws)
+    result = np.empty(n, dtype=np.int64)
+    get_backend().scale_round_into(
+        histogram, float(target_total) / current_total, draws, int(maximum), result
+    )
+    return result
 
 
 def _propagate_product_impl(
@@ -149,22 +161,13 @@ def _reconcile_totals(
     # one, repeat) degenerates to an O(diff) loop when Eq 11's per-entry cap
     # truncated the two histograms by very different amounts. The full
     # rounds are deterministic — a round that touches *every* positive entry
-    # needs no random choice — so we apply them in bulk: after ``r`` rounds
-    # each entry holds ``max(v - r, 0)`` and ``sum(min(v, r))`` units are
-    # gone. Binary-search the largest such ``r``, subtract it vectorized,
-    # and draw only the final partial round at random.
-    values = target[target > 0]
-    lo, hi = 0, int(values.max()) if values.size else 0
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if int(np.minimum(values, mid).sum()) <= remaining:
-            lo = mid
-        else:
-            hi = mid - 1
-    if lo > 0:
-        remaining -= int(np.minimum(values, lo).sum())
-        np.subtract(target, lo, out=target)
-        np.maximum(target, 0, out=target)
+    # needs no random choice — so the backend applies them in bulk: after
+    # ``r`` rounds each entry holds ``max(v - r, 0)`` and ``sum(min(v, r))``
+    # units are gone; it binary-searches the largest such ``r``, subtracts
+    # it in place, and reports the leftovers. Only the final partial round
+    # draws randomness, and it stays here in the driver so every backend
+    # consumes the generator identically.
+    remaining = get_backend().reconcile_bulk(target, remaining)
     if remaining > 0:
         positive = np.flatnonzero(target > 0)
         chosen = rng.choice(positive, size=remaining, replace=False)

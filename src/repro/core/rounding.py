@@ -6,11 +6,12 @@ all-zero, which propagates into an (incorrectly) empty intermediate. The
 paper instead rounds entry ``x`` up with probability ``frac(x)``, which is
 unbiased (``E[round(x)] = x``) with minimal variance.
 
-The kernel is allocation-aware: intermediates (clamped values, floors,
-uniform draws, Bernoulli outcomes) live in reused per-thread scratch
-buffers, and the uniform draws are generated straight into scratch with
-``Generator.random(out=...)`` — the same stream, and therefore the same
-rounding decisions, as the naive formulation.
+The kernel is allocation-aware and backend-dispatched: the uniform draws
+are generated straight into reused per-thread scratch with
+``Generator.random(out=...)`` (the same stream, and therefore the same
+rounding decisions, as the naive formulation) and handed to the active
+backend's ``prob_round_into`` primitive, which clamps, floors, and
+applies the Bernoulli bumps without re-deriving any randomness.
 """
 
 from __future__ import annotations
@@ -19,14 +20,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core.scratch import ScratchBuffer
 
 SeedLike = Union[int, np.random.Generator, None]
 
-_CLIPPED_SCRATCH = ScratchBuffer(np.float64)
-_FLOOR_SCRATCH = ScratchBuffer(np.float64)
 _DRAW_SCRATCH = ScratchBuffer(np.float64)
-_BUMP_SCRATCH = ScratchBuffer(np.bool_)
 
 
 def resolve_rng(seed: SeedLike) -> np.random.Generator:
@@ -64,20 +63,14 @@ def probabilistic_round(
     shape = values.shape
     values = np.ascontiguousarray(values).reshape(-1)
     n = values.size
-    clipped = _CLIPPED_SCRATCH.get(n)
-    np.maximum(values, 0.0, out=clipped)
-    floor = _FLOOR_SCRATCH.get(n)
-    np.floor(clipped, out=floor)
-    # clipped becomes the fractional part; the draws land in scratch via
-    # Generator.random(out=...), which consumes the stream identically to
-    # Generator.random(shape).
-    np.subtract(clipped, floor, out=clipped)
+    # The draws land in scratch via Generator.random(out=...), which
+    # consumes the stream identically to Generator.random(shape); threading
+    # them into the backend keeps the rounding decisions byte-identical
+    # across backends (the kernels never touch the generator).
     draws = _DRAW_SCRATCH.get(n)
     generator.random(out=draws)
-    bump = _BUMP_SCRATCH.get(n)
-    np.less(draws, clipped, out=bump)
-    result = floor.astype(np.int64)
-    result += bump
-    if maximum is not None:
-        np.minimum(result, maximum, out=result)
+    result = np.empty(n, dtype=np.int64)
+    get_backend().prob_round_into(
+        values, draws, -1 if maximum is None else int(maximum), result
+    )
     return result.reshape(shape)
